@@ -1,0 +1,52 @@
+// Experiment E8 — Algorithm 1 ablation: the value of the selection history.
+// Synthesizing the same intensive actor shape repeatedly should cost the
+// pre-calculation only once; with the history disabled every synthesis pays
+// it again.
+#include "bench_util.hpp"
+#include "isa/builtin.hpp"
+#include "synth/intensive.hpp"
+
+using namespace hcg;
+
+int main() {
+  const int kRepeats = 8;
+  const std::vector<int> sizes = {256, 1024, 4096};
+
+  std::printf("== Selection-history ablation: synthesize the FFT actor %d "
+              "times per size ==\n\n", kRepeats);
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"FFT size", "history ON total", "history OFF total",
+                   "speedup", "chosen impl"});
+
+  for (int n : sizes) {
+    Model model = resolved(benchmodels::fft_model(n));
+    const Actor& actor = model.actor_by_name("fft");
+
+    synth::IntensiveOptions with;
+    with.use_history = true;
+    synth::IntensiveOptions without;
+    without.use_history = false;
+
+    synth::SelectionHistory history;
+    Stopwatch on_timer;
+    std::string chosen;
+    for (int i = 0; i < kRepeats; ++i) {
+      chosen = synth::select_implementation(actor, history, with).impl->id;
+    }
+    const double on_total = on_timer.elapsed_seconds();
+
+    synth::SelectionHistory unused;
+    Stopwatch off_timer;
+    for (int i = 0; i < kRepeats; ++i) {
+      synth::select_implementation(actor, unused, without);
+    }
+    const double off_total = off_timer.elapsed_seconds();
+
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.1fx", off_total / on_total);
+    table.push_back({std::to_string(n), bench::format_seconds(on_total),
+                     bench::format_seconds(off_total), speedup, chosen});
+  }
+  bench::print_table(table);
+  return 0;
+}

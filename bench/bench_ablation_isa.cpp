@@ -1,0 +1,72 @@
+// Experiment E9 — instruction-set richness ablation: how much of HCG's win
+// comes from *compound* instructions (vmla/vhadd/vaba) versus plain
+// vectorization?  We strip every multi-node pattern from the NEON table and
+// re-run the batch models.
+#include "bench_util.hpp"
+#include "isa/builtin.hpp"
+
+using namespace hcg;
+
+namespace {
+
+isa::VectorIsa basic_only(const isa::VectorIsa& full) {
+  isa::VectorIsa basic = full;
+  basic.name = full.name + "_basic";
+  basic.instructions.clear();
+  for (const isa::Instruction& ins : full.instructions) {
+    if (ins.node_count() == 1) basic.instructions.push_back(ins);
+  }
+  return basic;
+}
+
+}  // namespace
+
+int main() {
+  const isa::VectorIsa& full = isa::builtin("neon_sim");
+  const isa::VectorIsa basic = basic_only(full);
+
+  std::printf("== ISA richness ablation (NEON-sim, -O2): full table vs "
+              "single-op-only table ==\n\n");
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"Model", "Scalar (DFSynth)", "HCG basic ISA",
+                   "HCG full ISA", "full vs basic", "instrs (full)"});
+
+  std::vector<Model> models;
+  models.push_back(benchmodels::fir_model());
+  models.push_back(benchmodels::highpass_model());
+  models.push_back(benchmodels::paper_fig4_model(1024));
+
+  for (Model& raw : models) {
+    Model model = resolved(std::move(raw));
+    bench::IoBinding io = bench::bind_io(model);
+
+    auto dfsynth = codegen::make_dfsynth_generator();
+    auto hcg_basic = codegen::make_hcg_generator(basic);
+    auto hcg_full = codegen::make_hcg_generator(full);
+
+    codegen::Generator* tools[3] = {dfsynth.get(), hcg_basic.get(),
+                                    hcg_full.get()};
+    double seconds[3] = {0, 0, 0};
+    codegen::GeneratedCode full_code;
+    for (int t = 0; t < 3; ++t) {
+      codegen::GeneratedCode code = tools[t]->generate(model);
+      toolchain::CompiledModel compiled = bench::compile(code);
+      bench::verify_against_oracle(compiled, model, io, 2e-2);
+      seconds[t] = bench::time_steps(compiled, io.in_ptrs, io.out_ptrs)
+                       .seconds_per_step;
+      if (t == 2) full_code = std::move(code);
+    }
+
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2fx", seconds[1] / seconds[2]);
+    std::string instructions;
+    for (const std::string& name : full_code.simd_instructions) {
+      instructions += name + " ";
+    }
+    table.push_back({model.name(), bench::format_seconds(seconds[0]),
+                     bench::format_seconds(seconds[1]),
+                     bench::format_seconds(seconds[2]), ratio, instructions});
+  }
+  bench::print_table(table);
+  return 0;
+}

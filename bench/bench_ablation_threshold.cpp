@@ -1,0 +1,61 @@
+// Experiment E7 — the §4.3 discussion: "when the model contains one or two
+// batch computing actors, HCG will still translate them into SIMD
+// instructions [and] the efficiency may be less than the conventional code
+// because of the cost of data transmission between memory and vector
+// registers.  We can solve this problem by a preliminary check and setting a
+// threshold."
+//
+// This bench sweeps batch-chain length 1..8 and compares HCG's SIMD code
+// against the conventional loop code, then shows the effect of HCG's
+// min_nodes_for_simd threshold knob.
+#include "bench_util.hpp"
+#include "isa/builtin.hpp"
+
+using namespace hcg;
+
+int main() {
+  const isa::VectorIsa& neon = isa::builtin("neon_sim");
+
+  std::printf("== SIMD threshold ablation (chain of batch actors, f32[1024], "
+              "NEON-sim, -O2) ==\n\n");
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"Chain length", "Conventional (DFSynth)", "HCG SIMD",
+                   "SIMD speedup", "HCG thr=3 picks"});
+
+  for (int actors = 1; actors <= 8; ++actors) {
+    Model model = resolved(benchmodels::batch_chain_model(actors));
+    bench::IoBinding io = bench::bind_io(model);
+
+    auto dfsynth = codegen::make_dfsynth_generator();
+    codegen::GeneratedCode conventional = dfsynth->generate(model);
+    toolchain::CompiledModel conv_compiled = bench::compile(conventional);
+    bench::verify_against_oracle(conv_compiled, model, io, 2e-2);
+    const double conv_time =
+        bench::time_steps(conv_compiled, io.in_ptrs, io.out_ptrs)
+            .seconds_per_step;
+
+    auto hcg = codegen::make_hcg_generator(neon);
+    codegen::GeneratedCode simd = hcg->generate(model);
+    toolchain::CompiledModel simd_compiled = bench::compile(simd);
+    bench::verify_against_oracle(simd_compiled, model, io, 2e-2);
+    const double simd_time =
+        bench::time_steps(simd_compiled, io.in_ptrs, io.out_ptrs)
+            .seconds_per_step;
+
+    // The thresholded generator: regions below 3 nodes stay conventional.
+    synth::BatchOptions threshold;
+    threshold.min_nodes_for_simd = 3;
+    auto hcg_thr = codegen::make_hcg_generator(neon, nullptr, threshold);
+    codegen::GeneratedCode thr_code = hcg_thr->generate(model);
+
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", conv_time / simd_time);
+    table.push_back({std::to_string(actors),
+                     bench::format_seconds(conv_time),
+                     bench::format_seconds(simd_time), speedup,
+                     thr_code.simd_instructions.empty() ? "conventional"
+                                                        : "SIMD"});
+  }
+  bench::print_table(table);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Experiment E4 — §4.1 code-generation time: the paper reports ~2 s for
+// Simulink Coder and ~1 s for DFSynth and HCG across the benchmark set.
+// HCG's generation time includes Algorithm 1's pre-calculation, so we
+// report it twice: with a cold selection history (pre-calculation runs)
+// and a warm one (history hit, Algorithm 1 lines 3-6).
+#include "bench_util.hpp"
+#include "isa/builtin.hpp"
+
+using namespace hcg;
+
+int main() {
+  const isa::VectorIsa& neon = isa::builtin("neon_sim");
+
+  std::vector<std::vector<std::string>> table;
+  table.push_back(
+      {"Model", "Simulink", "DFSynth", "HCG (cold)", "HCG (warm history)"});
+
+  double totals[4] = {0, 0, 0, 0};
+  for (Model& raw : benchmodels::paper_models()) {
+    Model model = resolved(std::move(raw));
+
+    auto time_generation = [&](codegen::Generator& tool) {
+      Stopwatch timer;
+      codegen::GeneratedCode code = tool.generate(model);
+      (void)code;
+      return timer.elapsed_seconds();
+    };
+
+    auto simulink = codegen::make_simulink_generator();
+    auto dfsynth = codegen::make_dfsynth_generator();
+    synth::SelectionHistory history;
+    auto hcg = codegen::make_hcg_generator(neon, &history);
+
+    const double t_sc = time_generation(*simulink);
+    const double t_df = time_generation(*dfsynth);
+    const double t_hcg_cold = time_generation(*hcg);  // fills the history
+    const double t_hcg_warm = time_generation(*hcg);  // history hits
+
+    totals[0] += t_sc;
+    totals[1] += t_df;
+    totals[2] += t_hcg_cold;
+    totals[3] += t_hcg_warm;
+    table.push_back({model.name(), bench::format_seconds(t_sc),
+                     bench::format_seconds(t_df),
+                     bench::format_seconds(t_hcg_cold),
+                     bench::format_seconds(t_hcg_warm)});
+  }
+  table.push_back({"TOTAL", bench::format_seconds(totals[0]),
+                   bench::format_seconds(totals[1]),
+                   bench::format_seconds(totals[2]),
+                   bench::format_seconds(totals[3])});
+
+  std::printf("== Code-generation time (paper §4.1: SC ~2 s, DFSynth ~1 s, "
+              "HCG ~1 s for the whole set) ==\n\n");
+  bench::print_table(table);
+  return 0;
+}

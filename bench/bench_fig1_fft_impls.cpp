@@ -1,0 +1,73 @@
+// Experiment E1 — paper Figure 1: the time cost of different FFT
+// implementations across input data lengths.  The paper's point: no single
+// implementation wins at every scale (Mix-FFT wins large sizes, loses small
+// ones), which is why Algorithm 1 pre-calculates per input scale.
+//
+// Sizes: powers of two 16..8192 (all impls) plus non-power-of-two lengths
+// (only mixed/Bluestein/naive can handle those).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "kernels/kernels.h"
+#include "support/rng.hpp"
+
+namespace {
+
+using FftFn = void (*)(const float*, float*, int, int);
+
+void run_fft(benchmark::State& state, FftFn fn) {
+  const int n = static_cast<int>(state.range(0));
+  hcg::Rng rng(1234);
+  std::vector<float> in = rng.signal_f32(static_cast<size_t>(n) * 2);
+  std::vector<float> out(static_cast<size_t>(n) * 2);
+  for (auto _ : state) {
+    fn(in.data(), out.data(), n, 0);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetComplexityN(n);
+}
+
+bool is_pow2(int n) { return (n & (n - 1)) == 0; }
+bool is_pow4(int n) { return is_pow2(n) && (n & 0x55555555); }
+bool is_smooth(int n) {
+  for (int p : {2, 3, 5}) {
+    while (n % p == 0) n /= p;
+  }
+  return n == 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<int> pow2_sizes = {16, 64, 256, 1024, 4096, 8192};
+  const std::vector<int> odd_sizes = {60, 360, 1000, 1500, 997};
+
+  auto reg = [](const std::string& name, FftFn fn, int n) {
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [fn](benchmark::State& s) { run_fft(s, fn); })
+        ->Arg(n)
+        ->Unit(benchmark::kMicrosecond);
+  };
+
+  for (int n : pow2_sizes) {
+    reg("fft_dft", &hcg_fft_dft, n);
+    reg("fft_radix2", &hcg_fft_radix2, n);
+    reg("fft_radix2_tab", &hcg_fft_radix2_tab, n);
+    if (is_pow4(n)) reg("fft_radix4", &hcg_fft_radix4, n);
+    reg("fft_mixed", &hcg_fft_mixed, n);
+    reg("fft_bluestein", &hcg_fft_bluestein, n);
+  }
+  for (int n : odd_sizes) {
+    if (n <= 1024) reg("fft_dft", &hcg_fft_dft, n);
+    if (is_smooth(n)) reg("fft_mixed", &hcg_fft_mixed, n);
+    reg("fft_bluestein", &hcg_fft_bluestein, n);
+    if (!is_smooth(n)) reg("fft_mixed_prime_fallback", &hcg_fft_mixed, n);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Experiment E3 — paper Figure 5: the six models x three generators across
+// two architectures and two compiler configurations.
+//
+// Substitutions (DESIGN.md §3): the ARM Cortex-A72 is represented by the
+// NEON-sim backend (identical generated NEON code, portable execution);
+// GCC 11 / Clang 12 are represented by two GCC optimizer configurations
+// cc-A = -O2 and cc-B = -O3.  On Intel, Simulink Coder runs in its
+// scattered-SIMD mode (per-actor vector loops, §4.2) and HCG uses AVX2.
+#include "bench_util.hpp"
+#include "isa/builtin.hpp"
+
+using namespace hcg;
+
+namespace {
+
+struct Config {
+  std::string label;
+  std::string arch;  // "arm" or "intel"
+  std::string opt;   // cc flags
+};
+
+}  // namespace
+
+int main() {
+  const Config configs[] = {
+      {"(a) ARM + cc-A (-O2)", "arm", "-O2"},
+      {"(b) Intel + cc-A (-O2)", "intel", "-O2"},
+      {"(c) ARM + cc-B (-O3)", "arm", "-O3"},
+      {"(d) Intel + cc-B (-O3)", "intel", "-O3"},
+  };
+
+  const isa::VectorIsa& neon = isa::builtin("neon_sim");
+  const isa::VectorIsa& avx2 = isa::builtin("avx2");
+  synth::SelectionHistory history;
+
+  for (const Config& config : configs) {
+    std::printf("== Figure 5%s ==\n", config.label.c_str());
+    std::vector<std::vector<std::string>> table;
+    table.push_back({"Model", "Simulink", "DFSynth", "HCG", "impr(SC)",
+                     "impr(DF)"});
+
+    for (Model& raw : benchmodels::paper_models()) {
+      Model model = resolved(std::move(raw));
+      bench::IoBinding io = bench::bind_io(model);
+
+      std::unique_ptr<codegen::Generator> simulink;
+      std::unique_ptr<codegen::Generator> hcg;
+      if (config.arch == "arm") {
+        simulink = codegen::make_simulink_generator();  // no SIMD on ARM
+        hcg = codegen::make_hcg_generator(neon, &history);
+      } else {
+        simulink = codegen::make_simulink_generator(&avx2);  // scattered
+        hcg = codegen::make_hcg_generator(avx2, &history);
+      }
+      auto dfsynth = codegen::make_dfsynth_generator();
+
+      codegen::Generator* tools[3] = {simulink.get(), dfsynth.get(), hcg.get()};
+      double seconds[3] = {0, 0, 0};
+      for (int t = 0; t < 3; ++t) {
+        codegen::GeneratedCode code = tools[t]->generate(model);
+        toolchain::CompiledModel compiled = bench::compile(code, config.opt);
+        bench::verify_against_oracle(compiled, model, io, 2e-2);
+        seconds[t] = bench::time_steps(compiled, io.in_ptrs, io.out_ptrs)
+                         .seconds_per_step;
+      }
+      table.push_back({model.name(),
+                       bench::format_seconds(seconds[0]),
+                       bench::format_seconds(seconds[1]),
+                       bench::format_seconds(seconds[2]),
+                       bench::format_percent(1.0 - seconds[2] / seconds[0]),
+                       bench::format_percent(1.0 - seconds[2] / seconds[1])});
+    }
+    bench::print_table(table);
+    std::printf("\n");
+  }
+  return 0;
+}

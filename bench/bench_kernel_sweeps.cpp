@@ -1,0 +1,143 @@
+// Figure-1-style implementation sweeps for the remaining intensive actor
+// families: DCT, convolution and small matrices.  These are the cost curves
+// Algorithm 1's pre-calculation navigates for actors other than the FFT of
+// Figure 1 — including the direct-vs-FFT convolution crossover as the
+// kernel length grows.
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "kernels/kernels.h"
+#include "support/rng.hpp"
+
+namespace {
+
+using hcg::Rng;
+
+// ---------------------------------------------------------------------------
+// DCT implementations across sizes
+// ---------------------------------------------------------------------------
+
+using DctFn = void (*)(const float*, float*, int);
+
+void run_dct(benchmark::State& state, DctFn fn) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<float> in = rng.signal_f32(static_cast<size_t>(n));
+  std::vector<float> out(static_cast<size_t>(n));
+  for (auto _ : state) {
+    fn(in.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Convolution: direct vs blocked vs FFT as the kernel length grows
+// ---------------------------------------------------------------------------
+
+using ConvFn = void (*)(const float*, int, const float*, int, float*);
+
+void run_conv(benchmark::State& state, ConvFn fn) {
+  const int na = 1024;
+  const int nb = static_cast<int>(state.range(0));
+  Rng rng(8);
+  std::vector<float> a = rng.signal_f32(static_cast<size_t>(na));
+  std::vector<float> b = rng.signal_f32(static_cast<size_t>(nb));
+  std::vector<float> out(static_cast<size_t>(na + nb - 1));
+  for (auto _ : state) {
+    fn(a.data(), na, b.data(), nb, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix kernels: generic loop vs unrolled/analytic for n = 2..4
+// ---------------------------------------------------------------------------
+
+using MatMulFn = void (*)(const float*, const float*, float*, int);
+using MatUnFn = void (*)(const float*, float*, int);
+
+void run_matmul(benchmark::State& state, MatMulFn fn) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(9);
+  std::vector<float> a = rng.signal_f32(static_cast<size_t>(n) * n);
+  std::vector<float> b = rng.signal_f32(static_cast<size_t>(n) * n);
+  std::vector<float> out(static_cast<size_t>(n) * n);
+  for (auto _ : state) {
+    fn(a.data(), b.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void run_matinv(benchmark::State& state, MatUnFn fn) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(10);
+  std::vector<float> a = rng.signal_f32(static_cast<size_t>(n) * n);
+  for (int i = 0; i < n; ++i) a[static_cast<size_t>(i * n + i)] += n + 2.0f;
+  std::vector<float> out(static_cast<size_t>(n) * n);
+  for (auto _ : state) {
+    fn(a.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int n : {16, 64, 256, 1024}) {
+    benchmark::RegisterBenchmark(
+        "dct_naive", [](benchmark::State& s) { run_dct(s, &hcg_dct_naive_f32); })
+        ->Arg(n)->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        "dct_lee", [](benchmark::State& s) { run_dct(s, &hcg_dct_lee_f32); })
+        ->Arg(n)->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        "dct_fft", [](benchmark::State& s) { run_dct(s, &hcg_dct_fft_f32); })
+        ->Arg(n)->Unit(benchmark::kMicrosecond);
+  }
+
+  // Kernel-length sweep at fixed signal length 1024: the direct/FFT
+  // crossover is the interesting feature.
+  for (int nb : {4, 16, 64, 256, 1024}) {
+    benchmark::RegisterBenchmark(
+        "conv_direct",
+        [](benchmark::State& s) { run_conv(s, &hcg_conv_direct_f32); })
+        ->Arg(nb)->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        "conv_blocked",
+        [](benchmark::State& s) { run_conv(s, &hcg_conv_blocked_f32); })
+        ->Arg(nb)->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        "conv_saxpy",
+        [](benchmark::State& s) { run_conv(s, &hcg_conv_saxpy_f32); })
+        ->Arg(nb)->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        "conv_fft", [](benchmark::State& s) { run_conv(s, &hcg_conv_fft_f32); })
+        ->Arg(nb)->Unit(benchmark::kMicrosecond);
+  }
+
+  for (int n : {2, 3, 4}) {
+    benchmark::RegisterBenchmark(
+        "matmul_generic",
+        [](benchmark::State& s) { run_matmul(s, &hcg_matmul_generic_f32); })
+        ->Arg(n);
+    benchmark::RegisterBenchmark(
+        "matmul_unrolled",
+        [](benchmark::State& s) { run_matmul(s, &hcg_matmul_unrolled_f32); })
+        ->Arg(n);
+    benchmark::RegisterBenchmark(
+        "matinv_gauss",
+        [](benchmark::State& s) { run_matinv(s, &hcg_matinv_gauss_f32); })
+        ->Arg(n);
+    benchmark::RegisterBenchmark(
+        "matinv_adjugate",
+        [](benchmark::State& s) { run_matinv(s, &hcg_matinv_adjugate_f32); })
+        ->Arg(n);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

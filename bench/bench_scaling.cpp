@@ -1,0 +1,46 @@
+// Generator scalability: code-generation wall time as the model grows
+// (batch chains of 10..200 actors).  Complements E4 — the paper reports
+// whole-suite generation times; this shows how Algorithm 2's subgraph
+// enumeration scales with region size.
+#include "bench_util.hpp"
+#include "isa/builtin.hpp"
+
+using namespace hcg;
+
+int main() {
+  const isa::VectorIsa& neon = isa::builtin("neon_sim");
+
+  std::printf("== Generation-time scaling over batch-chain length ==\n\n");
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"Actors", "Simulink", "DFSynth", "HCG", "HCG instrs"});
+
+  for (int actors : {10, 25, 50, 100, 200}) {
+    Model model = resolved(benchmodels::batch_chain_model(actors, 256));
+
+    auto time_tool = [&](codegen::Generator& tool) {
+      // Best of 3 to de-noise.
+      double best = 1e30;
+      codegen::GeneratedCode last;
+      for (int i = 0; i < 3; ++i) {
+        Stopwatch timer;
+        last = tool.generate(model);
+        best = std::min(best, timer.elapsed_seconds());
+      }
+      return std::pair{best, last};
+    };
+
+    auto sc = codegen::make_simulink_generator();
+    auto df = codegen::make_dfsynth_generator();
+    auto hcg = codegen::make_hcg_generator(neon);
+    auto [t_sc, c_sc] = time_tool(*sc);
+    auto [t_df, c_df] = time_tool(*df);
+    auto [t_hcg, c_hcg] = time_tool(*hcg);
+
+    table.push_back({std::to_string(actors), bench::format_seconds(t_sc),
+                     bench::format_seconds(t_df),
+                     bench::format_seconds(t_hcg),
+                     std::to_string(c_hcg.simd_instructions.size())});
+  }
+  bench::print_table(table);
+  return 0;
+}

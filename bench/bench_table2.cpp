@@ -1,0 +1,75 @@
+// Experiment E2 — paper Table 2: execution time of the six benchmark models
+// under Simulink Coder, DFSynth and HCG on the ARM backend (NEON-sim) with
+// compiler configuration cc-A (-O2), plus the §4.1 memory-usage parity check
+// (E5).
+//
+// Every generated binary is verified against the interpreter oracle before
+// being timed.
+#include "bench_util.hpp"
+#include "isa/builtin.hpp"
+
+using namespace hcg;
+
+int main() {
+  std::printf("== Table 2: execution time per step, ARM backend (NEON-sim), "
+              "gcc %s ==\n", "-O2");
+  std::printf("   (paper: HCG improves 41.3%%-71.9%% over Simulink Coder and "
+              "41.2%%-75.4%% over DFSynth)\n\n");
+
+  const isa::VectorIsa& neon = isa::builtin("neon_sim");
+  synth::SelectionHistory history;
+
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"Model", "Simulink", "DFSynth", "HCG", "impr(SC)",
+                   "impr(DF)", "mem SC", "mem DF", "mem HCG"});
+  std::vector<std::vector<std::string>> detail;
+  detail.push_back({"Model", "HCG intensive choice", "HCG SIMD instructions"});
+
+  for (Model& raw : benchmodels::paper_models()) {
+    Model model = resolved(std::move(raw));
+    bench::IoBinding io = bench::bind_io(model);
+
+    auto simulink = codegen::make_simulink_generator();
+    auto dfsynth = codegen::make_dfsynth_generator();
+    auto hcg = codegen::make_hcg_generator(neon, &history);
+
+    double seconds[3] = {0, 0, 0};
+    std::size_t mem[3] = {0, 0, 0};
+    codegen::GeneratedCode hcg_code;
+    codegen::Generator* tools[3] = {simulink.get(), dfsynth.get(), hcg.get()};
+    for (int t = 0; t < 3; ++t) {
+      codegen::GeneratedCode code = tools[t]->generate(model);
+      toolchain::CompiledModel compiled = bench::compile(code);
+      bench::verify_against_oracle(compiled, model, io, 2e-2);
+      seconds[t] = bench::time_steps(compiled, io.in_ptrs, io.out_ptrs)
+                       .seconds_per_step;
+      mem[t] = code.static_buffer_bytes;
+      if (t == 2) hcg_code = std::move(code);
+    }
+
+    table.push_back({model.name(),
+                     bench::format_seconds(seconds[0]),
+                     bench::format_seconds(seconds[1]),
+                     bench::format_seconds(seconds[2]),
+                     bench::format_percent(1.0 - seconds[2] / seconds[0]),
+                     bench::format_percent(1.0 - seconds[2] / seconds[1]),
+                     std::to_string(mem[0]) + "B", std::to_string(mem[1]) + "B",
+                     std::to_string(mem[2]) + "B"});
+
+    std::string choices;
+    for (const auto& [actor, impl] : hcg_code.intensive_choices) {
+      choices += actor + "->" + impl + " ";
+    }
+    std::string instructions;
+    for (const std::string& name : hcg_code.simd_instructions) {
+      instructions += name + " ";
+    }
+    detail.push_back({model.name(), choices.empty() ? "-" : choices,
+                      instructions.empty() ? "-" : instructions});
+  }
+
+  bench::print_table(table);
+  std::printf("\n-- HCG synthesis decisions --\n");
+  bench::print_table(detail);
+  return 0;
+}

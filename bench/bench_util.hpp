@@ -1,0 +1,149 @@
+// Shared benchmark harness helpers: compile-and-time generated models,
+// calibrated repetition counts, and aligned table printing.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "actors/resolve.hpp"
+#include "benchmodels/benchmodels.hpp"
+#include "codegen/generator.hpp"
+#include "support/stopwatch.hpp"
+#include "toolchain/compiled_model.hpp"
+#include "vm/interpreter.hpp"
+
+namespace hcg::bench {
+
+/// Target wall time per measurement; override with HCG_BENCH_SECONDS.
+inline double target_seconds() {
+  if (const char* env = std::getenv("HCG_BENCH_SECONDS")) {
+    return std::atof(env);
+  }
+  return 0.25;
+}
+
+/// Compiles a generated model and returns it ready to step.
+inline toolchain::CompiledModel compile(const codegen::GeneratedCode& code,
+                                        const std::string& opt_flags = "-O2") {
+  toolchain::CompileOptions options;
+  options.opt_flags = opt_flags;
+  return toolchain::CompiledModel(code, options);
+}
+
+struct TimedRun {
+  double seconds_per_step = 0.0;
+  int repetitions = 0;
+};
+
+/// Runs `step` repeatedly with calibrated repetitions (one probe step, then
+/// enough steps to fill target_seconds()), returning seconds per step.
+inline TimedRun time_steps(toolchain::CompiledModel& compiled,
+                           const std::vector<const void*>& inputs,
+                           const std::vector<void*>& outputs) {
+  compiled.init();
+  compiled.step(inputs, outputs);  // warm-up
+  Stopwatch probe;
+  compiled.step(inputs, outputs);
+  const double once = std::max(probe.elapsed_seconds(), 1e-9);
+  const int reps = static_cast<int>(
+      std::clamp(target_seconds() / once, 3.0, 200000.0));
+  Stopwatch timer;
+  for (int i = 0; i < reps; ++i) compiled.step(inputs, outputs);
+  return TimedRun{timer.elapsed_seconds() / reps, reps};
+}
+
+/// Binds tensors to raw pointer vectors for step().
+struct IoBinding {
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> outputs;
+  std::vector<const void*> in_ptrs;
+  std::vector<void*> out_ptrs;
+};
+
+inline IoBinding bind_io(const Model& resolved_model, std::uint64_t seed = 42) {
+  IoBinding io;
+  io.inputs = benchmodels::workload(resolved_model, seed);
+  for (const Tensor& t : io.inputs) io.in_ptrs.push_back(t.data());
+  for (ActorId id : resolved_model.outports()) {
+    io.outputs.push_back(make_tensor(resolved_model.actor(id).input(0)));
+  }
+  for (Tensor& t : io.outputs) io.out_ptrs.push_back(t.data());
+  return io;
+}
+
+/// Verifies a compiled model against the interpreter oracle before timing;
+/// aborts the bench with a message on mismatch (never report numbers from
+/// wrong code).
+inline void verify_against_oracle(toolchain::CompiledModel& compiled,
+                                  const Model& resolved_model,
+                                  const IoBinding& io, double tolerance) {
+  Interpreter oracle(resolved_model);
+  oracle.init();
+  std::vector<Tensor> expected = oracle.step(io.inputs);
+  compiled.init();
+  std::vector<Tensor> got = compiled.step_tensors(resolved_model, io.inputs);
+  for (size_t i = 0; i < got.size(); ++i) {
+    const double diff = got[i].max_abs_difference(expected[i]);
+    if (diff > tolerance) {
+      std::fprintf(stderr,
+                   "FATAL: generated code disagrees with oracle on '%s' "
+                   "(output %zu, max diff %g)\n",
+                   resolved_model.name().c_str(), i, diff);
+      std::exit(1);
+    }
+  }
+}
+
+/// Prints an aligned table: first row is the header.
+inline void print_table(const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> width;
+  for (const auto& row : rows) {
+    if (width.size() < row.size()) width.resize(row.size(), 0);
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::string line;
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      std::string cell = rows[r][c];
+      cell.resize(width[c], ' ');
+      line += cell;
+      if (c + 1 < rows[r].size()) line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+    if (r == 0) {
+      std::string rule;
+      for (size_t c = 0; c < width.size(); ++c) {
+        rule += std::string(width[c], '-');
+        if (c + 1 < width.size()) rule += "  ";
+      }
+      std::printf("%s\n", rule.c_str());
+    }
+  }
+}
+
+inline std::string format_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  }
+  return buf;
+}
+
+inline std::string format_percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace hcg::bench

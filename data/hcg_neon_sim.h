@@ -1,0 +1,182 @@
+/* hcg_neon_sim.h — portable implementation of the ARM NEON intrinsics used
+ * by HCG-generated code, built on GCC/Clang vector extensions.
+ *
+ * This header lets code emitted for the "neon" instruction table compile and
+ * run on any host (the DESIGN.md substitution for the paper's Cortex-A72
+ * board).  Semantics follow the Arm ACLE definitions: vcvt truncates toward
+ * zero, vhadd halves in widened precision, shifts are per-lane.
+ */
+#ifndef HCG_NEON_SIM_H
+#define HCG_NEON_SIM_H
+
+#include <stdint.h>
+
+typedef int8_t   int8x16_t   __attribute__((vector_size(16)));
+typedef uint8_t  uint8x16_t  __attribute__((vector_size(16)));
+typedef int16_t  int16x8_t   __attribute__((vector_size(16)));
+typedef uint16_t uint16x8_t  __attribute__((vector_size(16)));
+typedef int32_t  int32x4_t   __attribute__((vector_size(16)));
+typedef uint32_t uint32x4_t  __attribute__((vector_size(16)));
+typedef uint64_t uint64x2_t  __attribute__((vector_size(16)));
+typedef float    float32x4_t __attribute__((vector_size(16)));
+typedef double   float64x2_t __attribute__((vector_size(16)));
+
+/* Ops shared by every element type. */
+#define HCG_DEF_COMMON(S, T, VT, N)                                          \
+  static inline VT vld1q_##S(const T* p) {                                   \
+    VT v;                                                                    \
+    __builtin_memcpy(&v, p, sizeof(VT));                                     \
+    return v;                                                                \
+  }                                                                          \
+  static inline void vst1q_##S(T* p, VT v) {                                 \
+    __builtin_memcpy(p, &v, sizeof(VT));                                     \
+  }                                                                          \
+  static inline VT vdupq_n_##S(T c) {                                        \
+    VT v;                                                                    \
+    for (int i = 0; i < N; ++i) v[i] = c;                                    \
+    return v;                                                                \
+  }                                                                          \
+  static inline VT vaddq_##S(VT a, VT b) { return a + b; }                   \
+  static inline VT vsubq_##S(VT a, VT b) { return a - b; }                   \
+  static inline VT vminq_##S(VT a, VT b) {                                   \
+    VT r;                                                                    \
+    for (int i = 0; i < N; ++i) r[i] = a[i] < b[i] ? a[i] : b[i];            \
+    return r;                                                                \
+  }                                                                          \
+  static inline VT vmaxq_##S(VT a, VT b) {                                   \
+    VT r;                                                                    \
+    for (int i = 0; i < N; ++i) r[i] = a[i] > b[i] ? a[i] : b[i];            \
+    return r;                                                                \
+  }                                                                          \
+  static inline VT vabdq_##S(VT a, VT b) {                                   \
+    VT r;                                                                    \
+    for (int i = 0; i < N; ++i)                                              \
+      r[i] = a[i] > b[i] ? (T)(a[i] - b[i]) : (T)(b[i] - a[i]);              \
+    return r;                                                                \
+  }
+
+/* Integer-only ops; WT is the widened type used by vhadd. */
+#define HCG_DEF_INT(S, T, VT, N, WT)                                         \
+  static inline VT vmulq_##S(VT a, VT b) { return a * b; }                   \
+  static inline VT vandq_##S(VT a, VT b) { return a & b; }                   \
+  static inline VT vorrq_##S(VT a, VT b) { return a | b; }                   \
+  static inline VT veorq_##S(VT a, VT b) { return a ^ b; }                   \
+  static inline VT vmvnq_##S(VT a) { return ~a; }                            \
+  static inline VT vshlq_n_##S(VT a, const int n) { return a << n; }         \
+  static inline VT vshrq_n_##S(VT a, const int n) { return a >> n; }         \
+  static inline VT vmlaq_##S(VT a, VT b, VT c) { return a + b * c; }         \
+  static inline VT vmlsq_##S(VT a, VT b, VT c) { return a - b * c; }         \
+  /* SHADD/UHADD halves in widened precision; (a>>1)+(b>>1)+(a&b&1) is the  \
+   * same value without widening, so hosts can keep it vectorized.  WT       \
+   * documents the architectural intermediate type. */                       \
+  static inline VT vhaddq_##S(VT a, VT b) {                                  \
+    VT r;                                                                    \
+    for (int i = 0; i < N; ++i) {                                            \
+      (void)sizeof(WT);                                                      \
+      r[i] = (T)((T)(a[i] >> 1) + (T)(b[i] >> 1) + (T)(a[i] & b[i] & 1));    \
+    }                                                                        \
+    return r;                                                                \
+  }                                                                          \
+  static inline VT vabaq_##S(VT a, VT b, VT c) {                             \
+    VT r;                                                                    \
+    for (int i = 0; i < N; ++i) {                                            \
+      T d = b[i] > c[i] ? (T)(b[i] - c[i]) : (T)(c[i] - b[i]);               \
+      r[i] = (T)(a[i] + d);                                                  \
+    }                                                                        \
+    return r;                                                                \
+  }                                                                          \
+  static inline VT vmulq_n_##S(VT a, T c) { return a * vdupq_n_##S(c); }
+
+#define HCG_DEF_SIGNED_ABS(S, T, VT, N)                                      \
+  static inline VT vabsq_##S(VT a) {                                         \
+    VT r;                                                                    \
+    for (int i = 0; i < N; ++i) r[i] = a[i] < 0 ? (T)(-a[i]) : a[i];         \
+    return r;                                                                \
+  }
+
+#define HCG_DEF_FLOAT(S, T, VT, N, SQRT)                                     \
+  static inline VT vmulq_##S(VT a, VT b) { return a * b; }                   \
+  static inline VT vdivq_##S(VT a, VT b) { return a / b; }                   \
+  static inline VT vsqrtq_##S(VT a) {                                        \
+    VT r;                                                                    \
+    for (int i = 0; i < N; ++i) r[i] = SQRT(a[i]);                           \
+    return r;                                                                \
+  }                                                                          \
+  static inline VT vmlaq_##S(VT a, VT b, VT c) { return a + b * c; }         \
+  static inline VT vmlsq_##S(VT a, VT b, VT c) { return a - b * c; }         \
+  static inline VT vmulq_n_##S(VT a, T c) { return a * vdupq_n_##S(c); }
+
+HCG_DEF_COMMON(s8, int8_t, int8x16_t, 16)
+HCG_DEF_COMMON(u8, uint8_t, uint8x16_t, 16)
+HCG_DEF_COMMON(s16, int16_t, int16x8_t, 8)
+HCG_DEF_COMMON(u16, uint16_t, uint16x8_t, 8)
+HCG_DEF_COMMON(s32, int32_t, int32x4_t, 4)
+HCG_DEF_COMMON(u32, uint32_t, uint32x4_t, 4)
+HCG_DEF_COMMON(f32, float, float32x4_t, 4)
+HCG_DEF_COMMON(f64, double, float64x2_t, 2)
+
+HCG_DEF_INT(s8, int8_t, int8x16_t, 16, int16_t)
+HCG_DEF_INT(u8, uint8_t, uint8x16_t, 16, uint16_t)
+HCG_DEF_INT(s16, int16_t, int16x8_t, 8, int32_t)
+HCG_DEF_INT(u16, uint16_t, uint16x8_t, 8, uint32_t)
+HCG_DEF_INT(s32, int32_t, int32x4_t, 4, int64_t)
+HCG_DEF_INT(u32, uint32_t, uint32x4_t, 4, uint64_t)
+
+HCG_DEF_SIGNED_ABS(s8, int8_t, int8x16_t, 16)
+HCG_DEF_SIGNED_ABS(s16, int16_t, int16x8_t, 8)
+HCG_DEF_SIGNED_ABS(s32, int32_t, int32x4_t, 4)
+HCG_DEF_SIGNED_ABS(f32, float, float32x4_t, 4)
+HCG_DEF_SIGNED_ABS(f64, double, float64x2_t, 2)
+
+HCG_DEF_FLOAT(f32, float, float32x4_t, 4, __builtin_sqrtf)
+HCG_DEF_FLOAT(f64, double, float64x2_t, 2, __builtin_sqrt)
+
+/* Compare-greater-than (all-ones / all-zeros masks) and bit-select, used by
+ * the Switch actor's Sel lowering. */
+#define HCG_DEF_CGT_BSL(S, T, VT, MT, N)                                     \
+  static inline MT vcgtq_##S(VT a, VT b) {                                  \
+    MT r;                                                                   \
+    for (int i = 0; i < N; ++i) r[i] = a[i] > b[i] ? ~(typeof(r[0]))0 : 0;  \
+    return r;                                                               \
+  }                                                                         \
+  static inline VT vbslq_##S(MT m, VT a, VT b) {                            \
+    VT r;                                                                   \
+    for (int i = 0; i < N; ++i) r[i] = m[i] ? a[i] : b[i];                  \
+    return r;                                                               \
+  }
+
+HCG_DEF_CGT_BSL(s8, int8_t, int8x16_t, uint8x16_t, 16)
+HCG_DEF_CGT_BSL(s16, int16_t, int16x8_t, uint16x8_t, 8)
+HCG_DEF_CGT_BSL(s32, int32_t, int32x4_t, uint32x4_t, 4)
+HCG_DEF_CGT_BSL(f32, float, float32x4_t, uint32x4_t, 4)
+HCG_DEF_CGT_BSL(f64, double, float64x2_t, uint64x2_t, 2)
+#undef HCG_DEF_CGT_BSL
+
+/* Conversions: truncate toward zero, matching both ACLE and C casts. */
+static inline int32x4_t vcvtq_s32_f32(float32x4_t a) {
+  int32x4_t r;
+  for (int i = 0; i < 4; ++i) r[i] = (int32_t)a[i];
+  return r;
+}
+static inline float32x4_t vcvtq_f32_s32(int32x4_t a) {
+  float32x4_t r;
+  for (int i = 0; i < 4; ++i) r[i] = (float)a[i];
+  return r;
+}
+static inline uint32x4_t vcvtq_u32_f32(float32x4_t a) {
+  uint32x4_t r;
+  for (int i = 0; i < 4; ++i) r[i] = (uint32_t)a[i];
+  return r;
+}
+static inline float32x4_t vcvtq_f32_u32(uint32x4_t a) {
+  float32x4_t r;
+  for (int i = 0; i < 4; ++i) r[i] = (float)a[i];
+  return r;
+}
+
+#undef HCG_DEF_COMMON
+#undef HCG_DEF_INT
+#undef HCG_DEF_SIGNED_ABS
+#undef HCG_DEF_FLOAT
+
+#endif /* HCG_NEON_SIM_H */

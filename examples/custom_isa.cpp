@@ -1,0 +1,95 @@
+// Porting HCG to a new architecture is pure data (paper §3.3): this example
+// authors a miniature instruction table at runtime — including a line in the
+// exact "Graph: ... ; Code: ..." form printed in the paper — and generates
+// code against it.  The fictional target "vec2" is a 64-bit vector unit with
+// two 32-bit lanes whose intrinsics are ordinary C macros, so the generated
+// code even compiles and runs.
+//
+//   $ ./examples/custom_isa
+#include <cstdio>
+
+#include "actors/resolve.hpp"
+#include "benchmodels/benchmodels.hpp"
+#include "codegen/generator.hpp"
+#include "isa/isa_parse.hpp"
+#include "toolchain/compiled_model.hpp"
+#include "vm/interpreter.hpp"
+
+namespace {
+
+constexpr const char* kVec2Table = R"(# a fictional 64-bit, 2-lane vector unit
+isa vec2
+width 64
+header vec2_intrinsics.h
+simulated
+vtype i32 2 v2i32
+
+load  i32 O = v2_load(P);
+store i32 v2_store(P, V);
+dup   i32 O = v2_dup(C);
+
+ins v2_add i32 Add(I1,I2) :: O = v2_add(I1, I2);
+ins v2_mul i32 Mul(I1,I2) :: O = v2_mul(I1, I2);
+ins v2_mla i32 Add(Mul(I1,I2),I3) :: O = v2_mla(I3, I1, I2);
+# the exact single-op form from the paper's section 3.3:
+Graph: Sub, i32, 2, I1, I2, O1 ; Code: O1 = v2_sub(I1, I2);
+)";
+
+// The "intrinsics header" for the fictional unit, injected into the
+// generated source in place of a real vendor header.
+constexpr const char* kVec2Header = R"(
+typedef struct { int32_t lane[2]; } v2i32;
+static inline v2i32 v2_load(const int32_t* p) { v2i32 v = {{p[0], p[1]}}; return v; }
+static inline void v2_store(int32_t* p, v2i32 v) { p[0] = v.lane[0]; p[1] = v.lane[1]; }
+static inline v2i32 v2_dup(int32_t c) { v2i32 v = {{c, c}}; return v; }
+static inline v2i32 v2_add(v2i32 a, v2i32 b) { v2i32 v = {{a.lane[0] + b.lane[0], a.lane[1] + b.lane[1]}}; return v; }
+static inline v2i32 v2_sub(v2i32 a, v2i32 b) { v2i32 v = {{a.lane[0] - b.lane[0], a.lane[1] - b.lane[1]}}; return v; }
+static inline v2i32 v2_mul(v2i32 a, v2i32 b) { v2i32 v = {{a.lane[0] * b.lane[0], a.lane[1] * b.lane[1]}}; return v; }
+static inline v2i32 v2_mla(v2i32 a, v2i32 b, v2i32 c) { v2i32 v = {{a.lane[0] + b.lane[0] * c.lane[0], a.lane[1] + b.lane[1] * c.lane[1]}}; return v; }
+)";
+
+}  // namespace
+
+int main() {
+  using namespace hcg;
+
+  const isa::VectorIsa vec2 = isa::parse_isa(kVec2Table);
+  std::printf("parsed isa '%s': %d-bit vectors, %zu instructions, "
+              "largest pattern %d nodes\n\n",
+              vec2.name.c_str(), vec2.width_bits, vec2.instructions.size(),
+              vec2.max_pattern_nodes());
+
+  Model model = resolved(benchmodels::fir_model(10));  // 10 = 5 batches of 2
+  auto generator = codegen::make_hcg_generator(vec2);
+  codegen::GeneratedCode code = generator->generate(model);
+
+  std::printf("Algorithm 2 selected:");
+  for (const auto& name : code.simd_instructions) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n");
+
+  // Swap the header include for the inline intrinsics, then compile and run
+  // to prove the ported table produces working code.
+  const std::string include_line = "#include \"vec2_intrinsics.h\"";
+  const size_t pos = code.source.find(include_line);
+  if (pos != std::string::npos) {
+    code.source.replace(pos, include_line.size(), kVec2Header);
+  }
+  code.needs_neon_sim = false;
+
+  std::printf("== generated code for the fictional unit ==\n%s\n",
+              code.source.c_str());
+
+  toolchain::CompiledModel compiled(code);
+  compiled.init();
+  std::vector<Tensor> inputs = benchmodels::workload(model, 5);
+  std::vector<Tensor> got = compiled.step_tensors(model, inputs);
+
+  Interpreter oracle(model);
+  oracle.init();
+  std::vector<Tensor> expected = oracle.step(inputs);
+  std::printf("max difference vs oracle: %g\n",
+              got[0].max_abs_difference(expected[0]));
+  return got[0].bytes_equal(expected[0]) ? 0 : 1;
+}

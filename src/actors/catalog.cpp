@@ -1,0 +1,98 @@
+#include "actors/catalog.hpp"
+
+#include "support/error.hpp"
+
+namespace hcg {
+
+std::string_view kind_name(ActorKind kind) {
+  switch (kind) {
+    case ActorKind::kSource: return "source";
+    case ActorKind::kSink: return "sink";
+    case ActorKind::kBasic: return "basic";
+    case ActorKind::kBatch: return "batch";
+    case ActorKind::kIntensive: return "intensive";
+  }
+  throw InternalError("kind_name: bad ActorKind");
+}
+
+const std::vector<ActorTypeInfo>& actor_catalog() {
+  static const std::vector<ActorTypeInfo> kCatalog = {
+      // ---- structural ----------------------------------------------------
+      {"Inport", 0, 1, false, false, false, "External model input"},
+      {"Outport", 1, 0, false, false, false, "External model output"},
+      {"Constant", 0, 1, false, false, false, "Constant source"},
+      {"UnitDelay", 1, 1, false, false, true, "One-step delay (z^-1)"},
+      // ---- element-wise (Table 1(b)) --------------------------------------
+      {"Add", 2, 1, true, false, false, "Element-wise addition"},
+      {"Sub", 2, 1, true, false, false, "Element-wise subtraction"},
+      {"Mul", 2, 1, true, false, false, "Element-wise multiplication"},
+      {"Div", 2, 1, true, false, false, "Element-wise division (float)"},
+      {"Min", 2, 1, true, false, false, "Element-wise minimum"},
+      {"Max", 2, 1, true, false, false, "Element-wise maximum"},
+      {"Abd", 2, 1, true, false, false, "Element-wise absolute difference"},
+      {"BitAnd", 2, 1, true, false, false, "Bit-wise AND (integer)"},
+      {"BitOr", 2, 1, true, false, false, "Bit-wise OR (integer)"},
+      {"BitXor", 2, 1, true, false, false, "Bit-wise XOR (integer)"},
+      {"BitNot", 1, 1, true, false, false, "Bit-wise NOT (integer)"},
+      {"Abs", 1, 1, true, false, false, "Element-wise absolute value"},
+      {"Recp", 1, 1, true, false, false, "Element-wise reciprocal (float)"},
+      {"Sqrt", 1, 1, true, false, false, "Element-wise square root (float)"},
+      {"Shl", 1, 1, true, false, false, "Left shift by immediate 'amount'"},
+      {"Shr", 1, 1, true, false, false, "Right shift by immediate 'amount'"},
+      {"Gain", 1, 1, true, false, false, "Multiply by scalar constant 'gain'"},
+      {"Bias", 1, 1, true, false, false, "Add scalar constant 'bias'"},
+      {"Cast", 1, 1, true, false, false, "Type conversion to 'to'"},
+      {"Switch", 3, 1, true, false, false,
+       "Element-wise select: ctrl > 0 ? first : second (ports: a, b, ctrl)"},
+      // ---- intensive (Table 1(a)) -----------------------------------------
+      {"FFT", 1, 1, false, true, false, "1-D fast Fourier transform (c64)"},
+      {"IFFT", 1, 1, false, true, false, "1-D inverse FFT (c64)"},
+      {"FFT2D", 1, 1, false, true, false, "2-D FFT (row-column, c64)"},
+      {"IFFT2D", 1, 1, false, true, false, "2-D inverse FFT (c64)"},
+      {"DCT", 1, 1, false, true, false, "1-D discrete cosine transform II"},
+      {"IDCT", 1, 1, false, true, false, "1-D inverse DCT (DCT-III)"},
+      {"DCT2D", 1, 1, false, true, false, "2-D DCT-II (row-column)"},
+      {"Conv", 2, 1, false, true, false, "1-D full convolution"},
+      {"Conv2D", 2, 1, false, true, false, "2-D full convolution"},
+      {"MatMul", 2, 1, false, true, false, "Matrix multiplication"},
+      {"MatInv", 1, 1, false, true, false, "Matrix inversion"},
+      {"MatDet", 1, 1, false, true, false, "Matrix determinant"},
+  };
+  return kCatalog;
+}
+
+const ActorTypeInfo& actor_type_info(std::string_view type) {
+  for (const ActorTypeInfo& info : actor_catalog()) {
+    if (info.type == type) return info;
+  }
+  throw ModelError("unknown actor type '" + std::string(type) + "'");
+}
+
+bool is_known_actor_type(std::string_view type) {
+  for (const ActorTypeInfo& info : actor_catalog()) {
+    if (info.type == type) return true;
+  }
+  return false;
+}
+
+ActorKind classify(const Model& model, ActorId id) {
+  const Actor& actor = model.actor(id);
+  const ActorTypeInfo& info = actor_type_info(actor.type());
+  if (actor.type() == "Inport" || actor.type() == "Constant") {
+    return ActorKind::kSource;
+  }
+  if (actor.type() == "Outport") return ActorKind::kSink;
+  if (info.intensive) return ActorKind::kIntensive;
+  if (info.elementwise) {
+    // Batch computing actors must actually take an array as input
+    // (paper §3.1); scalar instances are translated conventionally.
+    require(actor.is_resolved(), "classify() needs a resolved model");
+    for (const PortSpec& in : actor.inputs()) {
+      if (in.shape.elements() > 1) return ActorKind::kBatch;
+    }
+    return ActorKind::kBasic;
+  }
+  return ActorKind::kBasic;
+}
+
+}  // namespace hcg

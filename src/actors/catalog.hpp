@@ -1,0 +1,48 @@
+// The actor catalog: every block type the generator understands, with its
+// structural signature and its dispatch category (paper §3.1).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace hcg {
+
+enum class ActorKind : std::uint8_t {
+  kSource,     // Inport, Constant
+  kSink,       // Outport
+  kBasic,      // conventional fire code (UnitDelay, scalar arithmetic, ...)
+  kBatch,      // element-wise over arrays -> Algorithm 2
+  kIntensive,  // FFT/DCT/Conv/Mat* -> Algorithm 1
+};
+
+std::string_view kind_name(ActorKind kind);
+
+/// Static description of an actor type.
+struct ActorTypeInfo {
+  std::string type;          // block type string, e.g. "Add"
+  int input_count = 0;       // fixed arity
+  int output_count = 1;
+  bool elementwise = false;  // candidate for batch dispatch when on arrays
+  bool intensive = false;    // candidate for Algorithm 1
+  bool stateful = false;     // needs per-instance state (UnitDelay)
+  std::string description;   // one-line doc shown by tools
+};
+
+/// The full catalog (Table 1 of the paper plus structural actors).
+const std::vector<ActorTypeInfo>& actor_catalog();
+
+/// Looks up a type; throws hcg::ModelError for unknown actor types.
+const ActorTypeInfo& actor_type_info(std::string_view type);
+
+bool is_known_actor_type(std::string_view type);
+
+/// Actor Dispatch (paper §3.1): classifies a *resolved* actor instance.
+/// An element-wise type only counts as a batch computing actor when it
+/// actually operates on arrays; an FFT on any input is intensive; ports,
+/// constants and everything else fall through to kSource/kSink/kBasic.
+ActorKind classify(const Model& model, ActorId id);
+
+}  // namespace hcg

@@ -1,0 +1,578 @@
+#include "actors/exec.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <type_traits>
+
+#include "actors/catalog.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hcg {
+
+// ---------------------------------------------------------------------------
+// State & constants
+// ---------------------------------------------------------------------------
+
+void ExecState::init(const Model& model) {
+  delay.clear();
+  for (const Actor& actor : model.actors()) {
+    if (actor.type() == "UnitDelay") {
+      delay.emplace(actor.id(), make_tensor(actor.output(0)));
+    }
+  }
+}
+
+Tensor make_tensor(const PortSpec& spec) { return Tensor(spec.type, spec.shape); }
+
+Tensor constant_tensor(const Actor& actor) {
+  PortSpec spec;
+  spec.type = parse_datatype(actor.param("dtype"));
+  spec.shape = Shape::parse(actor.param("shape"));
+  Tensor t(spec.type, spec.shape);
+
+  const int components =
+      is_complex(spec.type) ? t.elements() * 2 : t.elements();
+  std::vector<std::string> pieces = split(actor.param("value"), ',');
+  if (pieces.size() != 1 && static_cast<int>(pieces.size()) != components) {
+    throw ModelError("actor '" + actor.name() + "': constant value has " +
+                     std::to_string(pieces.size()) + " components, expected 1 or " +
+                     std::to_string(components));
+  }
+  auto component = [&](int i) -> double {
+    return parse_double(pieces.size() == 1 ? pieces[0]
+                                           : pieces[static_cast<size_t>(i)]);
+  };
+  const DataType comp_type = component_type(spec.type);
+  for (int i = 0; i < components; ++i) {
+    if (comp_type == DataType::kFloat32 && is_complex(spec.type)) {
+      t.as<float>()[i] = static_cast<float>(component(i));
+    } else if (comp_type == DataType::kFloat64 && is_complex(spec.type)) {
+      t.as<double>()[i] = component(i);
+    } else {
+      t.set_double(i, component(i));
+    }
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise evaluation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+T eval_scalar(BatchOp op, T a, T b, T d, int imm, double c) {
+  if (op == BatchOp::kSel) return d > T(0) ? a : b;
+  if constexpr (std::is_floating_point_v<T>) {
+    switch (op) {
+      case BatchOp::kAdd: return a + b;
+      case BatchOp::kSub: return a - b;
+      case BatchOp::kMul: return a * b;
+      case BatchOp::kDiv: return a / b;
+      case BatchOp::kMin: return a < b ? a : b;
+      case BatchOp::kMax: return a > b ? a : b;
+      case BatchOp::kAbd: return a > b ? a - b : b - a;
+      case BatchOp::kAbs: return a < 0 ? -a : a;
+      case BatchOp::kRecp: return T(1) / a;
+      case BatchOp::kSqrt:
+        if constexpr (std::is_same_v<T, float>) {
+          return std::sqrt(a);
+        } else {
+          return std::sqrt(a);
+        }
+      case BatchOp::kMulC: return a * static_cast<T>(c);
+      case BatchOp::kAddC: return a + static_cast<T>(c);
+      default:
+        throw InternalError("float op not supported in eval_scalar");
+    }
+  } else {
+    // Integer arithmetic is defined to wrap (two's complement), matching
+    // both SIMD hardware and generated code compiled with -fwrapv; route
+    // through the unsigned type so the wrap is well-defined C++ too.
+    using U = std::make_unsigned_t<T>;
+    const U ua = static_cast<U>(a), ub = static_cast<U>(b);
+    switch (op) {
+      case BatchOp::kAdd: return static_cast<T>(ua + ub);
+      case BatchOp::kSub: return static_cast<T>(ua - ub);
+      case BatchOp::kMul: return static_cast<T>(ua * ub);
+      case BatchOp::kMin: return a < b ? a : b;
+      case BatchOp::kMax: return a > b ? a : b;
+      case BatchOp::kAbd:
+        return static_cast<T>(a > b ? ua - ub : ub - ua);
+      case BatchOp::kAnd: return static_cast<T>(a & b);
+      case BatchOp::kOr: return static_cast<T>(a | b);
+      case BatchOp::kXor: return static_cast<T>(a ^ b);
+      case BatchOp::kNot: return static_cast<T>(~a);
+      case BatchOp::kAbs: return a < 0 ? static_cast<T>(U(0) - ua) : a;
+      case BatchOp::kShl: return static_cast<T>(ua << imm);
+      case BatchOp::kShr: return static_cast<T>(a >> imm);
+      case BatchOp::kMulC:
+        return static_cast<T>(ua * static_cast<U>(static_cast<T>(c)));
+      case BatchOp::kAddC:
+        return static_cast<T>(ua + static_cast<U>(static_cast<T>(c)));
+      default:
+        throw InternalError("integer op not supported in eval_scalar");
+    }
+  }
+}
+
+template <typename T>
+void eval_typed(BatchOp op, const Tensor* a, const Tensor* b, const Tensor* d,
+                Tensor* out, int imm, double c) {
+  const T* pa = a->as<T>();
+  const T* pb = b ? b->as<T>() : nullptr;
+  const T* pd = d ? d->as<T>() : nullptr;
+  T* po = out->as<T>();
+  const int n = out->elements();
+  for (int i = 0; i < n; ++i) {
+    po[i] = eval_scalar<T>(op, pa[i], pb ? pb[i] : T(), pd ? pd[i] : T(), imm,
+                           c);
+  }
+}
+
+template <typename From, typename To>
+void cast_typed(const Tensor* a, Tensor* out) {
+  const From* pa = a->as<From>();
+  To* po = out->as<To>();
+  const int n = out->elements();
+  for (int i = 0; i < n; ++i) po[i] = static_cast<To>(pa[i]);
+}
+
+template <typename From>
+void cast_from(const Tensor* a, Tensor* out) {
+  switch (out->type()) {
+    case DataType::kInt8: cast_typed<From, std::int8_t>(a, out); return;
+    case DataType::kInt16: cast_typed<From, std::int16_t>(a, out); return;
+    case DataType::kInt32: cast_typed<From, std::int32_t>(a, out); return;
+    case DataType::kInt64: cast_typed<From, std::int64_t>(a, out); return;
+    case DataType::kUInt8: cast_typed<From, std::uint8_t>(a, out); return;
+    case DataType::kUInt16: cast_typed<From, std::uint16_t>(a, out); return;
+    case DataType::kUInt32: cast_typed<From, std::uint32_t>(a, out); return;
+    case DataType::kUInt64: cast_typed<From, std::uint64_t>(a, out); return;
+    case DataType::kFloat32: cast_typed<From, float>(a, out); return;
+    case DataType::kFloat64: cast_typed<From, double>(a, out); return;
+    default: throw InternalError("cast to complex type");
+  }
+}
+
+}  // namespace
+
+void eval_elementwise(BatchOp op, const Tensor* a, const Tensor* b,
+                      Tensor* out, int imm, double scalar_operand,
+                      const Tensor* c) {
+  require(a != nullptr && out != nullptr, "eval_elementwise: null tensor");
+  if (op == BatchOp::kCast) {
+    switch (a->type()) {
+      case DataType::kInt8: cast_from<std::int8_t>(a, out); return;
+      case DataType::kInt16: cast_from<std::int16_t>(a, out); return;
+      case DataType::kInt32: cast_from<std::int32_t>(a, out); return;
+      case DataType::kInt64: cast_from<std::int64_t>(a, out); return;
+      case DataType::kUInt8: cast_from<std::uint8_t>(a, out); return;
+      case DataType::kUInt16: cast_from<std::uint16_t>(a, out); return;
+      case DataType::kUInt32: cast_from<std::uint32_t>(a, out); return;
+      case DataType::kUInt64: cast_from<std::uint64_t>(a, out); return;
+      case DataType::kFloat32: cast_from<float>(a, out); return;
+      case DataType::kFloat64: cast_from<double>(a, out); return;
+      default: throw InternalError("cast from complex type");
+    }
+  }
+  switch (a->type()) {
+    case DataType::kInt8: eval_typed<std::int8_t>(op, a, b, c, out, imm, scalar_operand); return;
+    case DataType::kInt16: eval_typed<std::int16_t>(op, a, b, c, out, imm, scalar_operand); return;
+    case DataType::kInt32: eval_typed<std::int32_t>(op, a, b, c, out, imm, scalar_operand); return;
+    case DataType::kInt64: eval_typed<std::int64_t>(op, a, b, c, out, imm, scalar_operand); return;
+    case DataType::kUInt8: eval_typed<std::uint8_t>(op, a, b, c, out, imm, scalar_operand); return;
+    case DataType::kUInt16: eval_typed<std::uint16_t>(op, a, b, c, out, imm, scalar_operand); return;
+    case DataType::kUInt32: eval_typed<std::uint32_t>(op, a, b, c, out, imm, scalar_operand); return;
+    case DataType::kUInt64: eval_typed<std::uint64_t>(op, a, b, c, out, imm, scalar_operand); return;
+    case DataType::kFloat32: eval_typed<float>(op, a, b, c, out, imm, scalar_operand); return;
+    case DataType::kFloat64: eval_typed<double>(op, a, b, c, out, imm, scalar_operand); return;
+    default: throw InternalError("eval_elementwise on complex tensor");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Intensive reference implementations (textbook formulas, double precision)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Direct DFT: X[k] = sum_n x[n] * exp(-2*pi*i*k*n/N); inverse adds the
+/// conjugate kernel and 1/N normalization.
+void reference_dft(const float* in, float* out, int n, bool inverse) {
+  const double sign = inverse ? 2.0 : -2.0;
+  for (int k = 0; k < n; ++k) {
+    double re = 0.0, im = 0.0;
+    for (int t = 0; t < n; ++t) {
+      const double angle = sign * kPi * k * t / n;
+      const double c = std::cos(angle), s = std::sin(angle);
+      const double xr = in[2 * t], xi = in[2 * t + 1];
+      re += xr * c - xi * s;
+      im += xr * s + xi * c;
+    }
+    if (inverse) {
+      re /= n;
+      im /= n;
+    }
+    out[2 * k] = static_cast<float>(re);
+    out[2 * k + 1] = static_cast<float>(im);
+  }
+}
+
+void reference_dft2d(const float* in, float* out, int rows, int cols,
+                     bool inverse) {
+  std::vector<float> tmp(static_cast<size_t>(rows) * cols * 2);
+  // Rows.
+  for (int r = 0; r < rows; ++r) {
+    reference_dft(in + static_cast<size_t>(r) * cols * 2,
+                  tmp.data() + static_cast<size_t>(r) * cols * 2, cols,
+                  inverse);
+  }
+  // Columns.
+  std::vector<float> col_in(static_cast<size_t>(rows) * 2);
+  std::vector<float> col_out(static_cast<size_t>(rows) * 2);
+  for (int c = 0; c < cols; ++c) {
+    for (int r = 0; r < rows; ++r) {
+      col_in[2 * r] = tmp[(static_cast<size_t>(r) * cols + c) * 2];
+      col_in[2 * r + 1] = tmp[(static_cast<size_t>(r) * cols + c) * 2 + 1];
+    }
+    reference_dft(col_in.data(), col_out.data(), rows, inverse);
+    for (int r = 0; r < rows; ++r) {
+      out[(static_cast<size_t>(r) * cols + c) * 2] = col_out[2 * r];
+      out[(static_cast<size_t>(r) * cols + c) * 2 + 1] = col_out[2 * r + 1];
+    }
+  }
+}
+
+/// Unnormalized DCT-II: X[k] = sum_n x[n] cos(pi/N * (n + 0.5) * k).
+template <typename T>
+void reference_dct(const T* in, T* out, int n) {
+  for (int k = 0; k < n; ++k) {
+    double acc = 0.0;
+    for (int t = 0; t < n; ++t) {
+      acc += in[t] * std::cos(kPi / n * (t + 0.5) * k);
+    }
+    out[k] = static_cast<T>(acc);
+  }
+}
+
+/// Inverse of reference_dct (DCT-III scaled by 2/N).
+template <typename T>
+void reference_idct(const T* in, T* out, int n) {
+  for (int t = 0; t < n; ++t) {
+    double acc = in[0] / 2.0;
+    for (int k = 1; k < n; ++k) {
+      acc += in[k] * std::cos(kPi / n * k * (t + 0.5));
+    }
+    out[t] = static_cast<T>(acc * 2.0 / n);
+  }
+}
+
+template <typename T>
+void reference_conv(const T* a, int na, const T* b, int nb, T* out) {
+  const int nout = na + nb - 1;
+  for (int k = 0; k < nout; ++k) {
+    double acc = 0.0;
+    for (int i = 0; i < na; ++i) {
+      const int j = k - i;
+      if (j >= 0 && j < nb) acc += static_cast<double>(a[i]) * b[j];
+    }
+    out[k] = static_cast<T>(acc);
+  }
+}
+
+template <typename T>
+void reference_conv2d(const T* a, int ar, int ac, const T* b, int br, int bc,
+                      T* out) {
+  const int orows = ar + br - 1, ocols = ac + bc - 1;
+  for (int r = 0; r < orows; ++r) {
+    for (int c = 0; c < ocols; ++c) {
+      double acc = 0.0;
+      for (int i = 0; i < ar; ++i) {
+        const int j = r - i;
+        if (j < 0 || j >= br) continue;
+        for (int p = 0; p < ac; ++p) {
+          const int q = c - p;
+          if (q < 0 || q >= bc) continue;
+          acc += static_cast<double>(a[i * ac + p]) * b[j * bc + q];
+        }
+      }
+      out[r * ocols + c] = static_cast<T>(acc);
+    }
+  }
+}
+
+template <typename T>
+void reference_matmul(const T* a, const T* b, T* out, int n) {
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      double acc = 0.0;
+      for (int k = 0; k < n; ++k) {
+        acc += static_cast<double>(a[r * n + k]) * b[k * n + c];
+      }
+      out[r * n + c] = static_cast<T>(acc);
+    }
+  }
+}
+
+template <typename T>
+void reference_matinv(const T* a, T* out, int n) {
+  // Gauss-Jordan with partial pivoting on an augmented [A | I] system.
+  std::vector<double> m(static_cast<size_t>(n) * 2 * n, 0.0);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) m[r * 2 * n + c] = a[r * n + c];
+    m[r * 2 * n + n + r] = 1.0;
+  }
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(m[r * 2 * n + col]) > std::fabs(m[pivot * 2 * n + col])) {
+        pivot = r;
+      }
+    }
+    if (std::fabs(m[pivot * 2 * n + col]) < 1e-300) {
+      throw ModelError("MatInv: singular matrix in reference execution");
+    }
+    if (pivot != col) {
+      for (int c = 0; c < 2 * n; ++c) std::swap(m[pivot * 2 * n + c], m[col * 2 * n + c]);
+    }
+    const double inv = 1.0 / m[col * 2 * n + col];
+    for (int c = 0; c < 2 * n; ++c) m[col * 2 * n + c] *= inv;
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = m[r * 2 * n + col];
+      if (f == 0.0) continue;
+      for (int c = 0; c < 2 * n; ++c) m[r * 2 * n + c] -= f * m[col * 2 * n + c];
+    }
+  }
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      out[r * n + c] = static_cast<T>(m[r * 2 * n + n + c]);
+    }
+  }
+}
+
+template <typename T>
+T reference_matdet(const T* a, int n) {
+  std::vector<double> m(static_cast<size_t>(n) * n);
+  for (int i = 0; i < n * n; ++i) m[static_cast<size_t>(i)] = a[i];
+  double det = 1.0;
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(m[r * n + col]) > std::fabs(m[pivot * n + col])) pivot = r;
+    }
+    if (std::fabs(m[pivot * n + col]) == 0.0) return T(0);
+    if (pivot != col) {
+      det = -det;
+      for (int c = 0; c < n; ++c) std::swap(m[pivot * n + c], m[col * n + c]);
+    }
+    det *= m[col * n + col];
+    for (int r = col + 1; r < n; ++r) {
+      const double f = m[r * n + col] / m[col * n + col];
+      for (int c = col; c < n; ++c) m[r * n + c] -= f * m[col * n + c];
+    }
+  }
+  return static_cast<T>(det);
+}
+
+template <typename F32, typename F64>
+void dispatch_float(DataType type, F32&& f32, F64&& f64) {
+  if (type == DataType::kFloat32) {
+    f32();
+  } else if (type == DataType::kFloat64) {
+    f64();
+  } else {
+    throw InternalError("intensive actor on non-float type");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// exec_actor
+// ---------------------------------------------------------------------------
+
+void update_delay_state(const Model& model, ActorId id, const Tensor& input,
+                        ExecState& state) {
+  require(model.actor(id).type() == "UnitDelay",
+          "update_delay_state: not a UnitDelay");
+  Tensor& reg = state.delay.at(id);
+  require(reg.byte_size() == input.byte_size(),
+          "update_delay_state: input size mismatch");
+  std::memcpy(reg.data(), input.data(), input.byte_size());
+}
+
+void exec_actor(const Model& model, ActorId id,
+                const std::vector<const Tensor*>& inputs,
+                const std::vector<Tensor*>& outputs, ExecState& state) {
+  const Actor& actor = model.actor(id);
+  require(actor.is_resolved(), "exec_actor: model must be resolved");
+  const std::string& type = actor.type();
+
+  auto in0 = [&]() { return inputs.at(0); };
+  auto out0 = [&]() { return outputs.at(0); };
+  auto copy_through = [&]() {
+    std::memcpy(out0()->data(), in0()->data(), in0()->byte_size());
+  };
+
+  if (type == "Inport") {
+    copy_through();
+    return;
+  }
+  if (type == "Outport") {
+    copy_through();
+    return;
+  }
+  if (type == "Constant") {
+    Tensor value = constant_tensor(actor);
+    std::memcpy(out0()->data(), value.data(), value.byte_size());
+    return;
+  }
+  if (type == "UnitDelay") {
+    // Output phase only: the delay emits its stored state.  The state update
+    // (state <- this step's input) belongs at the *end* of the step so that
+    // same-step feedback loops see consistent values; executors call
+    // update_delay_state() once every producer has fired.
+    Tensor& reg = state.delay.at(id);
+    std::memcpy(out0()->data(), reg.data(), reg.byte_size());
+    return;
+  }
+
+  const ActorTypeInfo& info = actor_type_info(type);
+  if (info.elementwise) {
+    const BatchOp op = batch_op_for_actor_type(type);
+    const Tensor* b = arity(op) >= 2 ? inputs.at(1) : nullptr;
+    const Tensor* third = arity(op) >= 3 ? inputs.at(2) : nullptr;
+    const int imm = static_cast<int>(actor.int_param_or("amount", 0));
+    double c = 0.0;
+    if (op == BatchOp::kMulC) c = parse_double(actor.param("gain"));
+    if (op == BatchOp::kAddC) c = parse_double(actor.param("bias"));
+    eval_elementwise(op, in0(), b, out0(), imm, c, third);
+    return;
+  }
+
+  // ---- intensive actors ----------------------------------------------------
+  if (type == "FFT" || type == "IFFT") {
+    reference_dft(in0()->as<float>(), out0()->as<float>(),
+                  in0()->elements(), type == "IFFT");
+    return;
+  }
+  if (type == "FFT2D" || type == "IFFT2D") {
+    reference_dft2d(in0()->as<float>(), out0()->as<float>(),
+                    in0()->shape().dims[0], in0()->shape().dims[1],
+                    type == "IFFT2D");
+    return;
+  }
+  if (type == "DCT" || type == "IDCT") {
+    const int n = in0()->elements();
+    dispatch_float(
+        in0()->type(),
+        [&] {
+          if (type == "DCT") reference_dct(in0()->as<float>(), out0()->as<float>(), n);
+          else reference_idct(in0()->as<float>(), out0()->as<float>(), n);
+        },
+        [&] {
+          if (type == "DCT") reference_dct(in0()->as<double>(), out0()->as<double>(), n);
+          else reference_idct(in0()->as<double>(), out0()->as<double>(), n);
+        });
+    return;
+  }
+  if (type == "DCT2D") {
+    const int rows = in0()->shape().dims[0];
+    const int cols = in0()->shape().dims[1];
+    auto rowcol = [&](auto* in, auto* out) {
+      using T = std::remove_const_t<std::remove_pointer_t<decltype(out)>>;
+      std::vector<T> col_in(static_cast<size_t>(rows));
+      std::vector<T> col_out(static_cast<size_t>(rows));
+      for (int r = 0; r < rows; ++r) {
+        reference_dct(in + static_cast<size_t>(r) * cols,
+                      out + static_cast<size_t>(r) * cols, cols);
+      }
+      for (int c = 0; c < cols; ++c) {
+        for (int r = 0; r < rows; ++r) {
+          col_in[static_cast<size_t>(r)] = out[static_cast<size_t>(r) * cols + c];
+        }
+        reference_dct(col_in.data(), col_out.data(), rows);
+        for (int r = 0; r < rows; ++r) {
+          out[static_cast<size_t>(r) * cols + c] = col_out[static_cast<size_t>(r)];
+        }
+      }
+    };
+    dispatch_float(
+        in0()->type(),
+        [&] { rowcol(in0()->as<float>(), out0()->as<float>()); },
+        [&] { rowcol(in0()->as<double>(), out0()->as<double>()); });
+    return;
+  }
+  if (type == "Conv") {
+    const int na = inputs.at(0)->elements();
+    const int nb = inputs.at(1)->elements();
+    dispatch_float(
+        in0()->type(),
+        [&] {
+          reference_conv(inputs[0]->as<float>(), na, inputs[1]->as<float>(),
+                         nb, out0()->as<float>());
+        },
+        [&] {
+          reference_conv(inputs[0]->as<double>(), na, inputs[1]->as<double>(),
+                         nb, out0()->as<double>());
+        });
+    return;
+  }
+  if (type == "Conv2D") {
+    const auto& sa = inputs.at(0)->shape().dims;
+    const auto& sb = inputs.at(1)->shape().dims;
+    dispatch_float(
+        in0()->type(),
+        [&] {
+          reference_conv2d(inputs[0]->as<float>(), sa[0], sa[1],
+                           inputs[1]->as<float>(), sb[0], sb[1],
+                           out0()->as<float>());
+        },
+        [&] {
+          reference_conv2d(inputs[0]->as<double>(), sa[0], sa[1],
+                           inputs[1]->as<double>(), sb[0], sb[1],
+                           out0()->as<double>());
+        });
+    return;
+  }
+  if (type == "MatMul") {
+    const int n = in0()->shape().dims[0];
+    dispatch_float(
+        in0()->type(),
+        [&] {
+          reference_matmul(inputs[0]->as<float>(), inputs[1]->as<float>(),
+                           out0()->as<float>(), n);
+        },
+        [&] {
+          reference_matmul(inputs[0]->as<double>(), inputs[1]->as<double>(),
+                           out0()->as<double>(), n);
+        });
+    return;
+  }
+  if (type == "MatInv") {
+    const int n = in0()->shape().dims[0];
+    dispatch_float(
+        in0()->type(),
+        [&] { reference_matinv(in0()->as<float>(), out0()->as<float>(), n); },
+        [&] { reference_matinv(in0()->as<double>(), out0()->as<double>(), n); });
+    return;
+  }
+  if (type == "MatDet") {
+    const int n = in0()->shape().dims[0];
+    dispatch_float(
+        in0()->type(),
+        [&] { out0()->as<float>()[0] = reference_matdet(in0()->as<float>(), n); },
+        [&] { out0()->as<double>()[0] = reference_matdet(in0()->as<double>(), n); });
+    return;
+  }
+
+  throw InternalError("exec_actor: no semantics for actor type '" + type + "'");
+}
+
+}  // namespace hcg

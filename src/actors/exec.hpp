@@ -1,0 +1,57 @@
+// Reference semantics for every actor in the catalog.
+//
+// This is the ground-truth oracle: intensive actors are computed by direct
+// textbook formulas (naive DFT, cosine-sum DCT, shift-multiply-accumulate
+// convolution, Gauss-Jordan inversion) in double precision, deliberately
+// sharing no code with the optimized kernel library; element-wise actors are
+// computed in the signal's native element type so integer results are
+// bit-exact against generated C code.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "actors/batch_op.hpp"
+#include "model/model.hpp"
+#include "model/tensor.hpp"
+
+namespace hcg {
+
+/// Per-model-instance mutable state (UnitDelay registers).
+struct ExecState {
+  std::map<ActorId, Tensor> delay;
+
+  /// Allocates and zeroes the delay registers of `model`.
+  void init(const Model& model);
+};
+
+/// Materializes a Constant actor's `value` parameter as a tensor.
+/// Accepts a single literal (replicated) or a comma-separated list whose
+/// length matches the element count (2x for complex: re,im pairs).
+Tensor constant_tensor(const Actor& actor);
+
+/// Allocates a tensor matching a resolved port.
+Tensor make_tensor(const PortSpec& spec);
+
+/// Fires one actor: reads `inputs` (one tensor per input port, in port
+/// order), writes `outputs`.  Inport/Outport actors are identity copies.
+/// UnitDelay only *emits* its stored state here; executors must call
+/// update_delay_state() at end of step.  The model must be resolved.
+void exec_actor(const Model& model, ActorId id,
+                const std::vector<const Tensor*>& inputs,
+                const std::vector<Tensor*>& outputs, ExecState& state);
+
+/// End-of-step phase of a UnitDelay: stores this step's input value.
+void update_delay_state(const Model& model, ActorId id, const Tensor& input,
+                        ExecState& state);
+
+/// Element-wise evaluation helper shared with the interpreter: applies `op`
+/// lane-by-lane in the native element type.  `b` may be null for unary ops;
+/// `imm` is the shift amount; `scalar_operand` is the Gain/Bias constant;
+/// `c` is the third operand of ternary ops (the Switch control signal).
+/// For kCast, `out`'s type is the conversion target.
+void eval_elementwise(BatchOp op, const Tensor* a, const Tensor* b,
+                      Tensor* out, int imm, double scalar_operand,
+                      const Tensor* c = nullptr);
+
+}  // namespace hcg

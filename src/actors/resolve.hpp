@@ -1,0 +1,20 @@
+// Model resolution: port type & shape inference plus structural validation.
+//
+// Walks the model in schedule order, deriving every actor's input/output
+// PortSpecs from its sources and its parameters, and rejecting structurally
+// invalid models (unknown types, unconnected inputs, type/shape mismatches,
+// ops applied to unsupported element types).
+#pragma once
+
+#include "model/model.hpp"
+
+namespace hcg {
+
+/// Resolves all ports in place.  Throws hcg::ModelError with the offending
+/// actor's name on any violation.  Idempotent.
+void resolve_model(Model& model);
+
+/// Convenience: resolves a copy and returns it.
+Model resolved(Model model);
+
+}  // namespace hcg

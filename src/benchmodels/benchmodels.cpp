@@ -1,0 +1,163 @@
+#include "benchmodels/benchmodels.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hcg::benchmodels {
+
+namespace {
+
+/// "v0,v1,..." literal list for a Constant actor.
+std::string float_series(int n, double scale, double step) {
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(scale * std::sin(step * i));
+  }
+  return out;
+}
+
+std::string int_series(int n, int modulus) {
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string((i * 7 + 3) % modulus - modulus / 2);
+  }
+  return out;
+}
+
+}  // namespace
+
+Model fft_model(int n) {
+  ModelBuilder b("fft_bench");
+  PortRef x = b.inport("x", DataType::kComplex64, Shape{n});
+  PortRef y = b.actor("fft", "FFT", {x});
+  b.outport("y", y);
+  return b.take();
+}
+
+Model dct_model(int n) {
+  ModelBuilder b("dct_bench");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape{n});
+  PortRef y = b.actor("dct", "DCT", {x});
+  b.outport("y", y);
+  return b.take();
+}
+
+Model conv_model(int n, int k) {
+  ModelBuilder b("conv_bench");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape{n});
+  PortRef taps =
+      b.constant("taps", DataType::kFloat32, Shape{k}, float_series(k, 0.1, 0.37));
+  PortRef y = b.actor("conv", "Conv", {x, taps});
+  b.outport("y", y);
+  return b.take();
+}
+
+Model highpass_model(int n) {
+  ModelBuilder b("highpass_bench");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape{n});
+  PortRef w = b.inport("w", DataType::kFloat32, Shape{n});
+  PortRef taps =
+      b.constant("taps", DataType::kFloat32, Shape{n}, float_series(n, 0.8, 0.11));
+  PortRef zero = b.constant("zero", DataType::kFloat32, Shape{n}, "0");
+  PortRef d = b.actor("d", "Sub", {x, w});
+  PortRef m = b.actor("m", "Mul", {d, taps});
+  PortRef s = b.actor("s", "Add", {m, w});
+  PortRef y = b.actor("clip", "Max", {s, zero});
+  b.outport("y", y);
+  return b.take();
+}
+
+Model lowpass_model(int n) {
+  ModelBuilder b("lowpass_bench");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape{n});
+  PortRef w = b.inport("w", DataType::kFloat32, Shape{n});
+  PortRef a = b.actor("a", "Add", {x, w});
+  PortRef g = b.actor("g", "Gain", {a}, {{"gain", "0.5"}});
+  PortRef d = b.actor("d", "Sub", {x, g});
+  PortRef y = b.actor("mag", "Abs", {d});
+  b.outport("y", y);
+  return b.take();
+}
+
+Model fir_model(int n) {
+  ModelBuilder b("fir_bench");
+  PortRef x = b.inport("x", DataType::kInt32, Shape{n});
+  PortRef acc = b.inport("acc", DataType::kInt32, Shape{n});
+  PortRef taps = b.constant("taps", DataType::kInt32, Shape{n}, int_series(n, 19));
+  PortRef m = b.actor("m", "Mul", {x, taps});
+  PortRef y = b.actor("y_add", "Add", {m, acc});
+  b.outport("y", y);
+  return b.take();
+}
+
+Model paper_fig4_model(int n) {
+  ModelBuilder b("fig4_sample");
+  PortRef a = b.inport("a", DataType::kInt32, Shape{n});
+  PortRef bb = b.inport("b", DataType::kInt32, Shape{n});
+  PortRef c = b.inport("c", DataType::kInt32, Shape{n});
+  PortRef d = b.inport("d", DataType::kInt32, Shape{n});
+  PortRef sub = b.actor("Sub", "Sub", {bb, c});
+  PortRef add1 = b.actor("Add1", "Add", {a, sub});
+  PortRef shr = b.actor("Shr", "Shr", {add1}, {{"amount", "1"}});
+  PortRef mul = b.actor("Mul", "Mul", {sub, d});
+  PortRef add2 = b.actor("Add2", "Add", {sub, mul});
+  b.outport("Shr_out", shr);
+  b.outport("Add_out", add2);
+  return b.take();
+}
+
+Model batch_chain_model(int actors, int n) {
+  require(actors >= 1, "batch_chain_model: need at least one actor");
+  ModelBuilder b("chain" + std::to_string(actors));
+  PortRef x = b.inport("x", DataType::kFloat32, Shape{n});
+  PortRef w = b.inport("w", DataType::kFloat32, Shape{n});
+  PortRef prev = x;
+  for (int i = 0; i < actors; ++i) {
+    const char* type = (i % 2 == 0) ? "Add" : "Mul";
+    prev = b.actor("op" + std::to_string(i), type, {prev, w});
+  }
+  b.outport("y", prev);
+  return b.take();
+}
+
+std::vector<Model> paper_models() {
+  std::vector<Model> models;
+  models.push_back(fft_model());
+  models.push_back(dct_model());
+  models.push_back(conv_model());
+  models.push_back(highpass_model());
+  models.push_back(lowpass_model());
+  models.push_back(fir_model());
+  return models;
+}
+
+std::vector<Tensor> workload(const Model& resolved_model, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> inputs;
+  for (ActorId id : resolved_model.inports()) {
+    const Actor& port = resolved_model.actor(id);
+    require(port.is_resolved(), "workload: model must be resolved");
+    const PortSpec& spec = port.output(0);
+    Tensor t(spec.type, spec.shape);
+    const DataType comp = component_type(spec.type);
+    const int components =
+        is_complex(spec.type) ? t.elements() * 2 : t.elements();
+    for (int i = 0; i < components; ++i) {
+      if (comp == DataType::kFloat32) {
+        t.as<float>()[i] = static_cast<float>(rng.uniform_real(-1.0, 1.0));
+      } else if (comp == DataType::kFloat64) {
+        t.as<double>()[i] = rng.uniform_real(-1.0, 1.0);
+      } else {
+        t.set_double(i, static_cast<double>(rng.uniform_int(-(1 << 20), 1 << 20)));
+      }
+    }
+    inputs.push_back(std::move(t));
+  }
+  return inputs;
+}
+
+}  // namespace hcg::benchmodels

@@ -1,0 +1,643 @@
+#include <algorithm>
+#include <set>
+
+#include "actors/catalog.hpp"
+#include "actors/exec.hpp"
+#include "codegen/generator.hpp"
+#include "actors/resolve.hpp"
+#include "graph/regions.hpp"
+#include "kernels/library.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hcg::codegen {
+
+namespace {
+
+/// A signal is identified by its producing (actor, output port).
+using SignalId = std::pair<ActorId, int>;
+
+class Emitter {
+ public:
+  Emitter(const Model& model, const EmitConfig& config)
+      : model_(model), config_(config) {
+    resolve_model(model_);
+  }
+
+  GeneratedCode run() {
+    out_.model_name = model_.name();
+    out_.tool_name = config_.tool_name;
+    out_.init_symbol = model_.name() + "_init";
+    out_.step_symbol = model_.name() + "_step";
+
+    build_regions();
+    order_ = emission_order(model_, regions_);
+    select_intensive_implementations();
+    plan_folding();
+    plan_buffers();
+
+    emit_header();
+    emit_kernel_sources();
+    emit_buffers();
+    emit_init();
+    emit_step();
+
+    out_.source = std::move(source_);
+    return std::move(out_);
+  }
+
+ private:
+  // ------------------------------------------------------------------
+  // Planning
+  // ------------------------------------------------------------------
+
+  void build_regions() {
+    if (config_.batch_mode == BatchMode::kRegions) {
+      require(config_.isa != nullptr, "BatchMode::kRegions needs an ISA");
+      regions_ = find_batch_regions(model_, *config_.isa);
+    } else if (config_.batch_mode == BatchMode::kScattered) {
+      require(config_.isa != nullptr, "BatchMode::kScattered needs an ISA");
+      // One region per batch actor: each actor gets its own load/compute/
+      // store loop — the "scattered SIMD" the paper attributes to Simulink
+      // Coder on Intel.
+      std::vector<BatchRegion> grouped = find_batch_regions(model_, *config_.isa);
+      for (const BatchRegion& region : grouped) {
+        for (ActorId id : region.actors) {
+          std::vector<BatchRegion> single =
+              find_batch_regions_for(model_, *config_.isa, {id});
+          regions_.insert(regions_.end(), single.begin(), single.end());
+        }
+      }
+    }
+    for (size_t r = 0; r < regions_.size(); ++r) {
+      for (ActorId id : regions_[r].actors) {
+        region_of_[id] = static_cast<int>(r);
+      }
+    }
+    // Predict which regions Algorithm 2 will vectorize (mirrors its early
+    // exits) so interior signals — which live entirely in vector registers —
+    // get no memory buffer.
+    for (const BatchRegion& region : regions_) {
+      const Dataflow& graph = region.graph;
+      const int lanes = config_.isa->width_bits / graph.data_bit_width();
+      bool simd = graph.length() / lanes >= 1 &&
+                  graph.node_count() >= config_.batch_options.min_nodes_for_simd;
+      for (const DfgNode& node : graph.nodes()) {
+        if (config_.isa->lanes(node.out_type) != lanes) simd = false;
+      }
+      if (!simd) continue;
+      for (const auto& [actor, node_index] : region.node_of) {
+        if (!graph.is_output(node_index)) register_only_.insert(actor);
+      }
+    }
+  }
+
+  /// Builds the singleton region for one batch actor (scattered mode): the
+  /// same structure find_batch_regions produces, but every input is an
+  /// external, so the generated loop loads and stores on every pass.
+  static std::vector<BatchRegion> find_batch_regions_for(
+      const Model& model, const OpSupport& /*support*/,
+      const std::vector<ActorId>& only) {
+    const ActorId id = only.at(0);
+    const Actor& actor = model.actor(id);
+    BatchRegion region{
+        {id},
+        {},
+        Dataflow(actor.output(0).shape.elements(),
+                 bit_width(actor.output(0).type))};
+    DfgNode node;
+    node.op = batch_op_for_actor_type(actor.type());
+    node.out_type = actor.output(0).type;
+    node.actor = id;
+    for (int port = 0; port < actor.input_count(); ++port) {
+      const Connection conn = *model.incoming(id, port);
+      DfgExternal ext{conn.src, conn.src_port,
+                      model.actor(conn.src).output(conn.src_port).type};
+      node.operands.push_back(ValueRef::external(region.graph.add_external(ext)));
+    }
+    if (node.op == BatchOp::kMulC) {
+      node.operands.push_back(
+          ValueRef::scalar_const(parse_double(actor.param("gain"))));
+    } else if (node.op == BatchOp::kAddC) {
+      node.operands.push_back(
+          ValueRef::scalar_const(parse_double(actor.param("bias"))));
+    } else if (has_immediate(node.op)) {
+      node.operands.push_back(ValueRef::immediate(actor.int_param("amount")));
+    }
+    region.node_of[id] = region.graph.add_node(std::move(node));
+    region.graph.mark_output(0);
+    return {region};
+  }
+
+  void select_intensive_implementations() {
+    const kernels::CodeLibrary& library = kernels::CodeLibrary::instance();
+    for (const Actor& actor : model_.actors()) {
+      if (classify(model_, actor.id()) != ActorKind::kIntensive) continue;
+      const DataType dtype = actor.input(0).type;
+      const kernels::KernelImpl* impl = nullptr;
+      if (config_.select_intensive) {
+        synth::SelectionHistory local;
+        synth::SelectionHistory* history =
+            config_.history != nullptr ? config_.history : &local;
+        impl = synth::select_implementation(actor, *history,
+                                            config_.intensive_options)
+                   .impl;
+      } else {
+        impl = &library.general_implementation(actor.type(), dtype);
+      }
+      intensive_impl_[actor.id()] = impl;
+      out_.intensive_choices[actor.name()] = impl->id;
+      kernel_sources_.insert(impl->source_key);
+    }
+  }
+
+  /// Expression folding: single-consumer scalar elementwise/constant signals
+  /// are inlined into their consumer instead of materialized.
+  void plan_folding() {
+    if (!config_.fold_scalar_expressions) return;
+    for (const Actor& actor : model_.actors()) {
+      if (actor.output_count() != 1) continue;
+      if (actor.type() == "Inport" || actor.type() == "UnitDelay") continue;
+      if (region_of_.count(actor.id())) continue;
+      const PortSpec& out = actor.output(0);
+      if (out.shape.elements() != 1 || is_complex(out.type)) continue;
+      const bool is_const = actor.type() == "Constant";
+      const bool is_elementwise = actor_type_info(actor.type()).elementwise;
+      if (!is_const && !is_elementwise) continue;
+      const auto consumers = model_.outgoing(actor.id(), 0);
+      if (consumers.size() != 1) continue;
+      // Never fold into a delay (its update happens at end of step) or into
+      // an intensive kernel call (needs a real buffer).
+      const Actor& consumer = model_.actor(consumers[0].dst);
+      if (consumer.type() == "UnitDelay" ||
+          actor_type_info(consumer.type()).intensive) {
+        continue;
+      }
+      folded_.insert(actor.id());
+    }
+  }
+
+  bool is_folded(ActorId id) const { return folded_.count(id) != 0; }
+
+  void plan_buffers() {
+    // Inports bind to the step's input pointers.
+    for (ActorId id : model_.inports()) {
+      buffer_name_[{id, 0}] = "in_" + sanitize_identifier(model_.actor(id).name());
+    }
+
+    // Signals consumed by an Outport can be produced directly into the
+    // caller's output buffer, eliminating the boundary memcpy.  (Inport,
+    // Constant and UnitDelay sources keep their own storage: the first is
+    // read-only, the latter two persist across steps.)
+    for (ActorId id : model_.outports()) {
+      const Connection conn = *model_.incoming(id, 0);
+      const Actor& src = model_.actor(conn.src);
+      if (src.type() == "Inport" || src.type() == "Constant" ||
+          src.type() == "UnitDelay" || is_folded(conn.src)) {
+        continue;
+      }
+      const SignalId signal{conn.src, conn.src_port};
+      if (buffer_name_.count(signal)) continue;  // already aliased
+      buffer_name_[signal] = "out_" + sanitize_identifier(model_.actor(id).name());
+      direct_outports_.insert(id);
+    }
+
+    // Live-range buffer reuse (Simulink Coder's output variable reuse).
+    // Position = index in the emission order; a signal is live from its
+    // producer's position to its last consumer's position.
+    std::map<ActorId, int> position;
+    for (size_t i = 0; i < order_.size(); ++i) {
+      if (order_[i].actor != kNoActor) {
+        position[order_[i].actor] = static_cast<int>(i);
+      } else {
+        for (ActorId id : regions_[static_cast<size_t>(order_[i].region)].actors) {
+          position[id] = static_cast<int>(i);
+        }
+      }
+    }
+
+    struct Slot {
+      std::string name;
+      DataType type;
+      Shape shape;
+      int free_at = -1;
+    };
+    std::vector<Slot> slots;
+
+    for (const EmissionItem& item : order_) {
+      std::vector<ActorId> producers;
+      if (item.actor != kNoActor) {
+        producers.push_back(item.actor);
+      } else {
+        producers = regions_[static_cast<size_t>(item.region)].actors;
+      }
+      for (ActorId id : producers) {
+        const Actor& actor = model_.actor(id);
+        if (actor.type() == "Inport" || is_folded(id)) continue;
+        if (register_only_.count(id)) continue;  // lives in vector registers
+        for (int port = 0; port < actor.output_count(); ++port) {
+          if (buffer_name_.count({id, port})) continue;  // output-aliased
+          const PortSpec& spec = actor.output(port);
+          const bool reusable = config_.reuse_buffers &&
+                                actor.type() != "Constant" &&
+                                actor.type() != "UnitDelay";
+          int last_use = position.at(id);
+          for (const Connection& c : model_.outgoing(id, port)) {
+            last_use = std::max(last_use, position.at(c.dst));
+          }
+
+          std::string name;
+          if (reusable) {
+            Slot* found = nullptr;
+            for (Slot& slot : slots) {
+              if (slot.type == spec.type && slot.shape == spec.shape &&
+                  slot.free_at < position.at(id)) {
+                found = &slot;
+                break;
+              }
+            }
+            if (found == nullptr) {
+              slots.push_back(Slot{"buf" + std::to_string(slots.size()),
+                                   spec.type, spec.shape, -1});
+              found = &slots.back();
+              declare_buffer(found->name, spec, /*constant=*/nullptr);
+            }
+            found->free_at = last_use;
+            name = found->name;
+          } else {
+            name = (actor.type() == "UnitDelay" ? "dly_" : "sig_") +
+                   sanitize_identifier(actor.name());
+            if (port != 0) name += "_p" + std::to_string(port);
+            const Actor* const_src =
+                actor.type() == "Constant" ? &actor : nullptr;
+            declare_buffer(name, spec, const_src);
+          }
+          buffer_name_[{id, port}] = name;
+        }
+      }
+    }
+  }
+
+  /// Queues a static buffer declaration (emitted between planning passes).
+  void declare_buffer(const std::string& name, const PortSpec& spec,
+                      const Actor* constant_source) {
+    const int components =
+        is_complex(spec.type) ? spec.shape.elements() * 2 : spec.shape.elements();
+    const std::string ctype(c_name(spec.type));
+    std::string decl;
+    if (constant_source != nullptr) {
+      Tensor value = constant_tensor(*constant_source);
+      decl = "static const " + ctype + " " + name + "[" +
+             std::to_string(components) + "] = {";
+      for (int i = 0; i < components; ++i) {
+        if (i > 0) decl += ", ";
+        decl += component_literal(value, i);
+      }
+      decl += "};";
+    } else {
+      decl = "static " + ctype + " " + name + "[" + std::to_string(components) +
+             "];";
+    }
+    buffer_decls_.push_back(decl);
+    out_.static_buffer_bytes +=
+        static_cast<std::size_t>(components) * byte_width(component_type(spec.type));
+  }
+
+  static std::string component_literal(const Tensor& value, int i) {
+    const DataType comp = component_type(value.type());
+    if (comp == DataType::kFloat32) {
+      if (is_complex(value.type())) {
+        return std::to_string(value.as<float>()[i]) + "f";
+      }
+      return std::to_string(value.as<float>()[i]) + "f";
+    }
+    if (comp == DataType::kFloat64) {
+      if (is_complex(value.type())) return std::to_string(value.as<double>()[i]);
+      return std::to_string(value.as<double>()[i]);
+    }
+    return std::to_string(value.get_int(i));
+  }
+
+  // ------------------------------------------------------------------
+  // Expressions
+  // ------------------------------------------------------------------
+
+  /// C expression for one element of a signal: buffer[index] or, for folded
+  /// producers, the inlined expression.
+  std::string element_expr(const SignalId& signal, const std::string& index) {
+    const Actor& producer = model_.actor(signal.first);
+    if (is_folded(signal.first)) return folded_expr(producer);
+    return buffer_name_.at(signal) + "[" + index + "]";
+  }
+
+  std::string folded_expr(const Actor& actor) {
+    if (actor.type() == "Constant") {
+      Tensor value = constant_tensor(actor);
+      return "(" + std::string(c_name(actor.output(0).type)) + ")" +
+             component_literal(value, 0);
+    }
+    return "(" + elementwise_expr(actor, "0") + ")";
+  }
+
+  /// The scalar expression computing one element of an elementwise actor.
+  std::string elementwise_expr(const Actor& actor, const std::string& index) {
+    const BatchOp op = batch_op_for_actor_type(actor.type());
+    const SignalId src0 = source_of(actor.id(), 0);
+    const std::string a = element_expr(src0, index);
+    std::string b, c;
+    if (arity(op) >= 3) {
+      c = element_expr(source_of(actor.id(), 2), index);
+    }
+    if (arity(op) >= 2) {
+      b = element_expr(source_of(actor.id(), 1), index);
+    } else if (has_immediate(op)) {
+      b = std::to_string(actor.int_param("amount"));
+    } else if (op == BatchOp::kMulC) {
+      b = isa::scalar_literal(actor.output(0).type,
+                              parse_double(actor.param("gain")));
+    } else if (op == BatchOp::kAddC) {
+      b = isa::scalar_literal(actor.output(0).type,
+                              parse_double(actor.param("bias")));
+    }
+    return scalar_c_expr(op, actor.output(0).type, a, b, c);
+  }
+
+  SignalId source_of(ActorId id, int port) const {
+    const Connection conn = *model_.incoming(id, port);
+    return {conn.src, conn.src_port};
+  }
+
+  // ------------------------------------------------------------------
+  // Emission
+  // ------------------------------------------------------------------
+
+  void line(const std::string& text) { source_ += text + "\n"; }
+  void body(const std::string& text) { source_ += "  " + text + "\n"; }
+
+  void emit_header() {
+    line("/* Generated by " + config_.tool_name + " for model '" +
+         model_.name() + "'.");
+    line(" * ABI: void " + out_.init_symbol + "(void);");
+    line(" *      void " + out_.step_symbol +
+         "(const void* const* inputs, void* const* outputs); */");
+    line("#include <stdint.h>");
+    line("#include <string.h>");
+    line("#include <math.h>");
+    const bool may_use_simd =
+        config_.isa != nullptr &&
+        (config_.batch_mode == BatchMode::kScattered ||
+         config_.batch_mode == BatchMode::kRegions) &&
+        !regions_.empty();
+    if (may_use_simd) {
+      if (config_.isa->simulated) {
+        line("#include \"" + config_.isa->header + "\"");
+      } else {
+        line("#include <" + config_.isa->header + ">");
+      }
+      out_.compile_flags = config_.isa->compile_flags;
+      out_.needs_neon_sim = config_.isa->simulated;
+    }
+    line("");
+  }
+
+  void emit_kernel_sources() {
+    if (kernel_sources_.empty()) return;
+    const kernels::CodeLibrary& library = kernels::CodeLibrary::instance();
+    line("/* ---- intensive-actor kernel library (embedded) ---- */");
+    for (const std::string& key : kernel_sources_) {
+      source_ += std::string(library.source(key));
+      line("");
+    }
+  }
+
+  void emit_buffers() {
+    line("/* ---- signal buffers ---- */");
+    for (const std::string& decl : buffer_decls_) line(decl);
+    line("");
+  }
+
+  void emit_init() {
+    line("void " + out_.init_symbol + "(void) {");
+    for (const Actor& actor : model_.actors()) {
+      if (actor.type() != "UnitDelay") continue;
+      const std::string& name = buffer_name_.at({actor.id(), 0});
+      body("memset(" + name + ", 0, sizeof(" + name + "));");
+    }
+    line("}");
+    line("");
+  }
+
+  void emit_step() {
+    line("void " + out_.step_symbol +
+         "(const void* const* inputs, void* const* outputs) {");
+
+    const std::vector<ActorId> ins = model_.inports();
+    for (size_t i = 0; i < ins.size(); ++i) {
+      const Actor& port = model_.actor(ins[i]);
+      const std::string ctype(c_name(port.output(0).type));
+      body("const " + ctype + "* " + buffer_name_.at({ins[i], 0}) + " = (const " +
+           ctype + "*)inputs[" + std::to_string(i) + "];");
+    }
+    const std::vector<ActorId> outs = model_.outports();
+    for (size_t i = 0; i < outs.size(); ++i) {
+      const Actor& port = model_.actor(outs[i]);
+      const std::string ctype(c_name(port.input(0).type));
+      body(ctype + "* out_" + sanitize_identifier(port.name()) + " = (" +
+           ctype + "*)outputs[" + std::to_string(i) + "];");
+    }
+    line("");
+
+    for (const EmissionItem& item : order_) {
+      if (item.region >= 0) {
+        emit_region(regions_[static_cast<size_t>(item.region)]);
+      } else {
+        emit_actor(model_.actor(item.actor));
+      }
+    }
+
+    if (!delay_updates_.empty()) {
+      body("/* delay state updates */");
+      for (const std::string& update : delay_updates_) body(update);
+    }
+    line("}");
+  }
+
+  void emit_region(const BatchRegion& region) {
+    synth::BatchSynthResult result = synth::synthesize_batch(
+        model_, region, *config_.isa,
+        [this](ActorId id, int port) { return buffer_name_.at({id, port}); },
+        config_.batch_options, /*indent=*/1);
+    if (result.used_simd) {
+      body("/* batch region (" + std::to_string(region.actors.size()) +
+           " actors) -> " + config_.isa->name + " SIMD */");
+      source_ += result.code;
+      for (std::string& name : result.instructions_used) {
+        out_.simd_instructions.push_back(std::move(name));
+      }
+      if (region.actors.size() > 1) ++out_.fused_regions;
+      simd_emitted_ = true;
+      return;
+    }
+    // Algorithm 2 lines 3-4: conventionalTranslate.
+    for (ActorId id : region.actors) emit_actor(model_.actor(id));
+  }
+
+  void emit_actor(const Actor& actor) {
+    const std::string& type = actor.type();
+    if (type == "Inport" || type == "Constant") return;
+    if (is_folded(actor.id())) return;
+
+    if (type == "Outport") {
+      if (direct_outports_.count(actor.id())) {
+        return;  // the producer already wrote into the output buffer
+      }
+      const SignalId src = source_of(actor.id(), 0);
+      const std::string out_name = "out_" + sanitize_identifier(actor.name());
+      if (is_folded(src.first)) {
+        body(out_name + "[0] = " + folded_expr(model_.actor(src.first)) + ";");
+      } else {
+        const PortSpec& spec = actor.input(0);
+        const int components = is_complex(spec.type)
+                                   ? spec.shape.elements() * 2
+                                   : spec.shape.elements();
+        body("memcpy(" + out_name + ", " + buffer_name_.at(src) + ", " +
+             std::to_string(components) + " * sizeof(" +
+             std::string(c_name(spec.type)) + "));");
+      }
+      return;
+    }
+
+    if (type == "UnitDelay") {
+      // Output buffer *is* the state; schedule the update for end-of-step.
+      const SignalId src = source_of(actor.id(), 0);
+      const PortSpec& spec = actor.output(0);
+      const int components = is_complex(spec.type) ? spec.shape.elements() * 2
+                                                   : spec.shape.elements();
+      delay_updates_.push_back("memcpy(" + buffer_name_.at({actor.id(), 0}) +
+                               ", " + buffer_name_.at(src) + ", " +
+                               std::to_string(components) + " * sizeof(" +
+                               std::string(c_name(spec.type)) + "));");
+      return;
+    }
+
+    const ActorTypeInfo& info = actor_type_info(type);
+    if (info.elementwise) {
+      emit_elementwise(actor);
+      return;
+    }
+    if (info.intensive) {
+      emit_intensive(actor);
+      return;
+    }
+    throw CodegenError("no conventional translation for actor type '" + type +
+                       "'");
+  }
+
+  void emit_elementwise(const Actor& actor) {
+    const int n = actor.output(0).shape.elements();
+    const std::string dst = buffer_name_.at({actor.id(), 0});
+    const bool unroll = config_.batch_mode == BatchMode::kUnrollThenLoops &&
+                        n <= config_.unroll_threshold;
+    if (n == 1) {
+      body(dst + "[0] = " + elementwise_expr(actor, "0") + ";");
+    } else if (unroll) {
+      // Paper Figure 2: one statement per element.
+      for (int i = 0; i < n; ++i) {
+        const std::string idx = std::to_string(i);
+        body(dst + "[" + idx + "] = " + elementwise_expr(actor, idx) + ";");
+      }
+    } else {
+      body("for (int i = 0; i < " + std::to_string(n) + "; ++i) {");
+      body("  " + dst + "[i] = " + elementwise_expr(actor, "i") + ";");
+      body("}");
+    }
+  }
+
+  void emit_intensive(const Actor& actor) {
+    const kernels::KernelImpl& impl = *intensive_impl_.at(actor.id());
+    const std::string out = buffer_name_.at({actor.id(), 0});
+    const std::string in0 = buffer_name_.at(source_of(actor.id(), 0));
+    const bool inverse =
+        actor.type() == "IFFT" || actor.type() == "IFFT2D";
+    const Shape& shape0 = actor.input(0).shape;
+
+    switch (impl.sig) {
+      case kernels::KernelSig::kFft1D:
+        body(impl.c_function + "(" + in0 + ", " + out + ", " +
+             std::to_string(shape0.elements()) + ", " +
+             (inverse ? "1" : "0") + ");");
+        return;
+      case kernels::KernelSig::kFft2D:
+        body(impl.c_function + "(" + in0 + ", " + out + ", " +
+             std::to_string(shape0.dims[0]) + ", " +
+             std::to_string(shape0.dims[1]) + ", " + (inverse ? "1" : "0") +
+             ");");
+        return;
+      case kernels::KernelSig::kXform1D:
+        body(impl.c_function + "(" + in0 + ", " + out + ", " +
+             std::to_string(shape0.elements()) + ");");
+        return;
+      case kernels::KernelSig::kXform2D:
+        body(impl.c_function + "(" + in0 + ", " + out + ", " +
+             std::to_string(shape0.dims[0]) + ", " +
+             std::to_string(shape0.dims[1]) + ");");
+        return;
+      case kernels::KernelSig::kConv1D: {
+        const std::string in1 = buffer_name_.at(source_of(actor.id(), 1));
+        const Shape& shape1 = actor.input(1).shape;
+        body(impl.c_function + "(" + in0 + ", " +
+             std::to_string(shape0.elements()) + ", " + in1 + ", " +
+             std::to_string(shape1.elements()) + ", " + out + ");");
+        return;
+      }
+      case kernels::KernelSig::kConv2D: {
+        const std::string in1 = buffer_name_.at(source_of(actor.id(), 1));
+        const Shape& shape1 = actor.input(1).shape;
+        body(impl.c_function + "(" + in0 + ", " + std::to_string(shape0.dims[0]) +
+             ", " + std::to_string(shape0.dims[1]) + ", " + in1 + ", " +
+             std::to_string(shape1.dims[0]) + ", " +
+             std::to_string(shape1.dims[1]) + ", " + out + ");");
+        return;
+      }
+      case kernels::KernelSig::kMatMul: {
+        const std::string in1 = buffer_name_.at(source_of(actor.id(), 1));
+        body(impl.c_function + "(" + in0 + ", " + in1 + ", " + out + ", " +
+             std::to_string(shape0.dims[0]) + ");");
+        return;
+      }
+      case kernels::KernelSig::kMatInv:
+      case kernels::KernelSig::kMatDet:
+        body(impl.c_function + "(" + in0 + ", " + out + ", " +
+             std::to_string(shape0.dims[0]) + ");");
+        return;
+    }
+    throw CodegenError("emit_intensive: bad kernel signature");
+  }
+
+  // ------------------------------------------------------------------
+
+  Model model_;
+  EmitConfig config_;
+  GeneratedCode out_;
+  std::string source_;
+  std::vector<BatchRegion> regions_;
+  std::map<ActorId, int> region_of_;
+  std::vector<EmissionItem> order_;
+  std::map<ActorId, const kernels::KernelImpl*> intensive_impl_;
+  std::set<std::string> kernel_sources_;
+  std::set<ActorId> folded_;
+  std::set<ActorId> register_only_;
+  std::set<ActorId> direct_outports_;
+  std::map<SignalId, std::string> buffer_name_;
+  std::vector<std::string> buffer_decls_;
+  std::vector<std::string> delay_updates_;
+  bool simd_emitted_ = false;
+};
+
+}  // namespace
+
+GeneratedCode emit_model(const Model& model, const EmitConfig& config) {
+  return Emitter(model, config).run();
+}
+
+}  // namespace hcg::codegen

@@ -1,0 +1,102 @@
+// Code generation: the common emitter all three tools share, plus the
+// configuration knobs that differentiate them.
+//
+// Every generator produces a self-contained C translation unit with the ABI
+//   void <model>_init(void);
+//   void <model>_step(const void* const* inputs, void* const* outputs);
+// where inputs/outputs carry one pointer per Inport/Outport in declaration
+// order.  Complex (c64) signals are interleaved float arrays.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "model/model.hpp"
+#include "synth/batch.hpp"
+#include "synth/history.hpp"
+#include "synth/intensive.hpp"
+
+namespace hcg::codegen {
+
+/// How element-wise (batch) actors are translated.
+enum class BatchMode : std::uint8_t {
+  kScalarLoops,      // one scalar loop per actor (DFSynth style)
+  kUnrollThenLoops,  // unrolled statements below a threshold, else loops
+                     // (Simulink Coder style, paper Figure 2)
+  kScattered,        // one *vectorized* loop per actor, load/store each pass
+                     // (Simulink Coder on Intel, paper §4.2 / Figure 5(b))
+  kRegions,          // Algorithm 2: fused SIMD over whole regions (HCG)
+};
+
+struct EmitConfig {
+  std::string tool_name = "hcg";
+  BatchMode batch_mode = BatchMode::kRegions;
+  /// Instruction table for kScattered / kRegions; may be null otherwise.
+  const isa::VectorIsa* isa = nullptr;
+  /// kUnrollThenLoops: arrays up to this length are fully unrolled.
+  int unroll_threshold = 32;
+  /// Fold single-consumer scalar expressions into their consumer
+  /// (Simulink Coder's "expression folding").
+  bool fold_scalar_expressions = false;
+  /// Reuse signal buffers whose live ranges do not overlap
+  /// (Simulink Coder's "output variable reuse"; HCG inherits it).
+  bool reuse_buffers = false;
+  /// Algorithm 1 implementation selection; false = generic implementations.
+  bool select_intensive = false;
+  synth::SelectionHistory* history = nullptr;  // used when select_intensive
+  synth::IntensiveOptions intensive_options;
+  synth::BatchOptions batch_options;
+};
+
+struct GeneratedCode {
+  std::string source;
+  std::string model_name;
+  std::string init_symbol;
+  std::string step_symbol;
+  std::string tool_name;
+  /// Compiler flags the ISA needs (e.g. "-mavx2 -mfma"); space separated.
+  std::string compile_flags;
+  /// True when the source includes hcg_neon_sim.h (needs -I<data dir>).
+  bool needs_neon_sim = false;
+
+  // ---- reproducibility metadata (white-box test & bench surface) ----------
+  /// SIMD instruction names emitted, in order.
+  std::vector<std::string> simd_instructions;
+  /// Intensive actor name -> selected implementation id.
+  std::map<std::string, std::string> intensive_choices;
+  /// Total bytes of static signal/state buffers (memory-parity experiment).
+  std::size_t static_buffer_bytes = 0;
+  /// Number of batch regions fused by Algorithm 2.
+  int fused_regions = 0;
+};
+
+/// Emits C code for a model (resolved internally) under a configuration.
+GeneratedCode emit_model(const Model& model, const EmitConfig& config);
+
+/// Abstract tool interface.
+class Generator {
+ public:
+  virtual ~Generator() = default;
+  virtual std::string name() const = 0;
+  virtual GeneratedCode generate(const Model& model) = 0;
+};
+
+/// The HCG generator (this paper): Algorithm 1 + Algorithm 2 against the
+/// given instruction table.  The history is shared across calls.
+std::unique_ptr<Generator> make_hcg_generator(const isa::VectorIsa& isa,
+                                              synth::SelectionHistory* history = nullptr,
+                                              synth::BatchOptions batch_options = {});
+
+/// Simulink-Coder-like baseline: expression folding, variable reuse,
+/// unrolled scalar statements (Figure 2), generic intensive functions.
+/// `scattered_isa` enables the per-actor scattered-SIMD mode of §4.2.
+std::unique_ptr<Generator> make_simulink_generator(
+    const isa::VectorIsa* scattered_isa = nullptr);
+
+/// DFSynth-like baseline: per-actor loop code, generic intensive functions.
+std::unique_ptr<Generator> make_dfsynth_generator();
+
+}  // namespace hcg::codegen

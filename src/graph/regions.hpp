@@ -1,0 +1,60 @@
+// Dataflow graph construction (first step of paper §3.2.2): collects the
+// interconnected batch computing actors which share the same I/O scale and
+// element bit-width into regions, and converts each region into a Dataflow.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "graph/dataflow.hpp"
+#include "model/model.hpp"
+
+namespace hcg {
+
+/// Answers "could a single SIMD instruction implement this op on this type?"
+/// The ISA layer implements this; actors whose op has no single-instruction
+/// implementation stay outside every region and are translated
+/// conventionally (which also guarantees Algorithm 2 always terminates).
+class OpSupport {
+ public:
+  virtual ~OpSupport() = default;
+  /// `in` is the operand element type, `out` the result element type (they
+  /// differ only for Cast).
+  virtual bool supports(BatchOp op, DataType in, DataType out) const = 0;
+};
+
+/// Accepts everything op_supports_type() allows — for tests.
+class AllOpsSupport final : public OpSupport {
+ public:
+  bool supports(BatchOp op, DataType in, DataType out) const override;
+};
+
+/// One maximal group of connected batch actors with a common (length,
+/// bit-width) signature, plus its dataflow graph.
+struct BatchRegion {
+  std::vector<ActorId> actors;      // in firing order
+  std::map<ActorId, int> node_of;   // actor -> graph node index
+  Dataflow graph;
+};
+
+/// Finds all batch regions of a resolved model, in deterministic order.
+/// Regions are convex with respect to the model graph: contracting each
+/// region to a super-node leaves the dependency graph acyclic, so a region
+/// can be emitted as one block.  Components violating this are split.
+std::vector<BatchRegion> find_batch_regions(const Model& model,
+                                            const OpSupport& support);
+
+/// One entry of the contracted emission order: either a single actor
+/// (region < 0) or a whole batch region (actor == kNoActor).
+struct EmissionItem {
+  ActorId actor = kNoActor;
+  int region = -1;
+};
+
+/// Topological order of the contracted graph (regions as super-nodes,
+/// UnitDelay outputs not counted as dependencies), suitable for emitting
+/// each region as one contiguous code block.
+std::vector<EmissionItem> emission_order(const Model& model,
+                                         const std::vector<BatchRegion>& regions);
+
+}  // namespace hcg

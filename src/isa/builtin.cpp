@@ -1,0 +1,48 @@
+#include "isa/builtin.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "builtin_tables.hpp"
+#include "isa/isa_parse.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hcg::isa {
+
+namespace {
+
+/// The neon table re-headed for the simulation shim.
+std::string neon_sim_text() {
+  std::string text = tables::kNeonTable;
+  text = replace_all(text, "isa neon", "isa neon_sim");
+  text = replace_all(text, "header arm_neon.h",
+                     "header hcg_neon_sim.h\nsimulated");
+  return text;
+}
+
+}  // namespace
+
+std::vector<std::string> builtin_names() {
+  return {"neon", "neon_sim", "sse", "avx2"};
+}
+
+std::string builtin_text(std::string_view name) {
+  if (name == "neon") return tables::kNeonTable;
+  if (name == "neon_sim") return neon_sim_text();
+  if (name == "sse") return tables::kSseTable;
+  if (name == "avx2") return tables::kAvx2Table;
+  throw Error("unknown built-in isa table '" + std::string(name) + "'");
+}
+
+const VectorIsa& builtin(std::string_view name) {
+  static std::mutex mutex;
+  static std::map<std::string, VectorIsa, std::less<>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(name);
+  if (it != cache.end()) return it->second;
+  VectorIsa isa = parse_isa(builtin_text(name));
+  return cache.emplace(std::string(name), std::move(isa)).first->second;
+}
+
+}  // namespace hcg::isa

@@ -1,0 +1,29 @@
+// Built-in instruction tables.
+//
+// The tables are authored once, as .isa text in data/isa/, and embedded into
+// the library at configure time, so the file a user would edit to port HCG
+// and the table the library ships can never diverge.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace hcg::isa {
+
+/// Names of the built-in tables: "neon", "neon_sim", "sse", "avx2".
+/// "neon_sim" is the neon table re-targeted at the portable simulation
+/// header (data/hcg_neon_sim.h) so NEON codegen runs on any host.
+std::vector<std::string> builtin_names();
+
+/// Returns the parsed built-in table (cached); throws hcg::Error on an
+/// unknown name.
+const VectorIsa& builtin(std::string_view name);
+
+/// The raw .isa text of a built-in table (useful for tests and for writing
+/// a starting point when porting to a new architecture).
+std::string builtin_text(std::string_view name);
+
+}  // namespace hcg::isa

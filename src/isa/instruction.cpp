@@ -1,0 +1,197 @@
+#include "isa/instruction.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/dataflow.hpp"
+#include "support/error.hpp"
+
+namespace hcg::isa {
+
+namespace {
+int node_depth(const Instruction& ins, int node_index) {
+  int deepest = 0;
+  for (const PatternArg& arg : ins.nodes[static_cast<size_t>(node_index)].args) {
+    if (arg.kind == PatternArg::Kind::kChild) {
+      deepest = std::max(deepest, node_depth(ins, arg.index));
+    }
+  }
+  return deepest + 1;
+}
+}  // namespace
+
+int Instruction::depth() const { return node_depth(*this, 0); }
+
+int Instruction::cost() const {
+  int total = 0;
+  for (const PatternNode& node : nodes) total += op_cost(node.op);
+  return total;
+}
+
+const VType* VectorIsa::find_vtype(DataType type) const {
+  for (const VType& v : vtypes) {
+    if (v.type == type) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+const IoCode* find_io(const std::vector<IoCode>& codes, DataType type) {
+  for (const IoCode& c : codes) {
+    if (c.type == type) return &c;
+  }
+  return nullptr;
+}
+}  // namespace
+
+const IoCode* VectorIsa::find_load(DataType type) const {
+  return find_io(loads, type);
+}
+const IoCode* VectorIsa::find_store(DataType type) const {
+  return find_io(stores, type);
+}
+const IoCode* VectorIsa::find_dup(DataType type) const {
+  return find_io(dups, type);
+}
+
+const CvtCode* VectorIsa::find_cvt(DataType from, DataType to) const {
+  for (const CvtCode& c : cvts) {
+    if (c.from == from && c.to == to) return &c;
+  }
+  return nullptr;
+}
+
+int VectorIsa::lanes(DataType type) const {
+  const VType* v = find_vtype(type);
+  return v ? v->lanes : 0;
+}
+
+std::vector<const Instruction*> VectorIsa::candidates(BatchOp op,
+                                                      DataType type) const {
+  std::vector<const Instruction*> out;
+  for (const Instruction& ins : instructions) {
+    if (ins.root_op() == op && ins.type == type) out.push_back(&ins);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Instruction* a, const Instruction* b) {
+                     if (a->cost() != b->cost()) return a->cost() > b->cost();
+                     return a->node_count() > b->node_count();
+                   });
+  return out;
+}
+
+int VectorIsa::max_pattern_nodes() const {
+  int m = 1;
+  for (const Instruction& ins : instructions) m = std::max(m, ins.node_count());
+  return m;
+}
+
+int VectorIsa::max_pattern_depth() const {
+  int m = 1;
+  for (const Instruction& ins : instructions) m = std::max(m, ins.depth());
+  return m;
+}
+
+bool VectorIsa::supports(BatchOp op, DataType in, DataType out) const {
+  if (op == BatchOp::kCast) {
+    return find_cvt(in, out) != nullptr && find_vtype(in) != nullptr &&
+           find_vtype(out) != nullptr;
+  }
+  if (find_vtype(out) == nullptr) return false;
+  for (const Instruction& ins : instructions) {
+    if (ins.type == out && ins.node_count() == 1 && ins.root_op() == op) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void VectorIsa::validate() const {
+  auto need_vtype = [&](DataType type, const std::string& who) {
+    if (!find_vtype(type)) {
+      throw ParseError("isa '" + name + "': " + who + " uses element type " +
+                       std::string(short_name(type)) + " with no vtype");
+    }
+    if (!find_load(type) || !find_store(type)) {
+      throw ParseError("isa '" + name + "': element type " +
+                       std::string(short_name(type)) +
+                       " lacks a load or store");
+    }
+  };
+  for (const Instruction& ins : instructions) {
+    need_vtype(ins.type, "instruction " + ins.name);
+    if (ins.nodes.empty()) {
+      throw ParseError("isa '" + name + "': instruction " + ins.name +
+                       " has an empty pattern");
+    }
+    const VType* v = find_vtype(ins.type);
+    if (v->lanes != ins.lanes) {
+      throw ParseError("isa '" + name + "': instruction " + ins.name +
+                       " lane count disagrees with its vtype");
+    }
+    for (const PatternNode& node : ins.nodes) {
+      const bool wants_scalar = has_scalar_operand(node.op);
+      for (const PatternArg& arg : node.args) {
+        if (arg.kind == PatternArg::Kind::kScalar && !wants_scalar) {
+          throw ParseError("isa '" + name + "': instruction " + ins.name +
+                           " uses a scalar slot on op " +
+                           std::string(op_name(node.op)));
+        }
+        if (arg.kind == PatternArg::Kind::kChild &&
+            (arg.index <= 0 || arg.index >= ins.node_count())) {
+          throw ParseError("isa '" + name + "': instruction " + ins.name +
+                           " has a bad child reference");
+        }
+      }
+    }
+  }
+  for (const CvtCode& c : cvts) {
+    need_vtype(c.from, "cvt");
+    need_vtype(c.to, "cvt");
+    if (find_vtype(c.from)->lanes != find_vtype(c.to)->lanes) {
+      throw ParseError("isa '" + name +
+                       "': cvt between types of different lane counts");
+    }
+  }
+}
+
+std::string scalar_literal(DataType type, double value) {
+  if (type == DataType::kFloat32) {
+    std::string s = std::to_string(value);
+    return s + "f";
+  }
+  if (type == DataType::kFloat64) return std::to_string(value);
+  return std::to_string(static_cast<long long>(std::llround(value)));
+}
+
+std::string substitute_tokens(
+    std::string_view code,
+    const std::vector<std::pair<std::string, std::string>>& replacements) {
+  auto is_word = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+  };
+  std::string out;
+  size_t i = 0;
+  while (i < code.size()) {
+    if (!is_word(code[i])) {
+      out += code[i++];
+      continue;
+    }
+    size_t start = i;
+    while (i < code.size() && is_word(code[i])) ++i;
+    std::string_view word = code.substr(start, i - start);
+    bool replaced = false;
+    for (const auto& [token, value] : replacements) {
+      if (word == token) {
+        out += value;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) out += word;
+  }
+  return out;
+}
+
+}  // namespace hcg::isa

@@ -1,0 +1,291 @@
+#include "isa/isa_parse.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+#include "support/fileio.hpp"
+#include "support/strings.hpp"
+
+namespace hcg::isa {
+
+namespace {
+
+/// Recursive-descent parser for pattern expressions.
+class PatternParser {
+ public:
+  PatternParser(std::string_view text, Instruction& out)
+      : text_(text), out_(out) {}
+
+  void parse() {
+    const int root = parse_expr();
+    require(root == 0, "pattern root must be node 0");
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw ParseError("trailing text in pattern expression: '" +
+                       std::string(text_.substr(pos_)) + "'");
+    }
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::string parse_word() {
+    skip_ws();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw ParseError("expected a name in pattern expression at '" +
+                       std::string(text_.substr(pos_)) + "'");
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw ParseError(std::string("expected '") + c + "' in pattern at '" +
+                       std::string(text_.substr(pos_)) + "'");
+    }
+    ++pos_;
+  }
+
+  /// Parses one op(...) node, appends it to out_.nodes, returns its index.
+  int parse_expr() {
+    const std::string op_word = parse_word();
+    const BatchOp op = parse_batch_op(op_word);
+    const int index = static_cast<int>(out_.nodes.size());
+    out_.nodes.push_back(PatternNode{op, {}});
+    expect('(');
+    // Collect into a local first: parse_arg() may recurse into parse_expr()
+    // and reallocate out_.nodes, invalidating references into it.
+    std::vector<PatternArg> args;
+    while (true) {
+      args.push_back(parse_arg());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    expect(')');
+    out_.nodes[static_cast<size_t>(index)].args = std::move(args);
+    return index;
+  }
+
+  PatternArg parse_arg() {
+    const char c = peek();
+    if (c == '#') {
+      ++pos_;
+      return PatternArg{PatternArg::Kind::kFixedImm, 0, parse_number()};
+    }
+    const size_t save = pos_;
+    const std::string word = parse_word();
+    if (word == "C") return PatternArg{PatternArg::Kind::kScalar, 0, 0};
+    if (word == "IMM") return PatternArg{PatternArg::Kind::kAnyImm, 0, 0};
+    if (word.size() >= 2 && word[0] == 'I' &&
+        std::isdigit(static_cast<unsigned char>(word[1]))) {
+      const int slot = static_cast<int>(parse_int(word.substr(1)));
+      out_.input_slots = std::max(out_.input_slots, slot);
+      return PatternArg{PatternArg::Kind::kInput, slot, 0};
+    }
+    // Must be a nested op: rewind and parse recursively.
+    pos_ = save;
+    PatternArg arg;
+    arg.kind = PatternArg::Kind::kChild;
+    arg.index = parse_expr();
+    return arg;
+  }
+
+  long long parse_number() {
+    skip_ws();
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return parse_int(text_.substr(start, pos_ - start));
+  }
+
+  std::string_view text_;
+  Instruction& out_;
+  size_t pos_ = 0;
+};
+
+/// Offset just past the end of the n-th (0-based) whitespace-delimited token.
+size_t token_end_offset(std::string_view line, int n) {
+  size_t i = 0;
+  for (int t = 0; t <= n; ++t) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+  }
+  return i;
+}
+
+/// Extracts "vaddq_s32" from "O1 = vaddq_s32(I1, I2);" for paper-form lines.
+std::string guess_name(std::string_view code) {
+  for (size_t i = 0; i + 1 < code.size(); ++i) {
+    if (code[i] == '(') {
+      size_t end = i;
+      size_t start = end;
+      while (start > 0 &&
+             (std::isalnum(static_cast<unsigned char>(code[start - 1])) ||
+              code[start - 1] == '_')) {
+        --start;
+      }
+      if (end > start) return std::string(code.substr(start, end - start));
+    }
+  }
+  return "anonymous";
+}
+
+}  // namespace
+
+VectorIsa parse_isa(std::string_view text) {
+  VectorIsa isa;
+  int line_number = 0;
+  bool named = false;
+
+  for (const std::string& raw_line : split(text, '\n')) {
+    ++line_number;
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+
+    try {
+      // ---- paper-form line ------------------------------------------------
+      if (starts_with(line, "Graph:") || starts_with(line, "Graph :")) {
+        const size_t semi = line.find(';');
+        if (semi == std::string_view::npos) {
+          throw ParseError("paper-form line needs '; Code:'");
+        }
+        std::string_view graph_part = trim(line.substr(line.find(':') + 1,
+                                                       semi - line.find(':') - 1));
+        std::string_view code_part = trim(line.substr(semi + 1));
+        if (!starts_with(code_part, "Code")) {
+          throw ParseError("paper-form line needs 'Code:' after ';'");
+        }
+        code_part = trim(code_part.substr(code_part.find(':') + 1));
+
+        std::vector<std::string> fields = split(graph_part, ',');
+        // <Op>, <type>, <lanes>, I..., O1
+        if (fields.size() < 4) {
+          throw ParseError("paper-form Graph needs op, type, lanes, operands");
+        }
+        Instruction ins;
+        ins.type = parse_datatype(fields[1]);
+        ins.lanes = static_cast<int>(parse_int(fields[2]));
+        const BatchOp op = parse_batch_op(fields[0]);
+        PatternNode root{op, {}};
+        for (size_t i = 3; i + 1 < fields.size(); ++i) {
+          const std::string& f = fields[i];
+          if (f == "C") {
+            root.args.push_back({PatternArg::Kind::kScalar, 0, 0});
+          } else if (f == "IMM") {
+            root.args.push_back({PatternArg::Kind::kAnyImm, 0, 0});
+          } else if (!f.empty() && f[0] == '#') {
+            root.args.push_back(
+                {PatternArg::Kind::kFixedImm, 0, parse_int(f.substr(1))});
+          } else if (!f.empty() && f[0] == 'I') {
+            const int slot = static_cast<int>(parse_int(f.substr(1)));
+            ins.input_slots = std::max(ins.input_slots, slot);
+            root.args.push_back({PatternArg::Kind::kInput, slot, 0});
+          } else {
+            throw ParseError("bad paper-form operand '" + f + "'");
+          }
+        }
+        if (fields.back() != "O1" && fields.back() != "O") {
+          throw ParseError("paper-form Graph must end with the output O1");
+        }
+        ins.nodes.push_back(std::move(root));
+        // Normalize O1 to O in the code template.
+        ins.code = substitute_tokens(code_part, {{"O1", "O"}});
+        ins.name = guess_name(code_part);
+        isa.instructions.push_back(std::move(ins));
+        continue;
+      }
+
+      std::vector<std::string> words = split_whitespace(line);
+      const std::string& key = words[0];
+
+      if (key == "isa") {
+        isa.name = words.at(1);
+        named = true;
+      } else if (key == "width") {
+        isa.width_bits = static_cast<int>(parse_int(words.at(1)));
+      } else if (key == "header") {
+        isa.header = words.at(1);
+      } else if (key == "flags") {
+        isa.compile_flags = std::string(trim(line.substr(5)));
+      } else if (key == "simulated") {
+        isa.simulated = true;
+      } else if (key == "vtype") {
+        VType v;
+        v.type = parse_datatype(words.at(1));
+        v.lanes = static_cast<int>(parse_int(words.at(2)));
+        v.c_name = words.at(3);
+        isa.vtypes.push_back(std::move(v));
+      } else if (key == "load" || key == "store" || key == "dup") {
+        IoCode io;
+        io.type = parse_datatype(words.at(1));
+        io.code = std::string(trim(line.substr(token_end_offset(line, 1))));
+        if (key == "load") isa.loads.push_back(std::move(io));
+        else if (key == "store") isa.stores.push_back(std::move(io));
+        else isa.dups.push_back(std::move(io));
+      } else if (key == "cvt") {
+        CvtCode c;
+        c.from = parse_datatype(words.at(1));
+        c.to = parse_datatype(words.at(2));
+        c.code = std::string(trim(line.substr(token_end_offset(line, 2))));
+        isa.cvts.push_back(std::move(c));
+      } else if (key == "ins") {
+        Instruction ins;
+        ins.name = words.at(1);
+        ins.type = parse_datatype(words.at(2));
+        const size_t sep = line.find("::");
+        if (sep == std::string_view::npos) {
+          throw ParseError("ins line needs ':: <code template>'");
+        }
+        // Pattern text sits between the type word and '::'.
+        const size_t pattern_start = token_end_offset(line, 2);
+        std::string_view pattern =
+            trim(line.substr(pattern_start, sep - pattern_start));
+        PatternParser(pattern, ins).parse();
+        ins.code = std::string(trim(line.substr(sep + 2)));
+        const VType* v = isa.find_vtype(ins.type);
+        if (!v) {
+          throw ParseError("ins " + ins.name +
+                           " declared before a vtype for its element type");
+        }
+        ins.lanes = v->lanes;
+        isa.instructions.push_back(std::move(ins));
+      } else {
+        throw ParseError("unknown directive '" + key + "'");
+      }
+    } catch (const ParseError& e) {
+      throw ParseError(std::string(e.what()) + " [isa line " +
+                       std::to_string(line_number) + "]");
+    }
+  }
+
+  if (!named) throw ParseError("isa table missing an 'isa <name>' line");
+  isa.validate();
+  return isa;
+}
+
+VectorIsa load_isa_file(const std::filesystem::path& path) {
+  return parse_isa(read_file(path));
+}
+
+}  // namespace hcg::isa

@@ -1,0 +1,42 @@
+// Parser for .isa instruction-table files.
+//
+// Line-oriented format ('#' starts a comment):
+//
+//   isa neon                      # table name
+//   width 128                     # vector register width in bits
+//   header arm_neon.h             # header generated code includes
+//   flags -funsafe-math           # extra compiler flags (optional)
+//   simulated                     # NEON-sim shim instead of real header
+//   vtype i32 4 int32x4_t         # element type, lanes, vector C type
+//   load  i32 O = vld1q_s32(P);   # P: element pointer, O: result
+//   store i32 vst1q_s32(P, V);    # V: vector value to store
+//   dup   i32 O = vdupq_n_s32(C); # C: scalar constant
+//   cvt f32 i32 O = vcvtq_s32_f32(I1);
+//   ins vaddq_s32 i32 Add(I1,I2) :: O = vaddq_s32(I1, I2);
+//   ins vmlaq_s32 i32 Add(Mul(I1,I2),I3) :: O = vmlaq_s32(I3, I1, I2);
+//   ins vhaddq_s32 i32 Shr(Add(I1,I2),#1) :: O = vhaddq_s32(I1, I2);
+//
+// The exact single-op form printed in the paper (§3.3) is accepted too:
+//
+//   Graph: Add, i32, 4, I1, I2, O1 ; Code: O1 = vaddq_s32(I1, I2);
+//
+// Pattern expressions: op(arg, ...) with args I1..I9 (vector inputs),
+// C (scalar-constant slot), IMM (immediate slot), #k (fixed immediate),
+// or a nested op.
+#pragma once
+
+#include <filesystem>
+#include <string_view>
+
+#include "isa/instruction.hpp"
+
+namespace hcg::isa {
+
+/// Parses a table; throws hcg::ParseError with a line number on bad input.
+/// The returned table has been validate()d.
+VectorIsa parse_isa(std::string_view text);
+
+/// Parses the file at `path`.
+VectorIsa load_isa_file(const std::filesystem::path& path);
+
+}  // namespace hcg::isa

@@ -1,0 +1,220 @@
+/* hcg_dct.c — DCT implementation library for HCG.
+ *
+ * Transform convention (matching the HCG interpreter oracle):
+ *   DCT-II:  X[k] = sum_n x[n] cos(pi/N * (n+0.5) * k)          (unnormalized)
+ *   IDCT:    x[n] = (X[0]/2 + sum_{k>0} X[k] cos(pi/N*k*(n+0.5))) * 2/N
+ * so IDCT(DCT(x)) == x.
+ *
+ * Implementations per transform:
+ *   *_naive : O(n^2) cosine sum, any n (the generic fallback)
+ *   *_lee   : Lee's recursive split, O(n log n), n = 2^k
+ *   dct_fft : Makhoul reorder + complex radix-2 FFT, O(n log n), n = 2^k
+ *
+ * Instantiated for float (_f32) and double (_f64) via the macro block at
+ * the bottom.  Self-contained; private helpers carry the hcg_dct_priv_
+ * prefix.
+ */
+#include <math.h>
+#include <stdlib.h>
+#include <string.h>
+
+#ifndef HCG_DCT_C_INCLUDED
+#define HCG_DCT_C_INCLUDED
+
+#define HCG_DCT_DEFINE(T, SUF)                                                \
+  /* cos(pi/n*(t+0.5)*k) == ctab[(2t+1)*k mod 4n] with ctab over pi/(2n);   \
+   * the table keeps libm out of the O(n^2) loop, the realistic quality of  \
+   * a generator's generic fallback. */                                     \
+  static double* hcg_dct_priv_costab_##SUF(int n) {                          \
+    double* ctab = (double*)malloc((size_t)n * 4 * sizeof(double));          \
+    for (int j = 0; j < 4 * n; ++j) {                                        \
+      ctab[j] = cos(M_PI * (double)j / (2.0 * n));                           \
+    }                                                                        \
+    return ctab;                                                             \
+  }                                                                          \
+                                                                              \
+  void hcg_dct_naive_##SUF(const T* in, T* out, int n) {                      \
+    double* ctab = hcg_dct_priv_costab_##SUF(n);                              \
+    for (int k = 0; k < n; ++k) {                                             \
+      double acc = 0.0;                                                       \
+      /* (2t+1)*k mod 4n: starts at k, steps by 2k */                         \
+      long long idx = k;                                                      \
+      const long long step = 2LL * k;                                         \
+      for (int t = 0; t < n; ++t) {                                           \
+        acc += (double)in[t] * ctab[idx];                                     \
+        idx += step;                                                          \
+        if (idx >= 4LL * n) idx -= 4LL * n;                                   \
+      }                                                                       \
+      out[k] = (T)acc;                                                        \
+    }                                                                         \
+    free(ctab);                                                               \
+  }                                                                           \
+                                                                              \
+  void hcg_idct_naive_##SUF(const T* in, T* out, int n) {                     \
+    double* ctab = hcg_dct_priv_costab_##SUF(n);                              \
+    for (int t = 0; t < n; ++t) {                                             \
+      double acc = (double)in[0] / 2.0;                                       \
+      long long idx = 2LL * t + 1;                                            \
+      const long long step = 2LL * t + 1;                                     \
+      for (int k = 1; k < n; ++k) {                                           \
+        acc += (double)in[k] * ctab[idx];                                     \
+        idx += step;                                                          \
+        while (idx >= 4LL * n) idx -= 4LL * n;                                \
+      }                                                                       \
+      out[t] = (T)(acc * 2.0 / n);                                            \
+    }                                                                         \
+    free(ctab);                                                               \
+  }                                                                           \
+                                                                              \
+  /* Lee's DCT-II recursion: data transformed in place, scratch size n. */    \
+  static void hcg_dct_priv_lee2_##SUF(T* data, T* scratch, int n) {           \
+    if (n == 1) return;                                                       \
+    const int h = n / 2;                                                      \
+    for (int i = 0; i < h; ++i) {                                             \
+      const double a = data[i], b = data[n - 1 - i];                          \
+      scratch[i] = (T)(a + b);                                                \
+      scratch[h + i] =                                                        \
+          (T)((a - b) / (2.0 * cos(M_PI * (i + 0.5) / (double)n)));           \
+    }                                                                         \
+    hcg_dct_priv_lee2_##SUF(scratch, data, h);                                \
+    hcg_dct_priv_lee2_##SUF(scratch + h, data, h);                            \
+    for (int i = 0; i < h - 1; ++i) {                                         \
+      data[2 * i] = scratch[i];                                               \
+      data[2 * i + 1] = (T)(scratch[h + i] + scratch[h + i + 1]);             \
+    }                                                                         \
+    data[n - 2] = scratch[h - 1];                                             \
+    data[n - 1] = scratch[n - 1];                                             \
+  }                                                                           \
+                                                                              \
+  void hcg_dct_lee_##SUF(const T* in, T* out, int n) {                        \
+    T* scratch = (T*)malloc((size_t)n * sizeof(T));                           \
+    memcpy(out, in, (size_t)n * sizeof(T));                                   \
+    hcg_dct_priv_lee2_##SUF(out, scratch, n);                                 \
+    free(scratch);                                                            \
+  }                                                                           \
+                                                                              \
+  /* Lee's DCT-III recursion (inverse), X[0] already halved by caller. */     \
+  static void hcg_dct_priv_lee3_##SUF(T* data, T* scratch, int n) {           \
+    if (n == 1) return;                                                       \
+    const int h = n / 2;                                                      \
+    scratch[0] = data[0];                                                     \
+    scratch[h] = data[1];                                                     \
+    for (int i = 2, idx = 1; i < n; i += 2, ++idx) {                          \
+      scratch[idx] = data[i];                                                 \
+      scratch[h + idx] = (T)(data[i - 1] + data[i + 1]);                      \
+    }                                                                         \
+    hcg_dct_priv_lee3_##SUF(scratch, data, h);                                \
+    hcg_dct_priv_lee3_##SUF(scratch + h, data, h);                            \
+    for (int i = 0; i < h; ++i) {                                             \
+      const double x = scratch[i];                                            \
+      const double y =                                                        \
+          scratch[h + i] / (2.0 * cos(M_PI * (i + 0.5) / (double)n));         \
+      data[i] = (T)(x + y);                                                   \
+      data[n - 1 - i] = (T)(x - y);                                           \
+    }                                                                         \
+  }                                                                           \
+                                                                              \
+  void hcg_idct_lee_##SUF(const T* in, T* out, int n) {                       \
+    T* scratch = (T*)malloc((size_t)n * sizeof(T));                           \
+    memcpy(out, in, (size_t)n * sizeof(T));                                   \
+    out[0] = (T)(out[0] / 2.0);                                               \
+    hcg_dct_priv_lee3_##SUF(out, scratch, n);                                 \
+    const double s = 2.0 / (double)n;                                         \
+    for (int i = 0; i < n; ++i) out[i] = (T)(out[i] * s);                     \
+    free(scratch);                                                            \
+  }                                                                           \
+                                                                              \
+  /* Complex radix-2 FFT core used by the Makhoul DCT (double math). */       \
+  static void hcg_dct_priv_fft_##SUF(double* a, int n) {                      \
+    for (int i = 1, j = 0; i < n; ++i) {                                      \
+      int bit = n >> 1;                                                       \
+      for (; j & bit; bit >>= 1) j ^= bit;                                    \
+      j |= bit;                                                               \
+      if (i < j) {                                                            \
+        double tr = a[2 * i], ti = a[2 * i + 1];                              \
+        a[2 * i] = a[2 * j];                                                  \
+        a[2 * i + 1] = a[2 * j + 1];                                          \
+        a[2 * j] = tr;                                                        \
+        a[2 * j + 1] = ti;                                                    \
+      }                                                                       \
+    }                                                                         \
+    for (int len = 2; len <= n; len <<= 1) {                                  \
+      const double ang = -2.0 * M_PI / (double)len;                           \
+      const double wr = cos(ang), wi = sin(ang);                              \
+      for (int i = 0; i < n; i += len) {                                      \
+        double cr = 1.0, ci = 0.0;                                            \
+        for (int j = 0; j < len / 2; ++j) {                                   \
+          double* u = a + 2 * (i + j);                                        \
+          double* v = a + 2 * (i + j + len / 2);                              \
+          const double vr = v[0] * cr - v[1] * ci;                            \
+          const double vi = v[0] * ci + v[1] * cr;                            \
+          const double ur = u[0], ui = u[1];                                  \
+          u[0] = ur + vr;                                                     \
+          u[1] = ui + vi;                                                     \
+          v[0] = ur - vr;                                                     \
+          v[1] = ui - vi;                                                     \
+          const double ncr = cr * wr - ci * wi;                               \
+          ci = cr * wi + ci * wr;                                             \
+          cr = ncr;                                                           \
+        }                                                                     \
+      }                                                                       \
+    }                                                                         \
+  }                                                                           \
+                                                                              \
+  /* Makhoul: X[k] = Re(exp(-i*pi*k/(2N)) * FFT(reordered x)[k]). */          \
+  void hcg_dct_fft_##SUF(const T* in, T* out, int n) {                        \
+    if (n == 1) { /* DCT-II of a single sample is the identity */             \
+      out[0] = in[0];                                                         \
+      return;                                                                 \
+    }                                                                         \
+    double* v = (double*)calloc((size_t)n * 2, sizeof(double));               \
+    for (int i = 0; i < n / 2; ++i) {                                         \
+      v[2 * i] = in[2 * i];                                                   \
+      v[2 * (n - 1 - i)] = in[2 * i + 1];                                     \
+    }                                                                         \
+    hcg_dct_priv_fft_##SUF(v, n);                                             \
+    for (int k = 0; k < n; ++k) {                                             \
+      const double theta = M_PI * k / (2.0 * n);                              \
+      out[k] = (T)(v[2 * k] * cos(theta) + v[2 * k + 1] * sin(theta));        \
+    }                                                                         \
+    free(v);                                                                  \
+  }                                                                           \
+                                                                              \
+  /* 2-D DCT, row-column. */                                                  \
+  void hcg_dct2d_naive_##SUF(const T* in, T* out, int rows, int cols) {       \
+    T* col_in = (T*)calloc((size_t)rows, sizeof(T));                          \
+    T* col_out = (T*)calloc((size_t)rows, sizeof(T));                        \
+    for (int r = 0; r < rows; ++r) {                                          \
+      hcg_dct_naive_##SUF(in + (size_t)r * cols, out + (size_t)r * cols,      \
+                          cols);                                              \
+    }                                                                         \
+    for (int c = 0; c < cols; ++c) {                                          \
+      for (int r = 0; r < rows; ++r) col_in[r] = out[(size_t)r * cols + c];   \
+      hcg_dct_naive_##SUF(col_in, col_out, rows);                             \
+      for (int r = 0; r < rows; ++r) out[(size_t)r * cols + c] = col_out[r];  \
+    }                                                                         \
+    free(col_in);                                                             \
+    free(col_out);                                                            \
+  }                                                                           \
+                                                                              \
+  void hcg_dct2d_lee_##SUF(const T* in, T* out, int rows, int cols) {         \
+    T* col_in = (T*)calloc((size_t)rows, sizeof(T));                          \
+    T* col_out = (T*)calloc((size_t)rows, sizeof(T));                        \
+    for (int r = 0; r < rows; ++r) {                                          \
+      hcg_dct_lee_##SUF(in + (size_t)r * cols, out + (size_t)r * cols, cols); \
+    }                                                                         \
+    for (int c = 0; c < cols; ++c) {                                          \
+      for (int r = 0; r < rows; ++r) col_in[r] = out[(size_t)r * cols + c];   \
+      hcg_dct_lee_##SUF(col_in, col_out, rows);                               \
+      for (int r = 0; r < rows; ++r) out[(size_t)r * cols + c] = col_out[r];  \
+    }                                                                         \
+    free(col_in);                                                             \
+    free(col_out);                                                            \
+  }
+
+HCG_DCT_DEFINE(float, f32)
+HCG_DCT_DEFINE(double, f64)
+
+#undef HCG_DCT_DEFINE
+
+#endif /* HCG_DCT_C_INCLUDED */

@@ -1,0 +1,52 @@
+#include "model/builder.hpp"
+
+namespace hcg {
+
+PortRef ModelBuilder::inport(std::string_view name, DataType type,
+                             Shape shape) {
+  ActorId id = model_.add_actor(name, "Inport");
+  Actor& a = model_.actor(id);
+  a.set_param("dtype", short_name(type));
+  a.set_param("shape", shape.to_string());
+  return PortRef{id, 0};
+}
+
+PortRef ModelBuilder::constant(std::string_view name, DataType type,
+                               Shape shape, std::string_view value) {
+  ActorId id = model_.add_actor(name, "Constant");
+  Actor& a = model_.actor(id);
+  a.set_param("dtype", short_name(type));
+  a.set_param("shape", shape.to_string());
+  a.set_param("value", value);
+  return PortRef{id, 0};
+}
+
+PortRef ModelBuilder::actor(
+    std::string_view name, std::string_view type,
+    std::initializer_list<PortRef> inputs,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        params) {
+  return actor(name, type, std::vector<PortRef>(inputs), params);
+}
+
+PortRef ModelBuilder::actor(
+    std::string_view name, std::string_view type,
+    const std::vector<PortRef>& inputs,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        params) {
+  ActorId id = model_.add_actor(name, type);
+  Actor& a = model_.actor(id);
+  for (const auto& [key, value] : params) a.set_param(key, value);
+  int port = 0;
+  for (const PortRef& in : inputs) {
+    model_.connect(in.actor, in.port, id, port++);
+  }
+  return PortRef{id, 0};
+}
+
+void ModelBuilder::outport(std::string_view name, PortRef src) {
+  ActorId id = model_.add_actor(name, "Outport");
+  model_.connect(src.actor, src.port, id, 0);
+}
+
+}  // namespace hcg

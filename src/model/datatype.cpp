@@ -1,0 +1,117 @@
+#include "model/datatype.hpp"
+
+#include "support/error.hpp"
+
+namespace hcg {
+
+int bit_width(DataType type) {
+  switch (type) {
+    case DataType::kInt8:
+    case DataType::kUInt8: return 8;
+    case DataType::kInt16:
+    case DataType::kUInt16: return 16;
+    case DataType::kInt32:
+    case DataType::kUInt32:
+    case DataType::kFloat32: return 32;
+    case DataType::kInt64:
+    case DataType::kUInt64:
+    case DataType::kFloat64:
+    case DataType::kComplex64: return 64;
+    case DataType::kComplex128: return 128;
+  }
+  throw InternalError("bit_width: bad DataType");
+}
+
+int byte_width(DataType type) { return bit_width(type) / 8; }
+
+bool is_float(DataType type) {
+  return type == DataType::kFloat32 || type == DataType::kFloat64;
+}
+
+bool is_signed_int(DataType type) {
+  switch (type) {
+    case DataType::kInt8:
+    case DataType::kInt16:
+    case DataType::kInt32:
+    case DataType::kInt64: return true;
+    default: return false;
+  }
+}
+
+bool is_unsigned_int(DataType type) {
+  switch (type) {
+    case DataType::kUInt8:
+    case DataType::kUInt16:
+    case DataType::kUInt32:
+    case DataType::kUInt64: return true;
+    default: return false;
+  }
+}
+
+bool is_integer(DataType type) {
+  return is_signed_int(type) || is_unsigned_int(type);
+}
+
+bool is_complex(DataType type) {
+  return type == DataType::kComplex64 || type == DataType::kComplex128;
+}
+
+std::string_view short_name(DataType type) {
+  switch (type) {
+    case DataType::kInt8: return "i8";
+    case DataType::kInt16: return "i16";
+    case DataType::kInt32: return "i32";
+    case DataType::kInt64: return "i64";
+    case DataType::kUInt8: return "u8";
+    case DataType::kUInt16: return "u16";
+    case DataType::kUInt32: return "u32";
+    case DataType::kUInt64: return "u64";
+    case DataType::kFloat32: return "f32";
+    case DataType::kFloat64: return "f64";
+    case DataType::kComplex64: return "c64";
+    case DataType::kComplex128: return "c128";
+  }
+  throw InternalError("short_name: bad DataType");
+}
+
+std::string_view c_name(DataType type) {
+  switch (type) {
+    case DataType::kInt8: return "int8_t";
+    case DataType::kInt16: return "int16_t";
+    case DataType::kInt32: return "int32_t";
+    case DataType::kInt64: return "int64_t";
+    case DataType::kUInt8: return "uint8_t";
+    case DataType::kUInt16: return "uint16_t";
+    case DataType::kUInt32: return "uint32_t";
+    case DataType::kUInt64: return "uint64_t";
+    case DataType::kFloat32: return "float";
+    case DataType::kFloat64: return "double";
+    case DataType::kComplex64: return "float";
+    case DataType::kComplex128: return "double";
+  }
+  throw InternalError("c_name: bad DataType");
+}
+
+DataType parse_datatype(std::string_view name) {
+  if (name == "i8") return DataType::kInt8;
+  if (name == "i16") return DataType::kInt16;
+  if (name == "i32") return DataType::kInt32;
+  if (name == "i64") return DataType::kInt64;
+  if (name == "u8") return DataType::kUInt8;
+  if (name == "u16") return DataType::kUInt16;
+  if (name == "u32") return DataType::kUInt32;
+  if (name == "u64") return DataType::kUInt64;
+  if (name == "f32") return DataType::kFloat32;
+  if (name == "f64") return DataType::kFloat64;
+  if (name == "c64") return DataType::kComplex64;
+  if (name == "c128") return DataType::kComplex128;
+  throw ParseError("unknown data type '" + std::string(name) + "'");
+}
+
+DataType component_type(DataType type) {
+  if (type == DataType::kComplex64) return DataType::kFloat32;
+  if (type == DataType::kComplex128) return DataType::kFloat64;
+  return type;
+}
+
+}  // namespace hcg

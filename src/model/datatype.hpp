@@ -1,0 +1,55 @@
+// Scalar element types carried by model signals.
+//
+// kComplex64 is a pair of float32 (re, im) stored interleaved; it is the
+// element type of FFT-family signals.  Batch (element-wise) actors never
+// operate on complex data, matching the paper's Table 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hcg {
+
+enum class DataType : std::uint8_t {
+  kInt8,
+  kInt16,
+  kInt32,
+  kInt64,
+  kUInt8,
+  kUInt16,
+  kUInt32,
+  kUInt64,
+  kFloat32,
+  kFloat64,
+  kComplex64,   // 2 x float32, interleaved
+  kComplex128,  // 2 x float64, interleaved
+};
+
+/// Size of one element in bits (kComplex64 = 64).
+int bit_width(DataType type);
+
+/// Size of one element in bytes.
+int byte_width(DataType type);
+
+bool is_float(DataType type);
+bool is_signed_int(DataType type);
+bool is_unsigned_int(DataType type);
+bool is_integer(DataType type);
+bool is_complex(DataType type);
+
+/// Short mnemonic used in model files and .isa tables: "i32", "f32", "c64"...
+std::string_view short_name(DataType type);
+
+/// The C type emitted into generated code: "int32_t", "float", ...
+/// Complex types map to their scalar component ("float"); generated code
+/// treats complex buffers as interleaved scalar arrays.
+std::string_view c_name(DataType type);
+
+/// Inverse of short_name(); throws hcg::ParseError on unknown names.
+DataType parse_datatype(std::string_view name);
+
+/// The scalar component of a complex type (c64 -> f32); identity otherwise.
+DataType component_type(DataType type);
+
+}  // namespace hcg

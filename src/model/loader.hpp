@@ -1,0 +1,54 @@
+// XML model file loader / writer.
+//
+// Format (the structural equivalent of the actor/port/connection data HCG
+// extracts from Simulink's zipped-XML .slx files):
+//
+//   <model name="fir">
+//     <actor name="x"    type="Inport"   dtype="i32" shape="1024"/>
+//     <actor name="taps" type="Constant" dtype="i32" shape="1024" value="7"/>
+//     <actor name="m"    type="Mul"/>
+//     <actor name="y"    type="Outport"/>
+//     <connect from="x"      to="m:0"/>
+//     <connect from="taps"   to="m:1"/>
+//     <connect from="m"      to="y"/>
+//   </model>
+//
+// Every <actor> attribute other than name/type becomes an actor parameter;
+// <param name="..." value="..."/> children are accepted as well.  Connection
+// endpoints are "actor" (port 0) or "actor:N".
+//
+// Hierarchy: an actor of type "Subsystem" carries a nested <model> element
+// and is flattened at load time (see model/subsystem.hpp) — its inner
+// actors join the parent under "name__" prefixes, and connections to the
+// subsystem's ports are rerouted across the boundary:
+//
+//   <actor name="filt" type="Subsystem">
+//     <model name="filt_impl">
+//       <actor name="in0" type="Inport" dtype="f32" shape="64"/>
+//       <actor name="neg" type="Gain" gain="-1"/>
+//       <actor name="out0" type="Outport"/>
+//       <connect from="in0" to="neg"/>
+//       <connect from="neg" to="out0"/>
+//     </model>
+//   </actor>
+//   <connect from="x" to="filt:0"/>
+//   <connect from="filt:0" to="y"/>
+#pragma once
+
+#include <filesystem>
+#include <string_view>
+
+#include "model/model.hpp"
+
+namespace hcg {
+
+/// Parses a model from XML text; throws hcg::ParseError / hcg::ModelError.
+Model load_model(std::string_view xml_text);
+
+/// Parses the model file at `path`.
+Model load_model_file(const std::filesystem::path& path);
+
+/// Serializes a model back to the XML format accepted by load_model().
+std::string model_to_xml(const Model& model);
+
+}  // namespace hcg

@@ -1,0 +1,165 @@
+#include "model/model.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hcg {
+
+// ---------------------------------------------------------------------------
+// Actor
+// ---------------------------------------------------------------------------
+
+bool Actor::has_param(std::string_view key) const {
+  return params_.find(std::string(key)) != params_.end();
+}
+
+const std::string& Actor::param(std::string_view key) const {
+  auto it = params_.find(std::string(key));
+  if (it == params_.end()) {
+    throw ModelError("actor '" + name_ + "' (" + type_ +
+                     ") missing parameter '" + std::string(key) + "'");
+  }
+  return it->second;
+}
+
+std::string Actor::param_or(std::string_view key,
+                            std::string_view fallback) const {
+  auto it = params_.find(std::string(key));
+  return it == params_.end() ? std::string(fallback) : it->second;
+}
+
+long long Actor::int_param(std::string_view key) const {
+  return parse_int(param(key));
+}
+
+long long Actor::int_param_or(std::string_view key, long long fallback) const {
+  if (!has_param(key)) return fallback;
+  return parse_int(param(key));
+}
+
+double Actor::double_param_or(std::string_view key, double fallback) const {
+  if (!has_param(key)) return fallback;
+  return parse_double(param(key));
+}
+
+void Actor::set_param(std::string_view key, std::string_view value) {
+  params_[std::string(key)] = std::string(value);
+}
+
+const PortSpec& Actor::input(int port) const {
+  if (port < 0 || port >= input_count()) {
+    throw ModelError("actor '" + name_ + "' has no input port " +
+                     std::to_string(port));
+  }
+  return inputs_[static_cast<size_t>(port)];
+}
+
+const PortSpec& Actor::output(int port) const {
+  if (port < 0 || port >= output_count()) {
+    throw ModelError("actor '" + name_ + "' has no output port " +
+                     std::to_string(port));
+  }
+  return outputs_[static_cast<size_t>(port)];
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+ActorId Model::add_actor(std::string_view name, std::string_view type) {
+  if (!is_identifier(name)) {
+    throw ModelError("actor name '" + std::string(name) +
+                     "' is not a valid C identifier");
+  }
+  if (find_actor(name) != kNoActor) {
+    throw ModelError("duplicate actor name '" + std::string(name) + "'");
+  }
+  ActorId id = static_cast<ActorId>(actors_.size());
+  actors_.emplace_back(id, std::string(name), std::string(type));
+  return id;
+}
+
+void Model::connect(ActorId src, int src_port, ActorId dst, int dst_port) {
+  if (src < 0 || src >= actor_count() || dst < 0 || dst >= actor_count()) {
+    throw ModelError("connect: actor id out of range");
+  }
+  if (src_port < 0 || dst_port < 0) {
+    throw ModelError("connect: negative port index");
+  }
+  for (const Connection& c : connections_) {
+    if (c.dst == dst && c.dst_port == dst_port) {
+      throw ModelError("input port " + std::to_string(dst_port) +
+                       " of actor '" + actor(dst).name() +
+                       "' already has an incoming connection");
+    }
+  }
+  connections_.push_back(Connection{src, src_port, dst, dst_port});
+}
+
+Actor& Model::actor(ActorId id) {
+  if (id < 0 || id >= actor_count()) {
+    throw ModelError("actor id out of range: " + std::to_string(id));
+  }
+  return actors_[static_cast<size_t>(id)];
+}
+
+const Actor& Model::actor(ActorId id) const {
+  if (id < 0 || id >= actor_count()) {
+    throw ModelError("actor id out of range: " + std::to_string(id));
+  }
+  return actors_[static_cast<size_t>(id)];
+}
+
+ActorId Model::find_actor(std::string_view name) const {
+  for (const Actor& a : actors_) {
+    if (a.name() == name) return a.id();
+  }
+  return kNoActor;
+}
+
+const Actor& Model::actor_by_name(std::string_view name) const {
+  ActorId id = find_actor(name);
+  if (id == kNoActor) {
+    throw ModelError("no actor named '" + std::string(name) + "'");
+  }
+  return actor(id);
+}
+
+std::optional<Connection> Model::incoming(ActorId dst, int dst_port) const {
+  for (const Connection& c : connections_) {
+    if (c.dst == dst && c.dst_port == dst_port) return c;
+  }
+  return std::nullopt;
+}
+
+std::vector<Connection> Model::outgoing(ActorId src, int src_port) const {
+  std::vector<Connection> out;
+  for (const Connection& c : connections_) {
+    if (c.src == src && c.src_port == src_port) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<Connection> Model::outgoing_all(ActorId src) const {
+  std::vector<Connection> out;
+  for (const Connection& c : connections_) {
+    if (c.src == src) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<ActorId> Model::inports() const { return actors_of_type("Inport"); }
+
+std::vector<ActorId> Model::outports() const {
+  return actors_of_type("Outport");
+}
+
+std::vector<ActorId> Model::actors_of_type(std::string_view type) const {
+  std::vector<ActorId> out;
+  for (const Actor& a : actors_) {
+    if (a.type() == type) out.push_back(a.id());
+  }
+  return out;
+}
+
+}  // namespace hcg

@@ -1,0 +1,137 @@
+// The Simulink-like model intermediate representation.
+//
+// A model is a directed graph of actors.  Each actor has a type (the string
+// Simulink calls the "block type": "Add", "FFT", "Inport", ...), a unique
+// name, a parameter map, and — once the model has been resolved against the
+// actor registry — typed/shaped input and output ports.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/datatype.hpp"
+#include "model/tensor.hpp"
+
+namespace hcg {
+
+using ActorId = int;
+inline constexpr ActorId kNoActor = -1;
+
+/// A resolved port: element type + dimensions.
+struct PortSpec {
+  DataType type = DataType::kFloat32;
+  Shape shape;
+
+  bool operator==(const PortSpec&) const = default;
+  std::string to_string() const {
+    return std::string(short_name(type)) + "[" + shape.to_string() + "]";
+  }
+};
+
+class Actor {
+ public:
+  Actor(ActorId id, std::string name, std::string type)
+      : id_(id), name_(std::move(name)), type_(std::move(type)) {}
+
+  ActorId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const std::string& type() const { return type_; }
+
+  // ---- parameters --------------------------------------------------------
+  bool has_param(std::string_view key) const;
+  /// Throws hcg::ModelError if the parameter is absent.
+  const std::string& param(std::string_view key) const;
+  std::string param_or(std::string_view key, std::string_view fallback) const;
+  long long int_param(std::string_view key) const;
+  long long int_param_or(std::string_view key, long long fallback) const;
+  double double_param_or(std::string_view key, double fallback) const;
+  void set_param(std::string_view key, std::string_view value);
+  const std::map<std::string, std::string>& params() const { return params_; }
+
+  // ---- resolved ports (populated by hcg::actors::resolve_model) ----------
+  bool is_resolved() const { return resolved_; }
+  void set_ports(std::vector<PortSpec> inputs, std::vector<PortSpec> outputs) {
+    inputs_ = std::move(inputs);
+    outputs_ = std::move(outputs);
+    resolved_ = true;
+  }
+  int input_count() const { return static_cast<int>(inputs_.size()); }
+  int output_count() const { return static_cast<int>(outputs_.size()); }
+  const PortSpec& input(int port) const;
+  const PortSpec& output(int port) const;
+  const std::vector<PortSpec>& inputs() const { return inputs_; }
+  const std::vector<PortSpec>& outputs() const { return outputs_; }
+
+ private:
+  ActorId id_;
+  std::string name_;
+  std::string type_;
+  std::map<std::string, std::string> params_;
+  std::vector<PortSpec> inputs_;
+  std::vector<PortSpec> outputs_;
+  bool resolved_ = false;
+};
+
+/// A directed wire from (src actor, src output port) to
+/// (dst actor, dst input port).
+struct Connection {
+  ActorId src = kNoActor;
+  int src_port = 0;
+  ActorId dst = kNoActor;
+  int dst_port = 0;
+
+  bool operator==(const Connection&) const = default;
+};
+
+class Model {
+ public:
+  explicit Model(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds an actor; names must be unique C identifiers.
+  /// Returns the new actor's id.
+  ActorId add_actor(std::string_view name, std::string_view type);
+
+  /// Connects src's output port to dst's input port.  Each input port
+  /// accepts exactly one incoming connection (checked here); outputs fan out.
+  void connect(ActorId src, int src_port, ActorId dst, int dst_port);
+
+  int actor_count() const { return static_cast<int>(actors_.size()); }
+  Actor& actor(ActorId id);
+  const Actor& actor(ActorId id) const;
+  const std::vector<Actor>& actors() const { return actors_; }
+  std::vector<Actor>& actors() { return actors_; }
+
+  /// Finds an actor by name; returns kNoActor if absent.
+  ActorId find_actor(std::string_view name) const;
+  /// Finds an actor by name; throws hcg::ModelError if absent.
+  const Actor& actor_by_name(std::string_view name) const;
+
+  const std::vector<Connection>& connections() const { return connections_; }
+
+  /// The single connection feeding (dst, dst_port), if any.
+  std::optional<Connection> incoming(ActorId dst, int dst_port) const;
+  /// All connections leaving (src, src_port).
+  std::vector<Connection> outgoing(ActorId src, int src_port) const;
+  /// All connections leaving any output port of `src`.
+  std::vector<Connection> outgoing_all(ActorId src) const;
+
+  /// Inport actors in declaration order — the external inputs of the model.
+  std::vector<ActorId> inports() const;
+  /// Outport actors in declaration order — the external outputs.
+  std::vector<ActorId> outports() const;
+
+  /// Actors of a given type, in declaration order.
+  std::vector<ActorId> actors_of_type(std::string_view type) const;
+
+ private:
+  std::string name_;
+  std::vector<Actor> actors_;
+  std::vector<Connection> connections_;
+};
+
+}  // namespace hcg

@@ -1,0 +1,24 @@
+// Schedule analysis: step ② of the code-generation pipeline.
+//
+// Produces the deterministic topological firing order of the model's actors.
+// Outgoing edges of delay actors (UnitDelay) are not dependency edges — a
+// delay's output for the current step is its stored state, so feedback loops
+// through a delay are legal; any other cycle is a ModelError.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/model.hpp"
+
+namespace hcg {
+
+/// Actor types whose outputs do not depend on their same-step inputs.
+bool is_delay_type(const std::string& type);
+
+/// Returns all actors in a valid firing order.  Ties are broken by actor id,
+/// so the schedule is deterministic.  Throws hcg::ModelError on an
+/// un-breakable cycle, naming the actors involved.
+std::vector<ActorId> schedule(const Model& model);
+
+}  // namespace hcg

@@ -1,0 +1,98 @@
+#include "model/subsystem.hpp"
+
+#include <map>
+
+#include "support/error.hpp"
+
+namespace hcg {
+
+FlattenedSubsystem append_flattened(Model& parent, std::string_view prefix,
+                                    const Model& inner) {
+  const std::vector<ActorId> in_ports = inner.inports();
+  const std::vector<ActorId> out_ports = inner.outports();
+
+  // Copy computational actors under the prefix.
+  std::map<ActorId, ActorId> clone_of;
+  for (const Actor& actor : inner.actors()) {
+    if (actor.type() == "Inport" || actor.type() == "Outport") continue;
+    const std::string name = std::string(prefix) + "__" + actor.name();
+    const ActorId id = parent.add_actor(name, actor.type());
+    for (const auto& [key, value] : actor.params()) {
+      parent.actor(id).set_param(key, value);
+    }
+    clone_of[actor.id()] = id;
+  }
+
+  auto inport_index = [&](ActorId id) {
+    for (size_t k = 0; k < in_ports.size(); ++k) {
+      if (in_ports[k] == id) return static_cast<int>(k);
+    }
+    return -1;
+  };
+
+  FlattenedSubsystem boundary;
+  boundary.input_targets.resize(in_ports.size());
+
+  // Interior connections; wires leaving an Inport become boundary targets.
+  for (const Connection& c : inner.connections()) {
+    const Actor& src = inner.actor(c.src);
+    const Actor& dst = inner.actor(c.dst);
+    if (dst.type() == "Outport") continue;  // handled below
+    if (src.type() == "Inport") {
+      boundary.input_targets[static_cast<size_t>(inport_index(c.src))]
+          .emplace_back(clone_of.at(c.dst), c.dst_port);
+    } else {
+      parent.connect(clone_of.at(c.src), c.src_port, clone_of.at(c.dst),
+                     c.dst_port);
+    }
+  }
+
+  // Output boundary: each inner Outport's feeding wire.
+  for (ActorId out : out_ports) {
+    auto conn = inner.incoming(out, 0);
+    if (!conn) {
+      throw ModelError("subsystem '" + std::string(prefix) +
+                       "': inner Outport '" + inner.actor(out).name() +
+                       "' is unconnected");
+    }
+    FlattenedSubsystem::Output entry;
+    const Actor& src = inner.actor(conn->src);
+    if (src.type() == "Inport") {
+      entry.passthrough_input = inport_index(conn->src);
+    } else {
+      entry.src = clone_of.at(conn->src);
+      entry.src_port = conn->src_port;
+    }
+    boundary.outputs.push_back(entry);
+  }
+  return boundary;
+}
+
+std::vector<PortRef> instantiate_subsystem(ModelBuilder& builder,
+                                           std::string_view name,
+                                           const Model& inner,
+                                           const std::vector<PortRef>& inputs) {
+  Model& parent = builder.model();
+  FlattenedSubsystem boundary = append_flattened(parent, name, inner);
+  if (inputs.size() != boundary.input_targets.size()) {
+    throw ModelError("subsystem '" + std::string(name) + "' expects " +
+                     std::to_string(boundary.input_targets.size()) +
+                     " inputs, got " + std::to_string(inputs.size()));
+  }
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    for (const auto& [actor, port] : boundary.input_targets[k]) {
+      parent.connect(inputs[k].actor, inputs[k].port, actor, port);
+    }
+  }
+  std::vector<PortRef> outputs;
+  for (const FlattenedSubsystem::Output& out : boundary.outputs) {
+    if (out.passthrough_input >= 0) {
+      outputs.push_back(inputs.at(static_cast<size_t>(out.passthrough_input)));
+    } else {
+      outputs.push_back(PortRef{out.src, out.src_port});
+    }
+  }
+  return outputs;
+}
+
+}  // namespace hcg

@@ -1,0 +1,53 @@
+// Hierarchical model support: subsystems are flattened into their parent at
+// construction time (Simulink models are deeply hierarchical; HCG's
+// pipeline operates on the flat actor graph, so the hierarchy is a pure
+// front-end convenience here, exactly as in the paper's model parser).
+//
+// Flattening copies the inner model's computational actors into the parent
+// under a `prefix__` namespace and rewires the boundary:
+//   * the inner model's k-th Inport disappears; whatever feeds the
+//     subsystem's input k in the parent connects to that Inport's consumers,
+//   * the inner model's j-th Outport disappears; its source drives whatever
+//     consumes the subsystem's output j,
+//   * a direct Inport->Outport passthrough resolves transitively.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "model/builder.hpp"
+#include "model/model.hpp"
+
+namespace hcg {
+
+/// The boundary map produced by appending a flattened subsystem.
+struct FlattenedSubsystem {
+  /// For subsystem input port k: the (actor, input port) pairs inside the
+  /// parent that the feeding signal must connect to.
+  std::vector<std::vector<std::pair<ActorId, int>>> input_targets;
+
+  struct Output {
+    ActorId src = kNoActor;  // parent-space source actor (kNoActor if
+    int src_port = 0;        // the output is a passthrough)
+    int passthrough_input = -1;  // >= 0: forwards subsystem input k
+  };
+  /// For subsystem output port j: where the value comes from.
+  std::vector<Output> outputs;
+};
+
+/// Copies `inner`'s non-port actors into `parent` with names prefixed
+/// `prefix__`, recreates the interior connections, and returns the boundary
+/// map.  Inner actor names must stay valid identifiers after prefixing.
+/// The inner model does not need to be resolved.
+FlattenedSubsystem append_flattened(Model& parent, std::string_view prefix,
+                                    const Model& inner);
+
+/// Builder convenience: instantiates `inner` as a subsystem named `name`,
+/// wires `inputs` (one per inner Inport, in declaration order) and returns
+/// one PortRef per inner Outport.
+std::vector<PortRef> instantiate_subsystem(ModelBuilder& builder,
+                                           std::string_view name,
+                                           const Model& inner,
+                                           const std::vector<PortRef>& inputs);
+
+}  // namespace hcg

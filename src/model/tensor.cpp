@@ -1,0 +1,127 @@
+#include "model/tensor.hpp"
+
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace hcg {
+
+std::string Shape::to_string() const {
+  if (dims.empty()) return "scalar";
+  std::string out;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) out += "x";
+    out += std::to_string(dims[i]);
+  }
+  return out;
+}
+
+Shape Shape::parse(std::string_view text) {
+  text = trim(text);
+  if (text.empty() || text == "scalar") return Shape{};
+  Shape shape;
+  for (const std::string& piece : split(text, 'x')) {
+    long long d = parse_int(piece);
+    if (d <= 0) throw ParseError("shape dimension must be positive: '" +
+                                 std::string(text) + "'");
+    shape.dims.push_back(static_cast<int>(d));
+  }
+  return shape;
+}
+
+Tensor::Tensor(DataType type, Shape shape)
+    : type_(type), shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_.elements()) *
+                   static_cast<std::size_t>(byte_width(type_)),
+               0);
+}
+
+namespace {
+template <typename T>
+double load_as_double(const void* p, int i) {
+  T v;
+  std::memcpy(&v, static_cast<const T*>(p) + i, sizeof(T));
+  return static_cast<double>(v);
+}
+template <typename T>
+void store_from_double(void* p, int i, double value) {
+  T v = static_cast<T>(value);
+  std::memcpy(static_cast<T*>(p) + i, &v, sizeof(T));
+}
+}  // namespace
+
+double Tensor::get_double(int index) const {
+  require(index >= 0 && index < elements(), "Tensor::get_double out of range");
+  switch (type_) {
+    case DataType::kInt8: return load_as_double<std::int8_t>(data(), index);
+    case DataType::kInt16: return load_as_double<std::int16_t>(data(), index);
+    case DataType::kInt32: return load_as_double<std::int32_t>(data(), index);
+    case DataType::kInt64: return load_as_double<std::int64_t>(data(), index);
+    case DataType::kUInt8: return load_as_double<std::uint8_t>(data(), index);
+    case DataType::kUInt16: return load_as_double<std::uint16_t>(data(), index);
+    case DataType::kUInt32: return load_as_double<std::uint32_t>(data(), index);
+    case DataType::kUInt64: return load_as_double<std::uint64_t>(data(), index);
+    case DataType::kFloat32: return load_as_double<float>(data(), index);
+    case DataType::kFloat64: return load_as_double<double>(data(), index);
+    default:
+      throw InternalError("get_double on complex tensor; use as<float>()");
+  }
+}
+
+void Tensor::set_double(int index, double value) {
+  require(index >= 0 && index < elements(), "Tensor::set_double out of range");
+  switch (type_) {
+    case DataType::kInt8: store_from_double<std::int8_t>(data(), index, value); return;
+    case DataType::kInt16: store_from_double<std::int16_t>(data(), index, value); return;
+    case DataType::kInt32: store_from_double<std::int32_t>(data(), index, value); return;
+    case DataType::kInt64: store_from_double<std::int64_t>(data(), index, value); return;
+    case DataType::kUInt8: store_from_double<std::uint8_t>(data(), index, value); return;
+    case DataType::kUInt16: store_from_double<std::uint16_t>(data(), index, value); return;
+    case DataType::kUInt32: store_from_double<std::uint32_t>(data(), index, value); return;
+    case DataType::kUInt64: store_from_double<std::uint64_t>(data(), index, value); return;
+    case DataType::kFloat32: store_from_double<float>(data(), index, value); return;
+    case DataType::kFloat64: store_from_double<double>(data(), index, value); return;
+    default:
+      throw InternalError("set_double on complex tensor; use as<float>()");
+  }
+}
+
+std::int64_t Tensor::get_int(int index) const {
+  require(is_integer(type_), "get_int on non-integer tensor");
+  return static_cast<std::int64_t>(get_double(index));
+}
+
+void Tensor::set_int(int index, std::int64_t value) {
+  require(is_integer(type_), "set_int on non-integer tensor");
+  set_double(index, static_cast<double>(value));
+}
+
+bool Tensor::bytes_equal(const Tensor& other) const {
+  return type_ == other.type_ && shape_ == other.shape_ &&
+         data_ == other.data_;
+}
+
+double Tensor::max_abs_difference(const Tensor& other) const {
+  require(type_ == other.type_ && shape_ == other.shape_,
+          "max_abs_difference: tensor type/shape mismatch");
+  const int components = is_complex(type_) ? elements() * 2 : elements();
+  const DataType comp = component_type(type_);
+  double max_diff = 0.0;
+  for (int i = 0; i < components; ++i) {
+    double a, b;
+    if (comp == DataType::kFloat32) {
+      a = as<float>()[i];
+      b = other.as<float>()[i];
+    } else if (comp == DataType::kFloat64) {
+      a = as<double>()[i];
+      b = other.as<double>()[i];
+    } else {
+      a = get_double(i);
+      b = other.get_double(i);
+    }
+    max_diff = std::max(max_diff, std::fabs(a - b));
+  }
+  return max_diff;
+}
+
+}  // namespace hcg

@@ -1,0 +1,89 @@
+// Shape + Tensor: the typed buffers that flow between actors in the
+// interpreter oracle and the toolchain harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "model/datatype.hpp"
+#include "support/error.hpp"
+
+namespace hcg {
+
+/// Signal dimensions.  {} is a scalar, {n} a vector, {r, c} a matrix.
+struct Shape {
+  std::vector<int> dims;
+
+  Shape() = default;
+  Shape(std::initializer_list<int> d) : dims(d) {}
+  explicit Shape(std::vector<int> d) : dims(std::move(d)) {}
+
+  /// Total element count (1 for scalars).
+  int elements() const {
+    int n = 1;
+    for (int d : dims) n *= d;
+    return n;
+  }
+
+  bool is_scalar() const { return dims.empty(); }
+  int rank() const { return static_cast<int>(dims.size()); }
+
+  bool operator==(const Shape& other) const = default;
+
+  /// "scalar", "1024", "4x4".
+  std::string to_string() const;
+
+  /// Parses "scalar" / "" / "1024" / "4x4"; throws hcg::ParseError.
+  static Shape parse(std::string_view text);
+};
+
+/// A typed, shaped, owning buffer.  Complex tensors store interleaved
+/// (re, im) component pairs, so a c64 tensor of n elements owns 2n floats.
+class Tensor {
+ public:
+  Tensor() : type_(DataType::kFloat32) {}
+  Tensor(DataType type, Shape shape);
+
+  DataType type() const { return type_; }
+  const Shape& shape() const { return shape_; }
+  /// Logical element count (complex elements count once).
+  int elements() const { return shape_.elements(); }
+  /// Size of the raw buffer in bytes.
+  std::size_t byte_size() const { return data_.size(); }
+
+  void* data() { return data_.data(); }
+  const void* data() const { return data_.data(); }
+
+  template <typename T>
+  T* as() {
+    return reinterpret_cast<T*>(data_.data());
+  }
+  template <typename T>
+  const T* as() const {
+    return reinterpret_cast<const T*>(data_.data());
+  }
+
+  /// Element access routed through the runtime type (slow; oracle only).
+  double get_double(int index) const;
+  void set_double(int index, double value);
+  std::int64_t get_int(int index) const;
+  void set_int(int index, std::int64_t value);
+
+  void zero() { std::memset(data_.data(), 0, data_.size()); }
+
+  /// Byte-wise equality (same type, shape and contents).
+  bool bytes_equal(const Tensor& other) const;
+
+  /// Max |a-b| over all scalar components, treating ints exactly.
+  double max_abs_difference(const Tensor& other) const;
+
+ private:
+  DataType type_;
+  Shape shape_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace hcg

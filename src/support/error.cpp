@@ -1,0 +1,22 @@
+#include "support/error.hpp"
+
+namespace hcg {
+
+std::string ParseError::format(const std::string& what, int line, int column) {
+  if (line <= 0) return what;
+  std::string out = what;
+  out += " (at line ";
+  out += std::to_string(line);
+  if (column > 0) {
+    out += ", column ";
+    out += std::to_string(column);
+  }
+  out += ")";
+  return out;
+}
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw InternalError(message);
+}
+
+}  // namespace hcg

@@ -1,0 +1,69 @@
+// Error hierarchy for the HCG library.
+//
+// All contract violations and unrecoverable conditions are reported by
+// throwing a subclass of hcg::Error.  Each subclass corresponds to one
+// phase of the pipeline so callers can catch at the granularity they need.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hcg {
+
+/// Base class of every exception thrown by the HCG library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input text (XML documents, .isa instruction tables, model files).
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line = 0, int column = 0)
+      : Error(format(what, line, column)), line_(line), column_(column) {}
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  static std::string format(const std::string& what, int line, int column);
+  int line_ = 0;
+  int column_ = 0;
+};
+
+/// A structurally invalid model (dangling connection, dimension mismatch,
+/// cycles in the dataflow, unknown actor type, ...).
+class ModelError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Failure inside the SIMD instruction synthesis engine.
+class SynthesisError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Failure while emitting C code.
+class CodegenError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Failure in the host toolchain harness (gcc invocation, dlopen, ...).
+class ToolchainError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant violation; indicates a bug in HCG itself.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throws InternalError when `condition` is false.  Used for invariants that
+/// must hold regardless of user input.
+void require(bool condition, const std::string& message);
+
+}  // namespace hcg

@@ -1,0 +1,58 @@
+#include "support/fileio.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace hcg {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open file for reading: " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::filesystem::path& path, std::string_view content) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open file for writing: " + path.string());
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) throw Error("short write to file: " + path.string());
+}
+
+namespace {
+std::atomic<unsigned> g_tempdir_counter{0};
+}
+
+TempDir::TempDir(std::string_view prefix) {
+  const auto base = std::filesystem::temp_directory_path();
+  // Combine pid + counter so parallel test processes never collide.
+  const unsigned serial = g_tempdir_counter.fetch_add(1);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::filesystem::path candidate =
+        base / (std::string(prefix) + "-" + std::to_string(::getpid()) + "-" +
+                std::to_string(serial) + "-" + std::to_string(attempt));
+    std::error_code ec;
+    if (std::filesystem::create_directory(candidate, ec)) {
+      path_ = candidate;
+      return;
+    }
+  }
+  throw Error("cannot create temporary directory under " + base.string());
+}
+
+TempDir::~TempDir() {
+  if (keep_ || path_.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);  // best effort; never throws
+}
+
+}  // namespace hcg

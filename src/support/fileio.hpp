@@ -1,0 +1,37 @@
+// File-system helpers: whole-file read/write and scoped temporary
+// directories used by the toolchain harness.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace hcg {
+
+/// Reads a whole file; throws hcg::Error if it cannot be opened.
+std::string read_file(const std::filesystem::path& path);
+
+/// Writes a whole file (creating parent directories); throws on failure.
+void write_file(const std::filesystem::path& path, std::string_view content);
+
+/// Creates a unique directory under the system temp dir and removes it (and
+/// everything inside) on destruction.
+class TempDir {
+ public:
+  explicit TempDir(std::string_view prefix = "hcg");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+
+  /// Leaves the directory on disk (for debugging generated code).
+  void keep() { keep_ = true; }
+
+ private:
+  std::filesystem::path path_;
+  bool keep_ = false;
+};
+
+}  // namespace hcg

@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// The library logs sparingly (synthesis decisions, toolchain invocations).
+// The default level is kWarn so tests and benches stay quiet; tools that
+// want the narrative call set_log_level(LogLevel::kInfo).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hcg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_write(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace hcg

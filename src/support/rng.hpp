@@ -1,0 +1,56 @@
+// Deterministic random data generation.
+//
+// The pre-calculation step of Algorithm 1 times candidate implementations on
+// randomly generated inputs; tests and benches need those inputs to be
+// reproducible, so everything funnels through this seeded engine.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace hcg {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Vector of `n` floats in [-1, 1) — typical signal-processing payload.
+  std::vector<float> signal_f32(std::size_t n) {
+    std::vector<float> out(n);
+    for (float& v : out) v = static_cast<float>(uniform_real(-1.0, 1.0));
+    return out;
+  }
+
+  /// Vector of `n` doubles in [-1, 1).
+  std::vector<double> signal_f64(std::size_t n) {
+    std::vector<double> out(n);
+    for (double& v : out) v = uniform_real(-1.0, 1.0);
+    return out;
+  }
+
+  /// Vector of `n` int32 samples in [lo, hi].
+  std::vector<std::int32_t> signal_i32(std::size_t n, std::int32_t lo = -1000,
+                                       std::int32_t hi = 1000) {
+    std::vector<std::int32_t> out(n);
+    for (auto& v : out) v = static_cast<std::int32_t>(uniform_int(lo, hi));
+    return out;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hcg

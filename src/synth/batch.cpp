@@ -1,0 +1,306 @@
+#include "synth/batch.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+#include "synth/matcher.hpp"
+
+namespace hcg::synth {
+
+namespace {
+
+class BatchSynthesizer {
+ public:
+  BatchSynthesizer(const Model& model, const BatchRegion& region,
+                   const isa::VectorIsa& isa, const BufferNameFn& buffer_name,
+                   const BatchOptions& options, int indent)
+      : model_(model),
+        region_(region),
+        graph_(region.graph),
+        isa_(isa),
+        buffer_name_(buffer_name),
+        options_(options),
+        pad_(static_cast<size_t>(indent) * 2, ' ') {}
+
+  BatchSynthResult run() {
+    BatchSynthResult result;
+
+    // Algorithm 2 lines 1-4: batch size / batch count.
+    const int lanes = isa_.width_bits / graph_.data_bit_width();
+    result.batch_size = lanes;
+    result.batch_count = graph_.length() / lanes;
+    result.offset = graph_.length() % lanes;
+    if (result.batch_count < 1 ||
+        graph_.node_count() < options_.min_nodes_for_simd) {
+      result.used_simd = false;
+      return result;
+    }
+    for (const DfgNode& node : graph_.nodes()) {
+      if (isa_.lanes(node.out_type) != lanes) {
+        // A node type the table cannot vectorize at this width; conventional.
+        result.used_simd = false;
+        return result;
+      }
+    }
+
+    // Map the dataflow graph onto instructions (lines 10-22).
+    std::vector<std::string> calc_lines = map_graph(result);
+
+    // Assemble: remainder first (line 25-26: "added to the front"), then the
+    // main vector loop.
+    std::string code;
+    if (result.offset != 0) {
+      code += remainder_code(result.offset);
+    }
+    code += loop_code(calc_lines, result);
+    result.code = std::move(code);
+    result.used_simd = true;
+    return result;
+  }
+
+ private:
+  // ---- naming -------------------------------------------------------------
+
+  std::string node_var(int index) const {
+    return sanitize_identifier(
+               model_.actor(graph_.node(index).actor).name()) +
+           "_b";
+  }
+
+  std::string node_scalar_var(int index) const {
+    return sanitize_identifier(
+               model_.actor(graph_.node(index).actor).name()) +
+           "_s";
+  }
+
+  std::string external_var(int index) const {
+    const DfgExternal& ext = graph_.externals()[static_cast<size_t>(index)];
+    std::string base = sanitize_identifier(model_.actor(ext.src).name());
+    if (ext.src_port != 0) base += "_" + std::to_string(ext.src_port);
+    return base + "_b";
+  }
+
+  std::string external_buffer(int index) const {
+    const DfgExternal& ext = graph_.externals()[static_cast<size_t>(index)];
+    return buffer_name_(ext.src, ext.src_port);
+  }
+
+  const isa::VType& vtype_of(DataType type) const {
+    const isa::VType* v = isa_.find_vtype(type);
+    require(v != nullptr, "batch synth: missing vtype after region filter");
+    return *v;
+  }
+
+  /// The C expression for a vector operand.
+  std::string value_expr(const ValueRef& value) const {
+    switch (value.kind) {
+      case ValueRef::Kind::kNode:
+        return node_var(value.index);
+      case ValueRef::Kind::kExternal:
+        return external_var(value.index);
+      default:
+        throw InternalError("value_expr: non-vector operand");
+    }
+  }
+
+  // ---- graph mapping --------------------------------------------------------
+
+  std::vector<std::string> map_graph(BatchSynthResult& result) {
+    std::vector<std::string> lines;
+    std::vector<bool> mapped(static_cast<size_t>(graph_.node_count()), false);
+    int remaining = graph_.node_count();
+
+    while (remaining > 0) {
+      const int seed = graph_.top_left_node(mapped);  // line 12
+      require(seed != -1, "batch synth: no ready node but graph not mapped");
+
+      const std::vector<std::vector<int>> subgraphs =
+          graph_.extend_subgraphs(seed, mapped, isa_.max_pattern_nodes());
+
+      bool advanced = false;
+      for (const std::vector<int>& subgraph : subgraphs) {  // line 14
+        if (!graph_.is_independent(subgraph, mapped)) continue;  // 15-16
+        if (!graph_.interior_values_private(subgraph)) continue;
+
+        const DfgNode& sink = graph_.node(subgraph.back());
+        std::string line;
+        std::string ins_name;
+        if (subgraph.size() == 1 && sink.op == BatchOp::kCast) {
+          line = emit_cvt(subgraph.back());
+          ins_name = "cvt";
+        } else {
+          auto match = find_matching_instruction(graph_, subgraph, isa_);
+          if (!match) continue;  // lines 18-19
+          line = emit_instruction(subgraph.back(), *match);
+          ins_name = match->instruction->name;
+        }
+
+        lines.push_back(std::move(line));  // line 20
+        result.instructions_used.push_back(ins_name);
+        for (int member : subgraph) {  // line 21: removeNodes
+          mapped[static_cast<size_t>(member)] = true;
+        }
+        remaining -= static_cast<int>(subgraph.size());
+        advanced = true;
+        break;  // line 22
+      }
+      if (!advanced) {
+        throw SynthesisError(
+            "batch synthesis: node '" +
+            model_.actor(graph_.node(seed).actor).name() +
+            "' has no matching SIMD instruction in isa '" + isa_.name + "'");
+      }
+    }
+    return lines;
+  }
+
+  std::string emit_instruction(int sink, const InstructionMatch& match) const {
+    const isa::Instruction& ins = *match.instruction;
+    std::vector<std::pair<std::string, std::string>> repl;
+    repl.emplace_back("O", vtype_of(ins.type).c_name + " " + node_var(sink));
+    for (const auto& [slot, value] : match.binding.inputs) {
+      repl.emplace_back("I" + std::to_string(slot), value_expr(value));
+    }
+    if (match.binding.has_scalar) {
+      repl.emplace_back("C",
+                        isa::scalar_literal(ins.type, match.binding.scalar));
+    }
+    if (match.binding.has_imm) {
+      repl.emplace_back("IMM", std::to_string(match.binding.imm));
+    }
+    return isa::substitute_tokens(ins.code, repl);
+  }
+
+  std::string emit_cvt(int node_index) const {
+    const DfgNode& node = graph_.node(node_index);
+    const ValueRef& src = node.operands.at(0);
+    const DataType from = src.kind == ValueRef::Kind::kNode
+                              ? graph_.node(src.index).out_type
+                              : graph_.externals()[static_cast<size_t>(src.index)].type;
+    const isa::CvtCode* cvt = isa_.find_cvt(from, node.out_type);
+    require(cvt != nullptr, "batch synth: missing cvt after region filter");
+    return isa::substitute_tokens(
+        cvt->code,
+        {{"O", vtype_of(node.out_type).c_name + " " + node_var(node_index)},
+         {"I1", value_expr(src)},
+         {"I", value_expr(src)}});
+  }
+
+  // ---- loop assembly ---------------------------------------------------------
+
+  std::string loop_code(const std::vector<std::string>& calc_lines,
+                        const BatchSynthResult& result) const {
+    std::string body_pad = pad_ + "  ";
+    std::string code;
+    if (result.batch_count >= 2) {  // lines 7-8: addBatchLoop
+      code += pad_ + "for (int i = " + std::to_string(result.offset) +
+              "; i < " + std::to_string(graph_.length()) +
+              "; i += " + std::to_string(result.batch_size) + ") {\n";
+    } else {
+      code += pad_ + "{\n";
+      code += body_pad + "const int i = " + std::to_string(result.offset) +
+              ";\n";
+    }
+
+    // Line 9: data preparation (loads) for every external array.
+    for (size_t x = 0; x < graph_.externals().size(); ++x) {
+      const DfgExternal& ext = graph_.externals()[x];
+      const isa::IoCode* load = isa_.find_load(ext.type);
+      require(load != nullptr, "batch synth: missing load");
+      code += body_pad +
+              isa::substitute_tokens(
+                  load->code,
+                  {{"O", vtype_of(ext.type).c_name + " " +
+                             external_var(static_cast<int>(x))},
+                   {"P", "&" + external_buffer(static_cast<int>(x)) + "[i]"}}) +
+              "\n";
+    }
+
+    for (const std::string& line : calc_lines) code += body_pad + line + "\n";
+
+    // Line 23: stores for region outputs.
+    for (int out : graph_.outputs()) {
+      const DfgNode& node = graph_.node(out);
+      const isa::IoCode* store = isa_.find_store(node.out_type);
+      require(store != nullptr, "batch synth: missing store");
+      code += body_pad +
+              isa::substitute_tokens(
+                  store->code,
+                  {{"P", "&" + buffer_name_(node.actor, 0) + "[i]"},
+                   {"V", node_var(out)}}) +
+              "\n";
+    }
+    code += pad_ + "}\n";
+    return code;
+  }
+
+  /// Lines 24-26: the scalar remainder, same computation element-wise.
+  std::string remainder_code(int offset) const {
+    std::string body_pad = pad_ + "  ";
+    std::string code = pad_ + "for (int i = 0; i < " + std::to_string(offset) +
+                       "; ++i) {\n";
+    for (int n = 0; n < graph_.node_count(); ++n) {
+      const DfgNode& node = graph_.node(n);
+      code += body_pad + std::string(c_name(node.out_type)) + " " +
+              node_scalar_var(n) + " = " + scalar_expr(n) + ";\n";
+    }
+    for (int out : graph_.outputs()) {
+      code += body_pad + buffer_name_(graph_.node(out).actor, 0) +
+              "[i] = " + node_scalar_var(out) + ";\n";
+    }
+    code += pad_ + "}\n";
+    return code;
+  }
+
+  std::string scalar_operand(const ValueRef& value) const {
+    switch (value.kind) {
+      case ValueRef::Kind::kNode:
+        return node_scalar_var(value.index);
+      case ValueRef::Kind::kExternal:
+        return external_buffer(value.index) + "[i]";
+      case ValueRef::Kind::kScalarConst:
+        return isa::scalar_literal(DataType::kFloat64, value.scalar);
+      case ValueRef::Kind::kImmediate:
+        return std::to_string(value.imm);
+    }
+    throw InternalError("scalar_operand: bad ValueRef kind");
+  }
+
+  std::string scalar_expr(int node_index) const {
+    const DfgNode& node = graph_.node(node_index);
+    const std::string a = scalar_operand(node.operands.at(0));
+    std::string b, c;
+    if (node.operands.size() > 1) {
+      const ValueRef& second = node.operands[1];
+      if (second.kind == ValueRef::Kind::kScalarConst) {
+        b = isa::scalar_literal(node.out_type, second.scalar);
+      } else {
+        b = scalar_operand(second);
+      }
+    }
+    if (node.operands.size() > 2) c = scalar_operand(node.operands[2]);
+    return scalar_c_expr(node.op, node.out_type, a, b, c);
+  }
+
+  const Model& model_;
+  const BatchRegion& region_;
+  const Dataflow& graph_;
+  const isa::VectorIsa& isa_;
+  const BufferNameFn& buffer_name_;
+  const BatchOptions& options_;
+  std::string pad_;
+};
+
+}  // namespace
+
+BatchSynthResult synthesize_batch(const Model& model, const BatchRegion& region,
+                                  const isa::VectorIsa& isa,
+                                  const BufferNameFn& buffer_name,
+                                  const BatchOptions& options, int indent) {
+  return BatchSynthesizer(model, region, isa, buffer_name, options, indent)
+      .run();
+}
+
+}  // namespace hcg::synth

@@ -1,0 +1,64 @@
+#include "synth/history.hpp"
+
+#include "support/error.hpp"
+#include "support/fileio.hpp"
+#include "support/strings.hpp"
+
+namespace hcg::synth {
+
+std::string SelectionHistory::key(std::string_view actor_type, DataType dtype,
+                                  const std::vector<Shape>& in_shapes) {
+  std::string out(actor_type);
+  out += " ";
+  out += short_name(dtype);
+  for (const Shape& s : in_shapes) {
+    out += " ";
+    out += s.to_string();
+  }
+  return out;
+}
+
+std::optional<std::string> SelectionHistory::lookup(
+    std::string_view actor_type, DataType dtype,
+    const std::vector<Shape>& in_shapes) const {
+  auto it = entries_.find(key(actor_type, dtype, in_shapes));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void SelectionHistory::store(std::string_view actor_type, DataType dtype,
+                             const std::vector<Shape>& in_shapes,
+                             std::string_view impl_id) {
+  entries_[key(actor_type, dtype, in_shapes)] = std::string(impl_id);
+}
+
+std::string SelectionHistory::serialize() const {
+  std::string out;
+  for (const auto& [k, v] : entries_) {
+    out += k + " -> " + v + "\n";
+  }
+  return out;
+}
+
+SelectionHistory SelectionHistory::deserialize(std::string_view text) {
+  SelectionHistory history;
+  for (const std::string& line : split(text, '\n')) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t arrow = line.find(" -> ");
+    if (arrow == std::string::npos) {
+      throw ParseError("bad selection-history line: '" + line + "'");
+    }
+    history.entries_[line.substr(0, arrow)] = line.substr(arrow + 4);
+  }
+  return history;
+}
+
+void SelectionHistory::save(const std::filesystem::path& path) const {
+  write_file(path, serialize());
+}
+
+SelectionHistory SelectionHistory::load(const std::filesystem::path& path) {
+  return deserialize(read_file(path));
+}
+
+}  // namespace hcg::synth

@@ -1,0 +1,44 @@
+// Selection history (Algorithm 1, lines 1-6 and 18): a persistent cache of
+// (actor type, data type, data size) -> chosen implementation, so repeated
+// synthesis of the same actor shape skips the pre-calculation run.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/datatype.hpp"
+#include "model/tensor.hpp"
+
+namespace hcg::synth {
+
+class SelectionHistory {
+ public:
+  /// loadSelectionHistory + match (Algorithm 1 lines 3-6).
+  std::optional<std::string> lookup(std::string_view actor_type,
+                                    DataType dtype,
+                                    const std::vector<Shape>& in_shapes) const;
+
+  /// storeSelection (Algorithm 1 line 18).
+  void store(std::string_view actor_type, DataType dtype,
+             const std::vector<Shape>& in_shapes, std::string_view impl_id);
+
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Line-based text form: "FFT c64 1024 fft_radix4".
+  std::string serialize() const;
+  static SelectionHistory deserialize(std::string_view text);
+
+  void save(const std::filesystem::path& path) const;
+  static SelectionHistory load(const std::filesystem::path& path);
+
+ private:
+  static std::string key(std::string_view actor_type, DataType dtype,
+                         const std::vector<Shape>& in_shapes);
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace hcg::synth

@@ -1,0 +1,131 @@
+#include "synth/intensive.hpp"
+
+#include <limits>
+
+#include "actors/exec.hpp"
+#include "support/error.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace hcg::synth {
+
+namespace {
+
+std::vector<Shape> input_shapes(const Actor& actor) {
+  std::vector<Shape> shapes;
+  for (const PortSpec& in : actor.inputs()) shapes.push_back(in.shape);
+  return shapes;
+}
+
+void fill_random(Tensor& t, Rng& rng, bool diagonally_dominant) {
+  const DataType comp = component_type(t.type());
+  const int components = is_complex(t.type()) ? t.elements() * 2 : t.elements();
+  for (int i = 0; i < components; ++i) {
+    const double v = rng.uniform_real(-1.0, 1.0);
+    if (comp == DataType::kFloat32) {
+      t.as<float>()[i] = static_cast<float>(v);
+    } else if (comp == DataType::kFloat64) {
+      t.as<double>()[i] = v;
+    } else {
+      t.set_double(i, rng.uniform_int(-100, 100));
+    }
+  }
+  if (diagonally_dominant && t.shape().rank() == 2) {
+    const int n = t.shape().dims[0];
+    for (int i = 0; i < n; ++i) {
+      const double bump = n + 1.0;
+      if (comp == DataType::kFloat32) {
+        t.as<float>()[i * n + i] += static_cast<float>(bump);
+      } else if (comp == DataType::kFloat64) {
+        t.as<double>()[i * n + i] += bump;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Tensor> generate_test_inputs(const Actor& actor,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  const bool dominant = actor.type() == "MatInv" || actor.type() == "MatDet";
+  std::vector<Tensor> inputs;
+  for (const PortSpec& in : actor.inputs()) {
+    Tensor t = make_tensor(in);
+    fill_random(t, rng, dominant);
+    inputs.push_back(std::move(t));
+  }
+  return inputs;
+}
+
+IntensiveSelection select_implementation(const Actor& actor,
+                                         SelectionHistory& history,
+                                         const IntensiveOptions& options) {
+  require(actor.is_resolved(), "select_implementation: unresolved actor");
+  const DataType dtype = actor.input(0).type;
+  const std::vector<Shape> shapes = input_shapes(actor);
+  const kernels::CodeLibrary& library = kernels::CodeLibrary::instance();
+
+  IntensiveSelection result;
+
+  // Lines 3-6: preliminary lightweight search over the synthesis history.
+  if (options.use_history) {
+    if (auto hit = history.lookup(actor.type(), dtype, shapes)) {
+      const kernels::KernelImpl* impl = library.find(*hit, dtype);
+      if (impl != nullptr && impl->can_handle(dtype, shapes)) {
+        result.impl = impl;
+        result.from_history = true;
+        return result;
+      }
+      // A stale entry (library changed since it was stored): fall through to
+      // a fresh pre-calculation, which will overwrite it.
+    }
+  }
+
+  // Lines 7-8: load the code library and default to the general impl.
+  std::vector<const kernels::KernelImpl*> impls =
+      library.implementations(actor.type(), dtype);
+  if (impls.empty()) {
+    throw SynthesisError("no implementations for intensive actor type '" +
+                         actor.type() + "' with element type " +
+                         std::string(short_name(dtype)));
+  }
+  result.impl = &library.general_implementation(actor.type(), dtype);
+
+  // Line 10: generateTestInput.
+  const std::vector<Tensor> inputs = generate_test_inputs(actor, options.seed);
+  std::vector<const Tensor*> input_ptrs;
+  for (const Tensor& t : inputs) input_ptrs.push_back(&t);
+  Tensor output = make_tensor(actor.output(0));
+
+  // Lines 11-17: filter, measure, keep the cheapest.
+  double min_cost = std::numeric_limits<double>::infinity();
+  for (const kernels::KernelImpl* impl : impls) {
+    if (!impl->can_handle(dtype, shapes)) continue;  // lines 12-13
+    // Warm-up run (also validates the kernel doesn't blow up on this size).
+    kernels::run_kernel(*impl, input_ptrs, &output);
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < options.repetitions; ++rep) {
+      Stopwatch timer;
+      kernels::run_kernel(*impl, input_ptrs, &output);
+      best = std::min(best, timer.elapsed_seconds());
+    }
+    result.measured_costs[impl->id] = best;
+    if (best < min_cost) {  // lines 15-17
+      min_cost = best;
+      result.impl = impl;
+    }
+  }
+
+  // Line 18: storeSelection.
+  if (options.use_history) {
+    history.store(actor.type(), dtype, shapes, result.impl->id);
+  }
+  log_debug() << "Algorithm 1: " << actor.type() << "/"
+              << short_name(dtype) << " size " << shapes[0].to_string()
+              << " -> " << result.impl->id;
+  return result;
+}
+
+}  // namespace hcg::synth

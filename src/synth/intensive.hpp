@@ -1,0 +1,46 @@
+// Algorithm 1: code synthesis for intensive computing actors.
+//
+// Selects the optimal implementation for an actor's concrete input scale by
+// adaptively pre-calculating: every candidate that can handle the data type
+// and size is run on randomly generated test input of exactly that size, and
+// the cheapest wins.  Results are memoized in a SelectionHistory.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "kernels/library.hpp"
+#include "model/model.hpp"
+#include "synth/history.hpp"
+
+namespace hcg::synth {
+
+struct IntensiveOptions {
+  /// Timing repetitions per candidate; the minimum is taken.
+  int repetitions = 3;
+  /// Consult/update the selection history (Algorithm 1 lines 3-6, 18).
+  bool use_history = true;
+  /// Seed for generateTestInput.
+  std::uint64_t seed = 0x4c4f54;
+};
+
+struct IntensiveSelection {
+  const kernels::KernelImpl* impl = nullptr;
+  bool from_history = false;
+  /// impl id -> measured seconds (empty on a history hit).
+  std::map<std::string, double> measured_costs;
+};
+
+/// Generates the random test input tensors for an actor's input specs
+/// (generateTestInput, Algorithm 1 line 10).  MatInv inputs are made
+/// diagonally dominant so every candidate sees an invertible matrix.
+std::vector<Tensor> generate_test_inputs(const Actor& actor,
+                                         std::uint64_t seed);
+
+/// Runs Algorithm 1 for a resolved intensive actor.  Throws
+/// hcg::SynthesisError if the actor type has no implementations.
+IntensiveSelection select_implementation(const Actor& actor,
+                                         SelectionHistory& history,
+                                         const IntensiveOptions& options = {});
+
+}  // namespace hcg::synth

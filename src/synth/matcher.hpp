@@ -1,0 +1,45 @@
+// Subgraph-to-instruction pattern matching (the getMatchInstruction step of
+// Algorithm 2).
+//
+// A subgraph (member node indices, sink last) matches an instruction when
+// the instruction's pattern tree covers exactly the subgraph's nodes with
+// compatible ops/types, every vector-input slot binds consistently to a
+// value available outside the subgraph, scalar/immediate slots bind to the
+// graph's constant operands, and commutative ops may swap operands.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "graph/dataflow.hpp"
+#include "isa/instruction.hpp"
+
+namespace hcg::synth {
+
+struct MatchBinding {
+  /// Input slot number (1-based, I1..) -> bound value.
+  std::map<int, ValueRef> inputs;
+  bool has_scalar = false;
+  double scalar = 0.0;
+  bool has_imm = false;
+  long long imm = 0;
+};
+
+/// Tries to match `ins` against `subgraph` of `graph` (sink last).  Returns
+/// the binding on success.
+std::optional<MatchBinding> match_instruction(const Dataflow& graph,
+                                              const std::vector<int>& subgraph,
+                                              const isa::Instruction& ins);
+
+/// Searches all candidates of `isa` whose root op/type fit the subgraph's
+/// sink, in descending pattern-cost order; returns the first match.
+struct InstructionMatch {
+  const isa::Instruction* instruction = nullptr;
+  MatchBinding binding;
+};
+std::optional<InstructionMatch> find_matching_instruction(
+    const Dataflow& graph, const std::vector<int>& subgraph,
+    const isa::VectorIsa& isa);
+
+}  // namespace hcg::synth

@@ -1,0 +1,124 @@
+#include "toolchain/compiled_model.hpp"
+
+#include <dlfcn.h>
+
+#include <cstdlib>
+
+#include "actors/exec.hpp"
+#include "support/error.hpp"
+#include "support/logging.hpp"
+#include "support/stopwatch.hpp"
+
+namespace hcg::toolchain {
+
+namespace {
+
+/// Shell-quotes a path/flag (conservative: single quotes).
+std::string quote(const std::string& text) {
+  std::string out = "'";
+  for (char c : text) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+bool compiler_available(const std::string& cc) {
+  const std::string cmd = cc + " --version > /dev/null 2>&1";
+  return std::system(cmd.c_str()) == 0;
+}
+
+CompiledModel::CompiledModel(const codegen::GeneratedCode& code,
+                             const CompileOptions& options)
+    : dir_("hcg-cc") {
+  if (options.keep_artifacts) dir_.keep();
+
+  source_path_ = dir_.path() / (code.model_name + "_" + code.tool_name + ".c");
+  write_file(source_path_, code.source);
+  const std::filesystem::path so_path =
+      dir_.path() / (code.model_name + "_" + code.tool_name + ".so");
+  const std::filesystem::path log_path = dir_.path() / "cc.log";
+
+  // -fwrapv: generated element-wise code assumes two's-complement wrap on
+  // integer overflow, matching the oracle and every SIMD lowering.
+  std::string cmd = options.cc + " -shared -fPIC " + options.opt_flags +
+                    " -fno-math-errno -fwrapv";
+  if (!code.compile_flags.empty()) cmd += " " + code.compile_flags;
+  if (code.needs_neon_sim) cmd += " -I " + quote(HCG_DATA_DIR);
+  for (const std::string& flag : options.extra_flags) cmd += " " + flag;
+  cmd += " " + quote(source_path_.string()) + " -o " + quote(so_path.string());
+  cmd += " -lm 2> " + quote(log_path.string());
+  command_ = cmd;
+
+  Stopwatch timer;
+  const int rc = std::system(cmd.c_str());
+  compile_seconds_ = timer.elapsed_seconds();
+  if (rc != 0) {
+    std::string log;
+    try {
+      log = read_file(log_path);
+    } catch (const Error&) {
+      log = "(no compiler output captured)";
+    }
+    dir_.keep();  // leave evidence behind
+    throw ToolchainError("compilation failed (" + cmd + "):\n" + log +
+                         "\nsource kept at " + source_path_.string());
+  }
+
+  handle_ = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle_ == nullptr) {
+    throw ToolchainError(std::string("dlopen failed: ") + ::dlerror());
+  }
+  init_ = reinterpret_cast<void (*)()>(::dlsym(handle_, code.init_symbol.c_str()));
+  step_ = reinterpret_cast<void (*)(const void* const*, void* const*)>(
+      ::dlsym(handle_, code.step_symbol.c_str()));
+  if (init_ == nullptr || step_ == nullptr) {
+    throw ToolchainError("generated code is missing " + code.init_symbol +
+                         " or " + code.step_symbol);
+  }
+  log_debug() << "compiled " << code.model_name << " [" << code.tool_name
+              << "] in " << compile_seconds_ << "s";
+}
+
+CompiledModel::~CompiledModel() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+void CompiledModel::init() { init_(); }
+
+void CompiledModel::step(const std::vector<const void*>& inputs,
+                         const std::vector<void*>& outputs) {
+  step_(inputs.data(), outputs.data());
+}
+
+std::vector<Tensor> CompiledModel::step_tensors(
+    const Model& resolved_model, const std::vector<Tensor>& inputs) {
+  const std::vector<ActorId> ins = resolved_model.inports();
+  const std::vector<ActorId> outs = resolved_model.outports();
+  require(inputs.size() == ins.size(),
+          "step_tensors: input count does not match the model's Inports");
+
+  std::vector<const void*> in_ptrs;
+  for (const Tensor& t : inputs) in_ptrs.push_back(t.data());
+
+  std::vector<Tensor> results;
+  std::vector<void*> out_ptrs;
+  for (ActorId id : outs) {
+    results.push_back(make_tensor(resolved_model.actor(id).input(0)));
+    out_ptrs.push_back(results.back().data());
+  }
+  // Vector reallocation would invalidate pointers; gather after sizing.
+  out_ptrs.clear();
+  for (Tensor& t : results) out_ptrs.push_back(t.data());
+
+  step(in_ptrs, out_ptrs);
+  return results;
+}
+
+}  // namespace hcg::toolchain

@@ -1,0 +1,317 @@
+// hcgc — the HCG command-line code generator.
+//
+//   hcgc generate <model.xml> [--tool hcg|simulink|dfsynth] [--isa NAME|FILE]
+//                 [--out FILE] [--history FILE] [--threshold N] [--scattered]
+//   hcgc inspect  <model.xml> [--isa NAME|FILE]
+//   hcgc verify   <model.xml> [--tool ...] [--isa ...] [--seed N]
+//   hcgc bench    <model.xml> [--isa NAME|FILE] [--seed N]
+//   hcgc isa      [NAME]
+//
+// generate: emit deployable C for a model (default: HCG against neon).
+// inspect : print actors, classification, batch regions and their graphs.
+// verify  : generate, compile with the host cc, run one step on random
+//           input, and compare against the built-in simulator.
+// bench   : compile all three tools' output and time steps side by side.
+// isa     : list the built-in instruction tables, or dump one as text.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "actors/catalog.hpp"
+#include "actors/resolve.hpp"
+#include "benchmodels/benchmodels.hpp"
+#include "codegen/generator.hpp"
+#include "graph/regions.hpp"
+#include "isa/builtin.hpp"
+#include "isa/isa_parse.hpp"
+#include "model/loader.hpp"
+#include "support/error.hpp"
+#include "support/fileio.hpp"
+#include "support/stopwatch.hpp"
+#include "toolchain/compiled_model.hpp"
+#include "vm/interpreter.hpp"
+
+namespace {
+
+using namespace hcg;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  hcgc generate <model.xml> [--tool hcg|simulink|dfsynth]\n"
+               "                [--isa NAME|FILE] [--out FILE]\n"
+               "                [--history FILE] [--threshold N] [--scattered]\n"
+               "  hcgc inspect  <model.xml> [--isa NAME|FILE]\n"
+               "  hcgc verify   <model.xml> [--tool ...] [--isa ...] [--seed N]\n"
+               "  hcgc bench    <model.xml> [--isa NAME|FILE] [--seed N]\n"
+               "  hcgc isa      [NAME]\n");
+  return 2;
+}
+
+struct Options {
+  std::string command;
+  std::string model_path;
+  std::string tool = "hcg";
+  std::string isa_name = "neon";
+  std::string out_path;
+  std::string history_path;
+  int threshold = 0;
+  bool scattered = false;
+  std::uint64_t seed = 42;
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  if (argc < 2) return false;
+  opt.command = argv[1];
+  int position = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) throw Error("missing value after " + arg);
+      return argv[++i];
+    };
+    if (arg == "--tool") {
+      opt.tool = value();
+    } else if (arg == "--isa") {
+      opt.isa_name = value();
+    } else if (arg == "--out") {
+      opt.out_path = value();
+    } else if (arg == "--history") {
+      opt.history_path = value();
+    } else if (arg == "--threshold") {
+      opt.threshold = std::atoi(value());
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (arg == "--scattered") {
+      opt.scattered = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw Error("unknown option " + arg);
+    } else if (position++ == 0) {
+      opt.model_path = arg;
+    } else {
+      throw Error("unexpected argument " + arg);
+    }
+  }
+  return true;
+}
+
+/// Resolves --isa as a built-in name first, else as a .isa file path.
+const isa::VectorIsa& resolve_isa(const std::string& name,
+                                  isa::VectorIsa& file_storage) {
+  for (const std::string& builtin_name : isa::builtin_names()) {
+    if (builtin_name == name) return isa::builtin(name);
+  }
+  file_storage = isa::load_isa_file(name);
+  return file_storage;
+}
+
+std::unique_ptr<codegen::Generator> make_tool(const Options& opt,
+                                              const isa::VectorIsa& table,
+                                              synth::SelectionHistory* history) {
+  if (opt.tool == "hcg") {
+    synth::BatchOptions batch;
+    batch.min_nodes_for_simd = opt.threshold;
+    return codegen::make_hcg_generator(table, history, batch);
+  }
+  if (opt.tool == "simulink") {
+    return codegen::make_simulink_generator(opt.scattered ? &table : nullptr);
+  }
+  if (opt.tool == "dfsynth") return codegen::make_dfsynth_generator();
+  throw Error("unknown tool '" + opt.tool + "' (hcg|simulink|dfsynth)");
+}
+
+int cmd_generate(const Options& opt) {
+  Model model = resolved(load_model_file(opt.model_path));
+  isa::VectorIsa file_isa;
+  const isa::VectorIsa& table = resolve_isa(opt.isa_name, file_isa);
+
+  synth::SelectionHistory history;
+  if (!opt.history_path.empty() &&
+      std::filesystem::exists(opt.history_path)) {
+    history = synth::SelectionHistory::load(opt.history_path);
+  }
+
+  auto tool = make_tool(opt, table, &history);
+  codegen::GeneratedCode code = tool->generate(model);
+
+  if (!opt.history_path.empty()) history.save(opt.history_path);
+
+  if (opt.out_path.empty()) {
+    std::fputs(code.source.c_str(), stdout);
+  } else {
+    write_file(opt.out_path, code.source);
+    std::fprintf(stderr, "wrote %s (%zu bytes)\n", opt.out_path.c_str(),
+                 code.source.size());
+  }
+  if (!code.simd_instructions.empty()) {
+    std::fprintf(stderr, "SIMD instructions:");
+    for (const auto& name : code.simd_instructions) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+  }
+  for (const auto& [actor, impl] : code.intensive_choices) {
+    std::fprintf(stderr, "intensive %s -> %s\n", actor.c_str(), impl.c_str());
+  }
+  if (!code.compile_flags.empty()) {
+    std::fprintf(stderr, "compile with: %s\n", code.compile_flags.c_str());
+  }
+  return 0;
+}
+
+int cmd_inspect(const Options& opt) {
+  Model model = resolved(load_model_file(opt.model_path));
+  isa::VectorIsa file_isa;
+  const isa::VectorIsa& table = resolve_isa(opt.isa_name, file_isa);
+
+  std::printf("model '%s': %d actors, %zu connections\n",
+              model.name().c_str(), model.actor_count(),
+              model.connections().size());
+  for (const Actor& actor : model.actors()) {
+    std::printf("  %-12s %-10s", actor.name().c_str(), actor.type().c_str());
+    if (actor.output_count() > 0) {
+      std::printf(" -> %-12s", actor.output(0).to_string().c_str());
+    } else {
+      std::printf("    %-12s", "");
+    }
+    std::printf(" [%s]\n",
+                std::string(kind_name(classify(model, actor.id()))).c_str());
+  }
+
+  const auto regions = find_batch_regions(model, table);
+  std::printf("\nbatch regions against isa '%s': %zu\n", table.name.c_str(),
+              regions.size());
+  for (size_t r = 0; r < regions.size(); ++r) {
+    std::printf("region %zu (%zu actors):\n%s", r, regions[r].actors.size(),
+                regions[r].graph.to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_verify(const Options& opt) {
+  Model model = resolved(load_model_file(opt.model_path));
+  isa::VectorIsa file_isa;
+  const isa::VectorIsa& table = resolve_isa(opt.isa_name, file_isa);
+
+  synth::SelectionHistory history;
+  auto tool = make_tool(opt, table, &history);
+  codegen::GeneratedCode code = tool->generate(model);
+
+  toolchain::CompiledModel compiled(code);
+  compiled.init();
+
+  std::vector<Tensor> inputs = benchmodels::workload(model, opt.seed);
+  Interpreter oracle(model);
+  oracle.init();
+  std::vector<Tensor> expected = oracle.step(inputs);
+  std::vector<Tensor> got = compiled.step_tensors(model, inputs);
+
+  double worst = 0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    worst = std::max(worst, got[i].max_abs_difference(expected[i]));
+  }
+  std::printf("%s [%s/%s]: max |generated - simulated| = %g over %zu "
+              "output(s)\n",
+              model.name().c_str(), opt.tool.c_str(), table.name.c_str(),
+              worst, got.size());
+  const bool ok = worst <= 1e-2;
+  std::printf("%s\n", ok ? "VERIFY OK" : "VERIFY FAILED");
+  return ok ? 0 : 1;
+}
+
+int cmd_bench(const Options& opt) {
+  Model model = resolved(load_model_file(opt.model_path));
+  isa::VectorIsa file_isa;
+  const isa::VectorIsa& table = resolve_isa(opt.isa_name, file_isa);
+
+  std::vector<Tensor> inputs = benchmodels::workload(model, opt.seed);
+  std::vector<const void*> in_ptrs;
+  for (const Tensor& t : inputs) in_ptrs.push_back(t.data());
+  std::vector<Tensor> outputs;
+  for (ActorId id : model.outports()) {
+    outputs.push_back(make_tensor(model.actor(id).input(0)));
+  }
+  std::vector<void*> out_ptrs;
+  for (Tensor& t : outputs) out_ptrs.push_back(t.data());
+
+  struct Row {
+    const char* label;
+    std::unique_ptr<codegen::Generator> tool;
+  };
+  Row rows[3] = {
+      {"simulink", codegen::make_simulink_generator()},
+      {"dfsynth", codegen::make_dfsynth_generator()},
+      {"hcg", nullptr},
+  };
+  synth::SelectionHistory history;
+  synth::BatchOptions batch;
+  batch.min_nodes_for_simd = opt.threshold;
+  rows[2].tool = codegen::make_hcg_generator(table, &history, batch);
+
+  double baseline = 0;
+  for (Row& row : rows) {
+    codegen::GeneratedCode code = row.tool->generate(model);
+    toolchain::CompiledModel compiled(code);
+    compiled.init();
+    compiled.step(in_ptrs, out_ptrs);  // warm-up
+    Stopwatch probe;
+    compiled.step(in_ptrs, out_ptrs);
+    const double once = std::max(probe.elapsed_seconds(), 1e-9);
+    const int reps = static_cast<int>(std::max(3.0, 0.2 / once));
+    Stopwatch timer;
+    for (int i = 0; i < reps; ++i) compiled.step(in_ptrs, out_ptrs);
+    const double per_step = timer.elapsed_seconds() / reps;
+    if (row.label == rows[0].label) baseline = per_step;
+    std::printf("%-10s %12.2f us/step  (%d reps)", row.label, per_step * 1e6,
+                reps);
+    if (baseline > 0 && row.label != rows[0].label) {
+      std::printf("  %+.1f%% vs simulink",
+                  (per_step / baseline - 1.0) * 100.0);
+    }
+    if (!code.simd_instructions.empty()) {
+      std::printf("  [SIMD:");
+      for (const auto& name : code.simd_instructions) {
+        std::printf(" %s", name.c_str());
+      }
+      std::printf("]");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_isa(const Options& opt) {
+  if (opt.model_path.empty()) {
+    for (const std::string& name : isa::builtin_names()) {
+      const isa::VectorIsa& table = isa::builtin(name);
+      std::printf("%-10s %4d-bit  %3zu instructions  header <%s>%s\n",
+                  name.c_str(), table.width_bits, table.instructions.size(),
+                  table.header.c_str(), table.simulated ? "  (simulated)" : "");
+    }
+    return 0;
+  }
+  std::fputs(isa::builtin_text(opt.model_path).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    if (!parse_args(argc, argv, opt)) return usage();
+    if (opt.command == "isa") return cmd_isa(opt);
+    if (opt.model_path.empty()) return usage();
+    if (opt.command == "generate") return cmd_generate(opt);
+    if (opt.command == "inspect") return cmd_inspect(opt);
+    if (opt.command == "verify") return cmd_verify(opt);
+    if (opt.command == "bench") return cmd_bench(opt);
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "hcgc: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,104 @@
+#include "vm/interpreter.hpp"
+
+#include "model/schedule.hpp"
+#include "support/error.hpp"
+
+namespace hcg {
+
+Interpreter::Interpreter(const Model& model)
+    : model_(model), order_(schedule(model)) {
+  values_.resize(static_cast<size_t>(model.actor_count()));
+  for (const Actor& actor : model.actors()) {
+    require(actor.is_resolved(), "Interpreter: model must be resolved");
+    auto& slots = values_[static_cast<size_t>(actor.id())];
+    for (const PortSpec& out : actor.outputs()) slots.push_back(make_tensor(out));
+  }
+  state_.init(model_);
+}
+
+void Interpreter::init() { state_.init(model_); }
+
+std::vector<Tensor> Interpreter::step(const std::vector<Tensor>& inputs) {
+  const std::vector<ActorId> ins = model_.inports();
+  if (inputs.size() != ins.size()) {
+    throw ModelError("Interpreter::step: expected " +
+                     std::to_string(ins.size()) + " inputs, got " +
+                     std::to_string(inputs.size()));
+  }
+  for (size_t i = 0; i < ins.size(); ++i) {
+    const Actor& port = model_.actor(ins[i]);
+    if (inputs[i].type() != port.output(0).type ||
+        !(inputs[i].shape() == port.output(0).shape)) {
+      throw ModelError("Interpreter::step: input " + std::to_string(i) +
+                       " does not match Inport '" + port.name() + "' (" +
+                       port.output(0).to_string() + ")");
+    }
+  }
+
+  std::vector<Tensor> results;
+
+  // Phase 0: every delay emits its stored state before anything fires, so
+  // consumers scheduled ahead of the delay see the previous-step value.
+  for (const Actor& actor : model_.actors()) {
+    if (actor.type() != "UnitDelay") continue;
+    const Tensor& reg = state_.delay.at(actor.id());
+    std::memcpy(values_[static_cast<size_t>(actor.id())][0].data(), reg.data(),
+                reg.byte_size());
+  }
+
+  size_t next_in = 0;
+  for (ActorId id : order_) {
+    const Actor& actor = model_.actor(id);
+    if (actor.type() == "UnitDelay") continue;  // handled in phase 0 / end
+
+    if (actor.type() == "Inport") {
+      // Find this inport's index in declaration order.
+      size_t index = 0;
+      for (size_t i = 0; i < ins.size(); ++i) {
+        if (ins[i] == id) index = i;
+      }
+      (void)next_in;
+      std::memcpy(values_[static_cast<size_t>(id)][0].data(),
+                  inputs[index].data(), inputs[index].byte_size());
+      continue;
+    }
+
+    std::vector<const Tensor*> in_ptrs;
+    for (int port = 0; port < actor.input_count(); ++port) {
+      auto conn = model_.incoming(id, port);
+      require(conn.has_value(), "Interpreter: unconnected input survived resolve");
+      in_ptrs.push_back(
+          &values_[static_cast<size_t>(conn->src)][static_cast<size_t>(conn->src_port)]);
+    }
+
+    if (actor.type() == "Outport") {
+      results.push_back(*in_ptrs[0]);
+      continue;
+    }
+
+    std::vector<Tensor*> out_ptrs;
+    for (int port = 0; port < actor.output_count(); ++port) {
+      out_ptrs.push_back(&values_[static_cast<size_t>(id)][static_cast<size_t>(port)]);
+    }
+    exec_actor(model_, id, in_ptrs, out_ptrs, state_);
+  }
+
+  // End-of-step phase: latch every delay's input into its state register so
+  // same-step feedback loops observed consistent (previous-step) values.
+  for (const Actor& actor : model_.actors()) {
+    if (actor.type() != "UnitDelay") continue;
+    auto conn = model_.incoming(actor.id(), 0);
+    require(conn.has_value(), "Interpreter: delay lost its input");
+    update_delay_state(
+        model_, actor.id(),
+        values_[static_cast<size_t>(conn->src)][static_cast<size_t>(conn->src_port)],
+        state_);
+  }
+  return results;
+}
+
+const Tensor& Interpreter::value(ActorId actor, int port) const {
+  return values_.at(static_cast<size_t>(actor)).at(static_cast<size_t>(port));
+}
+
+}  // namespace hcg

@@ -1,0 +1,42 @@
+// Direct model interpreter.
+//
+// Executes a resolved model step-by-step using the actor reference semantics
+// (actors/exec.hpp).  This is the ground truth every code generator's output
+// is validated against, and the stand-in for Simulink's own simulation
+// engine.
+#pragma once
+
+#include <vector>
+
+#include "actors/exec.hpp"
+#include "model/model.hpp"
+#include "model/tensor.hpp"
+
+namespace hcg {
+
+class Interpreter {
+ public:
+  /// The model must outlive the interpreter and must be resolved.
+  explicit Interpreter(const Model& model);
+
+  /// Resets delay state to zero (the implicit state after model load).
+  void init();
+
+  /// Runs one synchronous step.  `inputs` carries one tensor per Inport in
+  /// declaration order (types/shapes must match); the result has one tensor
+  /// per Outport in declaration order.
+  std::vector<Tensor> step(const std::vector<Tensor>& inputs);
+
+  /// The value most recently produced on (actor, port) — for debugging and
+  /// white-box tests.  Valid after a step() call.
+  const Tensor& value(ActorId actor, int port) const;
+
+ private:
+  const Model& model_;
+  std::vector<ActorId> order_;
+  // One output buffer per (actor, output port).
+  std::vector<std::vector<Tensor>> values_;
+  ExecState state_;
+};
+
+}  // namespace hcg

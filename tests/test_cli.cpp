@@ -1,0 +1,190 @@
+// End-to-end tests of the hcgc command-line tool: every subcommand is run
+// as a real subprocess against a model file written by the test.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/fileio.hpp"
+
+namespace hcg {
+namespace {
+
+struct CliResult {
+  int exit_code;
+  std::string output;  // stdout + stderr
+};
+
+CliResult run_cli(const std::string& args) {
+  TempDir dir;
+  const auto out_path = dir.path() / "out.txt";
+  const std::string cmd = std::string(HCG_HCGC_PATH) + " " + args + " > " +
+                          out_path.string() + " 2>&1";
+  const int rc = std::system(cmd.c_str());
+  std::string output;
+  try {
+    output = read_file(out_path);
+  } catch (const Error&) {
+  }
+  return CliResult{rc == -1 ? -1 : WEXITSTATUS(rc), output};
+}
+
+class CliFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_path_ = (dir_.path() / "model.xml").string();
+    write_file(model_path_, R"(
+<model name="cli_fir">
+  <actor name="x"    type="Inport"   dtype="i32" shape="64"/>
+  <actor name="acc"  type="Inport"   dtype="i32" shape="64"/>
+  <actor name="taps" type="Constant" dtype="i32" shape="64" value="3"/>
+  <actor name="m"    type="Mul"/>
+  <actor name="s"    type="Add"/>
+  <actor name="y"    type="Outport"/>
+  <connect from="x"    to="m:0"/>
+  <connect from="taps" to="m:1"/>
+  <connect from="m"    to="s:0"/>
+  <connect from="acc"  to="s:1"/>
+  <connect from="s"    to="y"/>
+</model>)");
+  }
+
+  TempDir dir_;
+  std::string model_path_;
+};
+
+TEST_F(CliFixture, NoArgsPrintsUsage) {
+  CliResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliFixture, UnknownCommandPrintsUsage) {
+  CliResult r = run_cli("frobnicate x.xml");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST_F(CliFixture, IsaListsBuiltins) {
+  CliResult r = run_cli("isa");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("neon"), std::string::npos);
+  EXPECT_NE(r.output.find("avx2"), std::string::npos);
+  EXPECT_NE(r.output.find("256-bit"), std::string::npos);
+}
+
+TEST_F(CliFixture, IsaDumpsTableText) {
+  CliResult r = run_cli("isa sse");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("isa sse"), std::string::npos);
+  EXPECT_NE(r.output.find("_mm_add_epi32"), std::string::npos);
+}
+
+TEST_F(CliFixture, GenerateEmitsFusedSimd) {
+  const std::string out = (dir_.path() / "gen.c").string();
+  CliResult r = run_cli("generate " + model_path_ + " --isa neon --out " + out);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("vmlaq_s32"), std::string::npos);
+  const std::string source = read_file(out);
+  EXPECT_NE(source.find("void cli_fir_step"), std::string::npos);
+  EXPECT_NE(source.find("vmlaq_s32"), std::string::npos);
+}
+
+TEST_F(CliFixture, GenerateToStdout) {
+  CliResult r = run_cli("generate " + model_path_ + " --isa neon_sim");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("cli_fir_init"), std::string::npos);
+}
+
+TEST_F(CliFixture, GenerateWithBaselineTools) {
+  CliResult df = run_cli("generate " + model_path_ + " --tool dfsynth");
+  EXPECT_EQ(df.exit_code, 0);
+  EXPECT_EQ(df.output.find("vmlaq"), std::string::npos);
+  CliResult sc = run_cli("generate " + model_path_ +
+                         " --tool simulink --scattered --isa sse");
+  EXPECT_EQ(sc.exit_code, 0);
+  EXPECT_NE(sc.output.find("mulld"), std::string::npos);
+}
+
+TEST_F(CliFixture, GenerateRejectsUnknownTool) {
+  CliResult r = run_cli("generate " + model_path_ + " --tool gcc");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown tool"), std::string::npos);
+}
+
+TEST_F(CliFixture, GenerateWithThresholdFallsBackToScalar) {
+  CliResult r = run_cli("generate " + model_path_ +
+                        " --isa neon --threshold 5");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output.find("vmlaq_s32"), std::string::npos);
+}
+
+TEST_F(CliFixture, HistoryFileIsCreatedAndReused) {
+  // The FFT forces Algorithm 1 to run and persist its selection.
+  const std::string fft_model = (dir_.path() / "fft.xml").string();
+  write_file(fft_model, R"(
+<model name="cli_fft">
+  <actor name="x" type="Inport" dtype="c64" shape="256"/>
+  <actor name="f" type="FFT"/>
+  <actor name="y" type="Outport"/>
+  <connect from="x" to="f"/>
+  <connect from="f" to="y"/>
+</model>)");
+  const std::string hist = (dir_.path() / "hist.txt").string();
+  CliResult first =
+      run_cli("generate " + fft_model + " --history " + hist + " --out " +
+              (dir_.path() / "a.c").string());
+  EXPECT_EQ(first.exit_code, 0);
+  const std::string saved = read_file(hist);
+  EXPECT_NE(saved.find("FFT c64 256 -> "), std::string::npos);
+  CliResult second =
+      run_cli("generate " + fft_model + " --history " + hist + " --out " +
+              (dir_.path() / "b.c").string());
+  EXPECT_EQ(second.exit_code, 0);
+}
+
+TEST_F(CliFixture, InspectShowsClassificationAndRegions) {
+  CliResult r = run_cli("inspect " + model_path_);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("[batch]"), std::string::npos);
+  EXPECT_NE(r.output.find("[source]"), std::string::npos);
+  EXPECT_NE(r.output.find("batch regions"), std::string::npos);
+  EXPECT_NE(r.output.find("Mul("), std::string::npos);
+}
+
+TEST_F(CliFixture, VerifyPassesForAllTools) {
+  for (const char* tool : {"hcg", "simulink", "dfsynth"}) {
+    CliResult r = run_cli("verify " + model_path_ + " --tool " + tool +
+                          " --isa neon_sim");
+    EXPECT_EQ(r.exit_code, 0) << tool << "\n" << r.output;
+    EXPECT_NE(r.output.find("VERIFY OK"), std::string::npos) << tool;
+  }
+}
+
+TEST_F(CliFixture, VerifyWithExternalIsaFile) {
+  // Dump the built-in sse table to a file and load it back via --isa.
+  const std::string isa_path = (dir_.path() / "my.isa").string();
+  CliResult dump = run_cli("isa sse");
+  ASSERT_EQ(dump.exit_code, 0);
+  write_file(isa_path, dump.output);
+  CliResult r = run_cli("verify " + model_path_ + " --isa " + isa_path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("VERIFY OK"), std::string::npos);
+}
+
+TEST_F(CliFixture, BenchComparesAllThreeTools) {
+  CliResult r = run_cli("bench " + model_path_ + " --isa neon_sim");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("simulink"), std::string::npos);
+  EXPECT_NE(r.output.find("dfsynth"), std::string::npos);
+  EXPECT_NE(r.output.find("hcg"), std::string::npos);
+  EXPECT_NE(r.output.find("vmlaq_s32"), std::string::npos);
+}
+
+TEST_F(CliFixture, MissingModelFileFails) {
+  CliResult r = run_cli("generate /nonexistent/model.xml");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("hcgc:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcg

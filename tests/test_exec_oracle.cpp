@@ -1,0 +1,399 @@
+// Unit tests for the actor reference semantics and the interpreter oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "actors/exec.hpp"
+#include "actors/resolve.hpp"
+#include "model/builder.hpp"
+#include "support/error.hpp"
+#include "vm/interpreter.hpp"
+
+namespace hcg {
+namespace {
+
+Tensor make_f32(std::initializer_list<float> values) {
+  Tensor t(DataType::kFloat32, Shape({static_cast<int>(values.size())}));
+  int i = 0;
+  for (float v : values) t.as<float>()[i++] = v;
+  return t;
+}
+
+Tensor make_i32(std::initializer_list<std::int32_t> values) {
+  Tensor t(DataType::kInt32, Shape({static_cast<int>(values.size())}));
+  int i = 0;
+  for (auto v : values) t.as<std::int32_t>()[i++] = v;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// eval_elementwise
+// ---------------------------------------------------------------------------
+
+TEST(Elementwise, BinaryOpsInt32) {
+  Tensor a = make_i32({6, -4, 7, 0});
+  Tensor b = make_i32({3, 5, -7, 9});
+  Tensor out(DataType::kInt32, Shape({4}));
+
+  eval_elementwise(BatchOp::kAdd, &a, &b, &out, 0, 0);
+  EXPECT_EQ(out.get_int(0), 9);
+  EXPECT_EQ(out.get_int(2), 0);
+  eval_elementwise(BatchOp::kSub, &a, &b, &out, 0, 0);
+  EXPECT_EQ(out.get_int(1), -9);
+  eval_elementwise(BatchOp::kMul, &a, &b, &out, 0, 0);
+  EXPECT_EQ(out.get_int(3), 0);
+  EXPECT_EQ(out.get_int(0), 18);
+  eval_elementwise(BatchOp::kMin, &a, &b, &out, 0, 0);
+  EXPECT_EQ(out.get_int(1), -4);
+  eval_elementwise(BatchOp::kMax, &a, &b, &out, 0, 0);
+  EXPECT_EQ(out.get_int(1), 5);
+  eval_elementwise(BatchOp::kAbd, &a, &b, &out, 0, 0);
+  EXPECT_EQ(out.get_int(0), 3);
+  EXPECT_EQ(out.get_int(2), 14);
+}
+
+TEST(Elementwise, BitOpsInt32) {
+  Tensor a = make_i32({0b1100, -1, 0, 0b1010});
+  Tensor b = make_i32({0b1010, 0, -1, 0b0101});
+  Tensor out(DataType::kInt32, Shape({4}));
+  eval_elementwise(BatchOp::kAnd, &a, &b, &out, 0, 0);
+  EXPECT_EQ(out.get_int(0), 0b1000);
+  eval_elementwise(BatchOp::kOr, &a, &b, &out, 0, 0);
+  EXPECT_EQ(out.get_int(3), 0b1111);
+  eval_elementwise(BatchOp::kXor, &a, &b, &out, 0, 0);
+  EXPECT_EQ(out.get_int(1), -1);
+  eval_elementwise(BatchOp::kNot, &a, nullptr, &out, 0, 0);
+  EXPECT_EQ(out.get_int(1), 0);
+  EXPECT_EQ(out.get_int(2), -1);
+}
+
+TEST(Elementwise, ShiftsMatchCSemantics) {
+  Tensor a = make_i32({8, -8, 5, 1});
+  Tensor out(DataType::kInt32, Shape({4}));
+  eval_elementwise(BatchOp::kShr, &a, nullptr, &out, 2, 0);
+  EXPECT_EQ(out.get_int(0), 2);
+  EXPECT_EQ(out.get_int(1), -2);  // arithmetic shift
+  eval_elementwise(BatchOp::kShl, &a, nullptr, &out, 3, 0);
+  EXPECT_EQ(out.get_int(2), 40);
+}
+
+TEST(Elementwise, FloatOps) {
+  Tensor a = make_f32({4.0f, -2.0f, 0.25f});
+  Tensor b = make_f32({2.0f, 2.0f, 0.5f});
+  Tensor out(DataType::kFloat32, Shape({3}));
+  eval_elementwise(BatchOp::kDiv, &a, &b, &out, 0, 0);
+  EXPECT_FLOAT_EQ(out.as<float>()[0], 2.0f);
+  eval_elementwise(BatchOp::kRecp, &a, nullptr, &out, 0, 0);
+  EXPECT_FLOAT_EQ(out.as<float>()[2], 4.0f);
+  eval_elementwise(BatchOp::kSqrt, &b, nullptr, &out, 0, 0);
+  EXPECT_FLOAT_EQ(out.as<float>()[0], std::sqrt(2.0f));
+  eval_elementwise(BatchOp::kAbs, &a, nullptr, &out, 0, 0);
+  EXPECT_FLOAT_EQ(out.as<float>()[1], 2.0f);
+}
+
+TEST(Elementwise, ScalarOperandOps) {
+  Tensor a = make_f32({1.0f, 2.0f});
+  Tensor out(DataType::kFloat32, Shape({2}));
+  eval_elementwise(BatchOp::kMulC, &a, nullptr, &out, 0, 2.5);
+  EXPECT_FLOAT_EQ(out.as<float>()[1], 5.0f);
+  eval_elementwise(BatchOp::kAddC, &a, nullptr, &out, 0, -1.0);
+  EXPECT_FLOAT_EQ(out.as<float>()[0], 0.0f);
+}
+
+TEST(Elementwise, CastTruncatesTowardZero) {
+  Tensor a = make_f32({1.9f, -1.9f, 0.5f});
+  Tensor out(DataType::kInt32, Shape({3}));
+  eval_elementwise(BatchOp::kCast, &a, nullptr, &out, 0, 0);
+  EXPECT_EQ(out.get_int(0), 1);
+  EXPECT_EQ(out.get_int(1), -1);
+  EXPECT_EQ(out.get_int(2), 0);
+}
+
+TEST(Elementwise, CastIntToFloat) {
+  Tensor a = make_i32({-3, 7});
+  Tensor out(DataType::kFloat32, Shape({2}));
+  eval_elementwise(BatchOp::kCast, &a, nullptr, &out, 0, 0);
+  EXPECT_FLOAT_EQ(out.as<float>()[0], -3.0f);
+}
+
+TEST(Elementwise, CastNarrowingWraps) {
+  Tensor a = make_i32({300, -200});
+  Tensor out(DataType::kInt8, Shape({2}));
+  eval_elementwise(BatchOp::kCast, &a, nullptr, &out, 0, 0);
+  EXPECT_EQ(out.get_int(0), static_cast<std::int8_t>(300));
+  EXPECT_EQ(out.get_int(1), static_cast<std::int8_t>(-200));
+}
+
+// ---------------------------------------------------------------------------
+// batch_op helpers
+// ---------------------------------------------------------------------------
+
+TEST(BatchOpMeta, NamesRoundTrip) {
+  for (BatchOp op : {BatchOp::kAdd, BatchOp::kSub, BatchOp::kMul, BatchOp::kDiv,
+                     BatchOp::kMin, BatchOp::kMax, BatchOp::kAbd, BatchOp::kAnd,
+                     BatchOp::kOr, BatchOp::kXor, BatchOp::kNot, BatchOp::kAbs,
+                     BatchOp::kRecp, BatchOp::kSqrt, BatchOp::kShl,
+                     BatchOp::kShr, BatchOp::kMulC, BatchOp::kAddC,
+                     BatchOp::kCast}) {
+    EXPECT_EQ(parse_batch_op(op_name(op)), op);
+  }
+  EXPECT_THROW(parse_batch_op("Frobnicate"), ParseError);
+}
+
+TEST(BatchOpMeta, ActorTypeMapping) {
+  EXPECT_EQ(batch_op_for_actor_type("BitAnd"), BatchOp::kAnd);
+  EXPECT_EQ(batch_op_for_actor_type("Gain"), BatchOp::kMulC);
+  EXPECT_EQ(batch_op_for_actor_type("Bias"), BatchOp::kAddC);
+  EXPECT_EQ(batch_op_for_actor_type("Add"), BatchOp::kAdd);
+  EXPECT_THROW(batch_op_for_actor_type("FFT"), ModelError);
+}
+
+TEST(BatchOpMeta, ArityAndOperandKinds) {
+  EXPECT_EQ(arity(BatchOp::kAdd), 2);
+  EXPECT_EQ(arity(BatchOp::kAbs), 1);
+  EXPECT_TRUE(has_immediate(BatchOp::kShr));
+  EXPECT_FALSE(has_immediate(BatchOp::kAdd));
+  EXPECT_TRUE(has_scalar_operand(BatchOp::kMulC));
+  EXPECT_TRUE(is_commutative(BatchOp::kAdd));
+  EXPECT_FALSE(is_commutative(BatchOp::kSub));
+}
+
+// ---------------------------------------------------------------------------
+// constant_tensor
+// ---------------------------------------------------------------------------
+
+TEST(ConstantTensor, SingleLiteralReplicates) {
+  Model m("t");
+  Actor& c = m.actor(m.add_actor("c", "Constant"));
+  c.set_param("dtype", "i32");
+  c.set_param("shape", "4");
+  c.set_param("value", "7");
+  Tensor t = constant_tensor(c);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(t.get_int(i), 7);
+}
+
+TEST(ConstantTensor, ListMustMatchElementCount) {
+  Model m("t");
+  Actor& c = m.actor(m.add_actor("c", "Constant"));
+  c.set_param("dtype", "f32");
+  c.set_param("shape", "3");
+  c.set_param("value", "1,2,3");
+  Tensor t = constant_tensor(c);
+  EXPECT_FLOAT_EQ(t.as<float>()[2], 3.0f);
+  c.set_param("value", "1,2");
+  EXPECT_THROW(constant_tensor(c), ModelError);
+}
+
+TEST(ConstantTensor, ComplexTakesRePairs) {
+  Model m("t");
+  Actor& c = m.actor(m.add_actor("c", "Constant"));
+  c.set_param("dtype", "c64");
+  c.set_param("shape", "2");
+  c.set_param("value", "1,2,3,4");
+  Tensor t = constant_tensor(c);
+  EXPECT_FLOAT_EQ(t.as<float>()[1], 2.0f);
+  EXPECT_FLOAT_EQ(t.as<float>()[3], 4.0f);
+}
+
+// ---------------------------------------------------------------------------
+// interpreter
+// ---------------------------------------------------------------------------
+
+TEST(Interpreter, RunsBatchPipeline) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kInt32, Shape({4}));
+  PortRef y = b.inport("y", DataType::kInt32, Shape({4}));
+  PortRef s = b.actor("s", "Sub", {x, y});
+  PortRef sh = b.actor("sh", "Shr", {s}, {{"amount", "1"}});
+  b.outport("o", sh);
+  Model m = resolved(b.take());
+
+  Interpreter interp(m);
+  auto out = interp.step({make_i32({10, 20, 30, 40}), make_i32({2, 4, 6, 8})});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].get_int(0), 4);
+  EXPECT_EQ(out[0].get_int(3), 16);
+}
+
+TEST(Interpreter, ValidatesInputCountAndSpec) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kInt32, Shape({4}));
+  b.outport("o", b.actor("a", "Abs", {x}));
+  Model m = resolved(b.take());
+  Interpreter interp(m);
+  EXPECT_THROW(interp.step({}), ModelError);
+  EXPECT_THROW(interp.step({make_f32({1, 2, 3, 4})}), ModelError);
+}
+
+TEST(Interpreter, UnitDelayShiftsByOneStep) {
+  Model m("t");
+  ActorId x = m.add_actor("x", "Inport");
+  m.actor(x).set_param("dtype", "i32");
+  m.actor(x).set_param("shape", "2");
+  ActorId d = m.add_actor("d", "UnitDelay");
+  m.actor(d).set_param("dtype", "i32");
+  m.actor(d).set_param("shape", "2");
+  ActorId y = m.add_actor("y", "Outport");
+  m.connect(x, 0, d, 0);
+  m.connect(d, 0, y, 0);
+  resolve_model(m);
+
+  Interpreter interp(m);
+  auto out1 = interp.step({make_i32({5, 6})});
+  EXPECT_EQ(out1[0].get_int(0), 0);  // initial state
+  auto out2 = interp.step({make_i32({7, 8})});
+  EXPECT_EQ(out2[0].get_int(0), 5);
+  EXPECT_EQ(out2[0].get_int(1), 6);
+  interp.init();  // reset state
+  auto out3 = interp.step({make_i32({9, 9})});
+  EXPECT_EQ(out3[0].get_int(0), 0);
+}
+
+TEST(Interpreter, AccumulatorFeedbackLoop) {
+  // acc(t) = x(t) + acc(t-1) through a UnitDelay.
+  Model m("t");
+  ActorId x = m.add_actor("x", "Inport");
+  m.actor(x).set_param("dtype", "i32");
+  m.actor(x).set_param("shape", "1");
+  ActorId add = m.add_actor("acc", "Add");
+  ActorId dly = m.add_actor("dly", "UnitDelay");
+  m.actor(dly).set_param("dtype", "i32");
+  m.actor(dly).set_param("shape", "1");
+  ActorId y = m.add_actor("y", "Outport");
+  m.connect(x, 0, add, 0);
+  m.connect(dly, 0, add, 1);
+  m.connect(add, 0, dly, 0);
+  m.connect(add, 0, y, 0);
+  resolve_model(m);
+
+  Interpreter interp(m);
+  EXPECT_EQ(interp.step({make_i32({3})})[0].get_int(0), 3);
+  EXPECT_EQ(interp.step({make_i32({4})})[0].get_int(0), 7);
+  EXPECT_EQ(interp.step({make_i32({5})})[0].get_int(0), 12);
+}
+
+// ---------------------------------------------------------------------------
+// intensive reference semantics (mathematical properties)
+// ---------------------------------------------------------------------------
+
+TEST(Oracle, FftOfImpulseIsFlat) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kComplex64, Shape({8}));
+  b.outport("y", b.actor("f", "FFT", {x}));
+  Model m = resolved(b.take());
+  Interpreter interp(m);
+
+  Tensor impulse(DataType::kComplex64, Shape({8}));
+  impulse.as<float>()[0] = 1.0f;  // delta at t=0
+  auto out = interp.step({impulse});
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_NEAR(out[0].as<float>()[2 * k], 1.0f, 1e-5);
+    EXPECT_NEAR(out[0].as<float>()[2 * k + 1], 0.0f, 1e-5);
+  }
+}
+
+TEST(Oracle, IfftInvertsFft) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kComplex64, Shape({16}));
+  PortRef f = b.actor("f", "FFT", {x});
+  PortRef g = b.actor("g", "IFFT", {f});
+  b.outport("y", g);
+  Model m = resolved(b.take());
+  Interpreter interp(m);
+
+  Tensor in(DataType::kComplex64, Shape({16}));
+  for (int i = 0; i < 32; ++i) in.as<float>()[i] = std::sin(0.3f * i);
+  auto out = interp.step({in});
+  EXPECT_LT(out[0].max_abs_difference(in), 1e-4);
+}
+
+TEST(Oracle, IdctInvertsDct) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({12}));
+  PortRef f = b.actor("f", "DCT", {x});
+  PortRef g = b.actor("g", "IDCT", {f});
+  b.outport("y", g);
+  Model m = resolved(b.take());
+  Interpreter interp(m);
+
+  Tensor in = make_f32({1, -2, 3, 0.5f, 0, 4, -1, 2, 7, -3, 0.25f, 9});
+  auto out = interp.step({in});
+  EXPECT_LT(out[0].max_abs_difference(in), 1e-4);
+}
+
+TEST(Oracle, ConvWithDeltaIsIdentity) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({5}));
+  PortRef h = b.inport("h", DataType::kFloat32, Shape({1}));
+  b.outport("y", b.actor("c", "Conv", {x, h}));
+  Model m = resolved(b.take());
+  Interpreter interp(m);
+  Tensor sig = make_f32({1, 2, 3, 4, 5});
+  Tensor delta = make_f32({1});
+  auto out = interp.step({sig, delta});
+  EXPECT_LT(out[0].max_abs_difference(sig), 1e-6);
+}
+
+TEST(Oracle, MatInvTimesOriginalIsIdentity) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat64, Shape({3, 3}));
+  PortRef inv = b.actor("inv", "MatInv", {x});
+  PortRef prod = b.actor("prod", "MatMul", {x, inv});
+  b.outport("y", prod);
+  Model m = resolved(b.take());
+  Interpreter interp(m);
+
+  Tensor in(DataType::kFloat64, Shape({3, 3}));
+  const double values[9] = {4, 1, 0, 1, 5, 2, 0, 2, 6};
+  for (int i = 0; i < 9; ++i) in.as<double>()[i] = values[i];
+  auto out = interp.step({in});
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(out[0].as<double>()[r * 3 + c], r == c ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Oracle, MatDetOfSingularMatrixIsZero) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({2, 2}));
+  b.outport("y", b.actor("det", "MatDet", {x}));
+  Model m = resolved(b.take());
+  Interpreter interp(m);
+  Tensor in(DataType::kFloat32, Shape({2, 2}));
+  in.as<float>()[0] = 1;
+  in.as<float>()[1] = 2;
+  in.as<float>()[2] = 2;
+  in.as<float>()[3] = 4;
+  auto out = interp.step({in});
+  EXPECT_NEAR(out[0].as<float>()[0], 0.0f, 1e-6);
+}
+
+TEST(Oracle, MatInvRejectsSingularMatrix) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({2, 2}));
+  b.outport("y", b.actor("inv", "MatInv", {x}));
+  Model m = resolved(b.take());
+  Interpreter interp(m);
+  Tensor in(DataType::kFloat32, Shape({2, 2}));  // all zeros
+  EXPECT_THROW(interp.step({in}), ModelError);
+}
+
+TEST(Oracle, Dct2dSeparability) {
+  // DCT2D of an outer product equals outer product of 1-D DCTs; verify via
+  // a constant matrix whose 2-D DCT concentrates in bin (0,0).
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({4, 4}));
+  b.outport("y", b.actor("d", "DCT2D", {x}));
+  Model m = resolved(b.take());
+  Interpreter interp(m);
+  Tensor in(DataType::kFloat32, Shape({4, 4}));
+  for (int i = 0; i < 16; ++i) in.as<float>()[i] = 1.0f;
+  auto out = interp.step({in});
+  EXPECT_NEAR(out[0].as<float>()[0], 16.0f, 1e-4);
+  for (int i = 1; i < 16; ++i) EXPECT_NEAR(out[0].as<float>()[i], 0.0f, 1e-4);
+}
+
+}  // namespace
+}  // namespace hcg

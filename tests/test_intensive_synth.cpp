@@ -1,0 +1,244 @@
+// Unit tests for Algorithm 1 (intensive-actor implementation selection with
+// pre-calculation and selection history).
+#include <gtest/gtest.h>
+
+#include "actors/resolve.hpp"
+#include "benchmodels/benchmodels.hpp"
+#include "support/fileio.hpp"
+#include "synth/intensive.hpp"
+
+namespace hcg::synth {
+namespace {
+
+const Actor& fft_actor(Model& model) { return model.actor_by_name("fft"); }
+
+// ---------------------------------------------------------------------------
+// SelectionHistory
+// ---------------------------------------------------------------------------
+
+TEST(History, StoreLookupRoundTrip) {
+  SelectionHistory h;
+  EXPECT_FALSE(h.lookup("FFT", DataType::kComplex64, {Shape({1024})}));
+  h.store("FFT", DataType::kComplex64, {Shape({1024})}, "fft_radix2");
+  auto hit = h.lookup("FFT", DataType::kComplex64, {Shape({1024})});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "fft_radix2");
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(History, KeyDistinguishesTypeAndSize) {
+  SelectionHistory h;
+  h.store("FFT", DataType::kComplex64, {Shape({1024})}, "a");
+  EXPECT_FALSE(h.lookup("FFT", DataType::kComplex64, {Shape({512})}));
+  EXPECT_FALSE(h.lookup("IFFT", DataType::kComplex64, {Shape({1024})}));
+  EXPECT_FALSE(h.lookup("FFT", DataType::kComplex128, {Shape({1024})}));
+  h.store("Conv", DataType::kFloat32, {Shape({100}), Shape({17})}, "b");
+  EXPECT_FALSE(h.lookup("Conv", DataType::kFloat32,
+                        {Shape({100}), Shape({18})}));
+  EXPECT_TRUE(h.lookup("Conv", DataType::kFloat32,
+                       {Shape({100}), Shape({17})}));
+}
+
+TEST(History, StoreOverwrites) {
+  SelectionHistory h;
+  h.store("FFT", DataType::kComplex64, {Shape({64})}, "old");
+  h.store("FFT", DataType::kComplex64, {Shape({64})}, "new");
+  EXPECT_EQ(*h.lookup("FFT", DataType::kComplex64, {Shape({64})}), "new");
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(History, SerializeDeserializeRoundTrip) {
+  SelectionHistory h;
+  h.store("FFT", DataType::kComplex64, {Shape({1024})}, "fft_radix2");
+  h.store("MatMul", DataType::kFloat32, {Shape({3, 3}), Shape({3, 3})},
+          "matmul_unrolled");
+  SelectionHistory again = SelectionHistory::deserialize(h.serialize());
+  EXPECT_EQ(again.size(), 2u);
+  EXPECT_EQ(*again.lookup("MatMul", DataType::kFloat32,
+                          {Shape({3, 3}), Shape({3, 3})}),
+            "matmul_unrolled");
+}
+
+TEST(History, DeserializeSkipsCommentsRejectsGarbage) {
+  SelectionHistory ok = SelectionHistory::deserialize(
+      "# comment\n\nFFT c64 16 -> fft_radix2\n");
+  EXPECT_EQ(ok.size(), 1u);
+  EXPECT_THROW(SelectionHistory::deserialize("no arrow here\n"), ParseError);
+}
+
+TEST(History, SaveLoadFile) {
+  TempDir dir;
+  SelectionHistory h;
+  h.store("DCT", DataType::kFloat32, {Shape({256})}, "dct_lee");
+  const auto path = dir.path() / "history.txt";
+  h.save(path);
+  SelectionHistory loaded = SelectionHistory::load(path);
+  EXPECT_EQ(*loaded.lookup("DCT", DataType::kFloat32, {Shape({256})}),
+            "dct_lee");
+}
+
+// ---------------------------------------------------------------------------
+// generate_test_inputs
+// ---------------------------------------------------------------------------
+
+TEST(TestInputs, MatchSpecsAndAreDeterministic) {
+  Model model = resolved(benchmodels::conv_model(64, 8));
+  const Actor& conv = model.actor_by_name("conv");
+  auto a = generate_test_inputs(conv, 7);
+  auto b = generate_test_inputs(conv, 7);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0].shape(), Shape({64}));
+  EXPECT_EQ(a[1].shape(), Shape({8}));
+  EXPECT_TRUE(a[0].bytes_equal(b[0]));
+  auto c = generate_test_inputs(conv, 8);
+  EXPECT_FALSE(a[0].bytes_equal(c[0]));
+}
+
+TEST(TestInputs, MatInvInputsAreInvertible) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({4, 4}));
+  b.outport("y", b.actor("inv", "MatInv", {x}));
+  Model model = resolved(b.take());
+  auto inputs = generate_test_inputs(model.actor_by_name("inv"), 3);
+  // Diagonal dominance: |a_ii| > sum of |a_ij|: bump is n+1 with entries in
+  // [-1, 1), so each diagonal exceeds 4 while off-diagonals stay below 1.
+  const float* m = inputs[0].as<float>();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(std::abs(m[i * 4 + i]), 3.0f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 selection
+// ---------------------------------------------------------------------------
+
+TEST(Select, Pow2FftPrefersFastImplementationOverGeneral) {
+  Model model = resolved(benchmodels::fft_model(1024));
+  SelectionHistory history;
+  IntensiveOptions options;
+  options.use_history = false;
+  auto selection = select_implementation(fft_actor(model), history, options);
+  ASSERT_NE(selection.impl, nullptr);
+  EXPECT_FALSE(selection.from_history);
+  // Radix-2/radix-4 must beat the naive DFT and Bluestein at 1024; we do not
+  // pin the exact winner (radix2 vs radix4 vs mixed are close), but the
+  // O(n^2) DFT must never win at this size.
+  EXPECT_NE(selection.impl->id, "fft_dft");
+  EXPECT_NE(selection.impl->id, "fft_bluestein");
+  // Every eligible candidate was measured.
+  EXPECT_EQ(selection.measured_costs.size(), 6u);
+  EXPECT_GT(selection.measured_costs.at("fft_dft"),
+            selection.measured_costs.at(selection.impl->id));
+}
+
+TEST(Select, NonPow2SizeFiltersPow2Candidates) {
+  Model model = resolved(benchmodels::fft_model(600));  // 600 = 2^3*3*5^2
+  SelectionHistory history;
+  IntensiveOptions options;
+  options.use_history = false;
+  auto selection = select_implementation(fft_actor(model), history, options);
+  // radix2/radix4 cannot handle 600 (canHandleDataSize filter).
+  EXPECT_EQ(selection.measured_costs.count("fft_radix2"), 0u);
+  EXPECT_EQ(selection.measured_costs.count("fft_radix4"), 0u);
+  EXPECT_GE(selection.measured_costs.size(), 2u);  // dft, mixed, bluestein
+  EXPECT_NE(selection.impl->id, "fft_radix2");
+}
+
+TEST(Select, HistoryHitSkipsPreCalculation) {
+  Model model = resolved(benchmodels::fft_model(256));
+  SelectionHistory history;
+  history.store("FFT", DataType::kComplex64, {Shape({256})}, "fft_bluestein");
+  auto selection = select_implementation(fft_actor(model), history, {});
+  EXPECT_TRUE(selection.from_history);
+  EXPECT_EQ(selection.impl->id, "fft_bluestein");  // honored verbatim
+  EXPECT_TRUE(selection.measured_costs.empty());
+}
+
+TEST(Select, StaleHistoryEntryTriggersFreshPreCalculation) {
+  Model model = resolved(benchmodels::fft_model(256));
+  SelectionHistory history;
+  history.store("FFT", DataType::kComplex64, {Shape({256})}, "no_such_impl");
+  auto selection = select_implementation(fft_actor(model), history, {});
+  EXPECT_FALSE(selection.from_history);
+  EXPECT_FALSE(selection.measured_costs.empty());
+  // The stale entry was overwritten with the fresh choice.
+  EXPECT_EQ(*history.lookup("FFT", DataType::kComplex64, {Shape({256})}),
+            selection.impl->id);
+}
+
+TEST(Select, SelectionIsStoredForReuse) {
+  Model model = resolved(benchmodels::dct_model(128));
+  SelectionHistory history;
+  auto first = select_implementation(model.actor_by_name("dct"), history, {});
+  EXPECT_FALSE(first.from_history);
+  auto second = select_implementation(model.actor_by_name("dct"), history, {});
+  EXPECT_TRUE(second.from_history);
+  EXPECT_EQ(first.impl->id, second.impl->id);
+}
+
+TEST(Select, UseHistoryFalseNeverStores) {
+  Model model = resolved(benchmodels::dct_model(64));
+  SelectionHistory history;
+  IntensiveOptions options;
+  options.use_history = false;
+  select_implementation(model.actor_by_name("dct"), history, options);
+  EXPECT_EQ(history.size(), 0u);
+}
+
+TEST(Select, SmallMatrixPrefersSpecializedKernels) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({3, 3}));
+  PortRef y = b.inport("y", DataType::kFloat32, Shape({3, 3}));
+  b.outport("o", b.actor("mm", "MatMul", {x, y}));
+  Model model = resolved(b.take());
+  SelectionHistory history;
+  IntensiveOptions options;
+  options.use_history = false;
+  options.repetitions = 5;
+  auto selection =
+      select_implementation(model.actor_by_name("mm"), history, options);
+  // Both candidates measured; the unrolled kernel is eligible at n=3.
+  EXPECT_EQ(selection.measured_costs.size(), 2u);
+  EXPECT_TRUE(selection.measured_costs.count("matmul_unrolled"));
+}
+
+TEST(Select, LargeMatrixOnlyGenericEligible) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({8, 8}));
+  PortRef y = b.inport("y", DataType::kFloat32, Shape({8, 8}));
+  b.outport("o", b.actor("mm", "MatMul", {x, y}));
+  Model model = resolved(b.take());
+  SelectionHistory history;
+  auto selection = select_implementation(model.actor_by_name("mm"), history, {});
+  EXPECT_EQ(selection.impl->id, "matmul_generic");
+  EXPECT_EQ(selection.measured_costs.size(), 1u);
+}
+
+TEST(Select, ConvLongKernelLandsOnFasterThanDirectChoice) {
+  // With a 256-tap kernel over 1024 samples the FFT convolution should win
+  // comfortably; at minimum, the chosen impl must not be slower than direct.
+  Model model = resolved(benchmodels::conv_model(1024, 256));
+  SelectionHistory history;
+  IntensiveOptions options;
+  options.use_history = false;
+  auto selection =
+      select_implementation(model.actor_by_name("conv"), history, options);
+  const double chosen = selection.measured_costs.at(selection.impl->id);
+  const double direct = selection.measured_costs.at("conv_direct");
+  EXPECT_LE(chosen, direct);
+}
+
+TEST(Select, IdentifiesInverseTransformsSeparately) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kComplex64, Shape({128}));
+  b.outport("y", b.actor("ifft", "IFFT", {x}));
+  Model model = resolved(b.take());
+  SelectionHistory history;
+  auto selection =
+      select_implementation(model.actor_by_name("ifft"), history, {});
+  EXPECT_EQ(selection.impl->actor_type, "IFFT");
+  EXPECT_TRUE(history.lookup("IFFT", DataType::kComplex64, {Shape({128})}));
+}
+
+}  // namespace
+}  // namespace hcg::synth

@@ -1,0 +1,305 @@
+// Unit tests for the SIMD instruction tables: text format parsing (including
+// the paper's §3.3 single-op form), pattern expressions, validation, queries
+// and code-template substitution.
+#include <gtest/gtest.h>
+
+#include "isa/builtin.hpp"
+#include "isa/isa_parse.hpp"
+#include "support/error.hpp"
+
+namespace hcg::isa {
+namespace {
+
+constexpr const char* kMiniTable = R"(
+# comment line
+isa mini
+width 128
+header arm_neon.h
+vtype i32 4 int32x4_t
+vtype f32 4 float32x4_t
+load  i32 O = vld1q_s32(P);
+store i32 vst1q_s32(P, V);
+dup   i32 O = vdupq_n_s32(C);
+load  f32 O = vld1q_f32(P);
+store f32 vst1q_f32(P, V);
+cvt f32 i32 O = vcvtq_s32_f32(I1);
+ins vaddq_s32 i32 Add(I1,I2) :: O = vaddq_s32(I1, I2);
+ins vmlaq_s32 i32 Add(Mul(I1,I2),I3) :: O = vmlaq_s32(I3, I1, I2);
+ins vhaddq_s32 i32 Shr(Add(I1,I2),#1) :: O = vhaddq_s32(I1, I2);
+ins vshrq_n_s32 i32 Shr(I1,IMM) :: O = vshrq_n_s32(I1, IMM);
+ins vmulq_n_s32 i32 MulC(I1,C) :: O = vmulq_n_s32(I1, C);
+Graph: Sub, i32, 4, I1, I2, O1 ; Code: O1 = vsubq_s32(I1, I2);
+)";
+
+VectorIsa mini() { return parse_isa(kMiniTable); }
+
+// ---------------------------------------------------------------------------
+// parsing
+// ---------------------------------------------------------------------------
+
+TEST(IsaParse, ReadsHeaderFields) {
+  VectorIsa isa = mini();
+  EXPECT_EQ(isa.name, "mini");
+  EXPECT_EQ(isa.width_bits, 128);
+  EXPECT_EQ(isa.header, "arm_neon.h");
+  EXPECT_FALSE(isa.simulated);
+  EXPECT_EQ(isa.vtypes.size(), 2u);
+  EXPECT_EQ(isa.instructions.size(), 6u);
+}
+
+TEST(IsaParse, SingleOpPattern) {
+  VectorIsa isa = mini();
+  const Instruction& add = isa.instructions[0];
+  EXPECT_EQ(add.name, "vaddq_s32");
+  EXPECT_EQ(add.type, DataType::kInt32);
+  EXPECT_EQ(add.lanes, 4);
+  EXPECT_EQ(add.node_count(), 1);
+  EXPECT_EQ(add.depth(), 1);
+  EXPECT_EQ(add.input_slots, 2);
+  EXPECT_EQ(add.root_op(), BatchOp::kAdd);
+}
+
+TEST(IsaParse, NestedPattern) {
+  VectorIsa isa = mini();
+  const Instruction& mla = isa.instructions[1];
+  EXPECT_EQ(mla.node_count(), 2);
+  EXPECT_EQ(mla.depth(), 2);
+  EXPECT_EQ(mla.input_slots, 3);
+  EXPECT_EQ(mla.root_op(), BatchOp::kAdd);
+  // Root's first arg is the nested Mul.
+  ASSERT_EQ(mla.nodes[0].args.size(), 2u);
+  EXPECT_EQ(mla.nodes[0].args[0].kind, PatternArg::Kind::kChild);
+  EXPECT_EQ(mla.nodes[1].op, BatchOp::kMul);
+}
+
+TEST(IsaParse, FixedAndVariableImmediates) {
+  VectorIsa isa = mini();
+  const Instruction& hadd = isa.instructions[2];
+  EXPECT_EQ(hadd.nodes[0].args[1].kind, PatternArg::Kind::kFixedImm);
+  EXPECT_EQ(hadd.nodes[0].args[1].imm, 1);
+  const Instruction& shr = isa.instructions[3];
+  EXPECT_EQ(shr.nodes[0].args[1].kind, PatternArg::Kind::kAnyImm);
+}
+
+TEST(IsaParse, ScalarSlot) {
+  VectorIsa isa = mini();
+  const Instruction& mulc = isa.instructions[4];
+  EXPECT_EQ(mulc.nodes[0].args[1].kind, PatternArg::Kind::kScalar);
+}
+
+TEST(IsaParse, PaperFormLine) {
+  VectorIsa isa = mini();
+  const Instruction& sub = isa.instructions[5];
+  EXPECT_EQ(sub.name, "vsubq_s32");
+  EXPECT_EQ(sub.root_op(), BatchOp::kSub);
+  EXPECT_EQ(sub.lanes, 4);
+  // O1 normalized to O in the template.
+  EXPECT_EQ(sub.code, "O = vsubq_s32(I1, I2);");
+}
+
+TEST(IsaParse, CvtAndIoCode) {
+  VectorIsa isa = mini();
+  ASSERT_NE(isa.find_cvt(DataType::kFloat32, DataType::kInt32), nullptr);
+  EXPECT_EQ(isa.find_cvt(DataType::kInt32, DataType::kFloat32), nullptr);
+  ASSERT_NE(isa.find_load(DataType::kInt32), nullptr);
+  EXPECT_EQ(isa.find_load(DataType::kInt32)->code, "O = vld1q_s32(P);");
+  ASSERT_NE(isa.find_dup(DataType::kInt32), nullptr);
+  EXPECT_EQ(isa.find_dup(DataType::kFloat64), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// parse errors
+// ---------------------------------------------------------------------------
+
+TEST(IsaParse, RejectsMissingName) {
+  EXPECT_THROW(parse_isa("width 128\n"), ParseError);
+}
+
+TEST(IsaParse, RejectsUnknownDirective) {
+  EXPECT_THROW(parse_isa("isa x\nfrobnicate y\n"), ParseError);
+}
+
+TEST(IsaParse, RejectsInsBeforeVtype) {
+  EXPECT_THROW(parse_isa("isa x\nins v i32 Add(I1,I2) :: O = v(I1,I2);\n"),
+               ParseError);
+}
+
+TEST(IsaParse, RejectsBadPattern) {
+  const char* prefix =
+      "isa x\nvtype i32 4 t\nload i32 O=l(P);\nstore i32 s(P,V);\n";
+  EXPECT_THROW(parse_isa(std::string(prefix) +
+                         "ins v i32 Add(I1 :: O = v(I1);\n"),
+               ParseError);
+  EXPECT_THROW(parse_isa(std::string(prefix) +
+                         "ins v i32 Frob(I1,I2) :: O = v(I1,I2);\n"),
+               ParseError);
+  EXPECT_THROW(parse_isa(std::string(prefix) + "ins v i32 Add(I1,I2)\n"),
+               ParseError);
+}
+
+TEST(IsaParse, ErrorsCarryLineNumbers) {
+  try {
+    parse_isa("isa x\nwidth 128\nbadline here\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(IsaValidate, RejectsInstructionWithoutLoadStore) {
+  const char* text =
+      "isa x\nvtype i32 4 t\n"
+      "ins v i32 Add(I1,I2) :: O = v(I1, I2);\n";
+  EXPECT_THROW(parse_isa(text), ParseError);
+}
+
+TEST(IsaValidate, RejectsScalarSlotOnNonScalarOp) {
+  const char* text =
+      "isa x\nvtype i32 4 t\nload i32 O=l(P);\nstore i32 s(P,V);\n"
+      "ins v i32 Add(I1,C) :: O = v(I1, C);\n";
+  EXPECT_THROW(parse_isa(text), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// queries
+// ---------------------------------------------------------------------------
+
+TEST(IsaQuery, CandidatesSortedByCost) {
+  VectorIsa isa = mini();
+  auto adds = isa.candidates(BatchOp::kAdd, DataType::kInt32);
+  ASSERT_EQ(adds.size(), 2u);  // vmlaq (cost 3) before vaddq (cost 1)
+  EXPECT_EQ(adds[0]->name, "vmlaq_s32");
+  EXPECT_EQ(adds[1]->name, "vaddq_s32");
+  EXPECT_TRUE(isa.candidates(BatchOp::kAdd, DataType::kInt8).empty());
+}
+
+TEST(IsaQuery, MaxPatternBounds) {
+  VectorIsa isa = mini();
+  EXPECT_EQ(isa.max_pattern_nodes(), 2);
+  EXPECT_EQ(isa.max_pattern_depth(), 2);
+}
+
+TEST(IsaQuery, SupportsReflectsSingleNodeInstructions) {
+  VectorIsa isa = mini();
+  EXPECT_TRUE(isa.supports(BatchOp::kAdd, DataType::kInt32, DataType::kInt32));
+  EXPECT_TRUE(isa.supports(BatchOp::kShr, DataType::kInt32, DataType::kInt32));
+  // Mul only exists inside the vmla pattern — not as a single instruction.
+  EXPECT_FALSE(isa.supports(BatchOp::kMul, DataType::kInt32, DataType::kInt32));
+  EXPECT_TRUE(
+      isa.supports(BatchOp::kCast, DataType::kFloat32, DataType::kInt32));
+  EXPECT_FALSE(
+      isa.supports(BatchOp::kCast, DataType::kInt32, DataType::kFloat32));
+}
+
+TEST(IsaQuery, LanesPerType) {
+  VectorIsa isa = mini();
+  EXPECT_EQ(isa.lanes(DataType::kInt32), 4);
+  EXPECT_EQ(isa.lanes(DataType::kInt64), 0);
+}
+
+// ---------------------------------------------------------------------------
+// template substitution / literals
+// ---------------------------------------------------------------------------
+
+TEST(Substitute, ReplacesWholeWordsOnly) {
+  const std::string out = substitute_tokens(
+      "O = vmlaq_s32(I3, I1, I2); /* I1x */",
+      {{"O", "int32x4_t r"}, {"I1", "a"}, {"I2", "b"}, {"I3", "c"}});
+  EXPECT_EQ(out, "int32x4_t r = vmlaq_s32(c, a, b); /* I1x */");
+}
+
+TEST(Substitute, LeavesUnknownWordsAlone) {
+  EXPECT_EQ(substitute_tokens("foo(BAR)", {{"X", "y"}}), "foo(BAR)");
+}
+
+TEST(ScalarLiteral, FormatsPerType) {
+  EXPECT_EQ(scalar_literal(DataType::kInt32, 7.0), "7");
+  EXPECT_EQ(scalar_literal(DataType::kInt32, -3.0), "-3");
+  const std::string f = scalar_literal(DataType::kFloat32, 0.5);
+  EXPECT_EQ(f.back(), 'f');
+  EXPECT_NE(f.find("0.5"), std::string::npos);
+  const std::string d = scalar_literal(DataType::kFloat64, 1.25);
+  EXPECT_NE(d.find("1.25"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// built-in tables
+// ---------------------------------------------------------------------------
+
+TEST(Builtin, AllTablesParseAndValidate) {
+  for (const std::string& name : builtin_names()) {
+    const VectorIsa& isa = builtin(name);
+    EXPECT_EQ(isa.name, name);
+    EXPECT_FALSE(isa.instructions.empty()) << name;
+    EXPECT_NO_THROW(isa.validate()) << name;
+  }
+  EXPECT_THROW(builtin("mips_msa"), Error);
+  EXPECT_THROW(builtin_text("mips_msa"), Error);
+}
+
+TEST(Builtin, NeonSimIsSimulatedTwinOfNeon) {
+  const VectorIsa& neon = builtin("neon");
+  const VectorIsa& sim = builtin("neon_sim");
+  EXPECT_FALSE(neon.simulated);
+  EXPECT_TRUE(sim.simulated);
+  EXPECT_EQ(sim.header, "hcg_neon_sim.h");
+  EXPECT_EQ(neon.instructions.size(), sim.instructions.size());
+  EXPECT_EQ(neon.width_bits, sim.width_bits);
+}
+
+TEST(Builtin, WidthsAndCompileFlags) {
+  EXPECT_EQ(builtin("neon").width_bits, 128);
+  EXPECT_EQ(builtin("sse").width_bits, 128);
+  EXPECT_EQ(builtin("avx2").width_bits, 256);
+  EXPECT_NE(builtin("avx2").compile_flags.find("-mavx2"), std::string::npos);
+  EXPECT_NE(builtin("sse").compile_flags.find("-msse4.2"), std::string::npos);
+}
+
+TEST(Builtin, TablesCoverTheHeadlineCompoundInstructions) {
+  for (const char* name : {"neon", "sse", "avx2"}) {
+    const VectorIsa& isa = builtin(name);
+    EXPECT_GE(isa.candidates(BatchOp::kAdd, DataType::kInt32).size(), 2u)
+        << name << " needs an integer multiply-add pattern";
+    bool has_hadd = false;
+    for (const Instruction& ins : isa.instructions) {
+      if (ins.type == DataType::kInt32 && ins.root_op() == BatchOp::kShr &&
+          ins.node_count() == 2) {
+        has_hadd = true;
+      }
+    }
+    EXPECT_TRUE(has_hadd) << name << " needs a halving-add pattern";
+  }
+}
+
+TEST(Builtin, LanesMatchWidthOverBitWidth) {
+  for (const std::string& name : builtin_names()) {
+    const VectorIsa& isa = builtin(name);
+    for (const VType& v : isa.vtypes) {
+      EXPECT_EQ(v.lanes, isa.width_bits / bit_width(v.type))
+          << name << "/" << short_name(v.type);
+    }
+  }
+}
+
+TEST(Builtin, EveryInstructionTemplateMentionsItsSlots) {
+  // Each input slot I1..In declared by a pattern must appear in the code
+  // template (otherwise an operand would be silently dropped).
+  for (const std::string& name : builtin_names()) {
+    const VectorIsa& isa = builtin(name);
+    for (const Instruction& ins : isa.instructions) {
+      for (int slot = 1; slot <= ins.input_slots; ++slot) {
+        const std::string token = "I" + std::to_string(slot);
+        const std::string marked =
+            substitute_tokens(ins.code, {{token, "@@"}});
+        EXPECT_NE(marked.find("@@"), std::string::npos)
+            << name << "/" << ins.name << " drops " << token;
+      }
+      EXPECT_NE(substitute_tokens(ins.code, {{"O", "@@"}}).find("@@"),
+                std::string::npos)
+          << name << "/" << ins.name << " never assigns O";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hcg::isa

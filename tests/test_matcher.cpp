@@ -1,0 +1,252 @@
+// Unit tests for subgraph-to-instruction pattern matching.
+#include <gtest/gtest.h>
+
+#include "isa/builtin.hpp"
+#include "isa/isa_parse.hpp"
+#include "synth/matcher.hpp"
+
+namespace hcg::synth {
+namespace {
+
+using isa::VectorIsa;
+
+const VectorIsa& neon() { return isa::builtin("neon"); }
+
+const isa::Instruction& find_ins(const VectorIsa& table,
+                                 const std::string& name) {
+  for (const isa::Instruction& ins : table.instructions) {
+    if (ins.name == name) return ins;
+  }
+  throw std::runtime_error("no instruction " + name);
+}
+
+/// A little harness graph:
+///   externals x0, x1, x2 (i32)
+///   n0 = Mul(x0, x1)
+///   n1 = Add(n0, x2)        -- the vmla shape
+struct MulAddGraph {
+  Dataflow g{16, 32};
+  int x0, x1, x2, mul, add;
+
+  MulAddGraph() {
+    x0 = g.add_external({0, 0, DataType::kInt32});
+    x1 = g.add_external({1, 0, DataType::kInt32});
+    x2 = g.add_external({2, 0, DataType::kInt32});
+    mul = g.add_node({BatchOp::kMul,
+                      {ValueRef::external(x0), ValueRef::external(x1)},
+                      DataType::kInt32, 0});
+    add = g.add_node({BatchOp::kAdd,
+                      {ValueRef::node(mul), ValueRef::external(x2)},
+                      DataType::kInt32, 1});
+    g.mark_output(add);
+  }
+};
+
+TEST(Matcher, SingleOpMatch) {
+  MulAddGraph h;
+  auto binding = match_instruction(h.g, {h.mul}, find_ins(neon(), "vmulq_s32"));
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->inputs.at(1), ValueRef::external(h.x0));
+  EXPECT_EQ(binding->inputs.at(2), ValueRef::external(h.x1));
+  EXPECT_FALSE(binding->has_imm);
+  EXPECT_FALSE(binding->has_scalar);
+}
+
+TEST(Matcher, WrongOpFails) {
+  MulAddGraph h;
+  EXPECT_FALSE(
+      match_instruction(h.g, {h.mul}, find_ins(neon(), "vaddq_s32")));
+}
+
+TEST(Matcher, WrongTypeFails) {
+  MulAddGraph h;
+  EXPECT_FALSE(
+      match_instruction(h.g, {h.mul}, find_ins(neon(), "vmulq_s16")));
+}
+
+TEST(Matcher, MulAddFusesToVmla) {
+  MulAddGraph h;
+  auto binding =
+      match_instruction(h.g, {h.mul, h.add}, find_ins(neon(), "vmlaq_s32"));
+  ASSERT_TRUE(binding.has_value());
+  // Pattern Add(Mul(I1,I2),I3): I1/I2 from the Mul, I3 is the addend.
+  EXPECT_EQ(binding->inputs.at(1), ValueRef::external(h.x0));
+  EXPECT_EQ(binding->inputs.at(2), ValueRef::external(h.x1));
+  EXPECT_EQ(binding->inputs.at(3), ValueRef::external(h.x2));
+}
+
+TEST(Matcher, CommutativeSwapMatchesAddWithMulOnRight) {
+  // n1 = Add(x2, n0) — Mul as the *second* operand needs the swap.
+  Dataflow g(16, 32);
+  const int x0 = g.add_external({0, 0, DataType::kInt32});
+  const int x1 = g.add_external({1, 0, DataType::kInt32});
+  const int x2 = g.add_external({2, 0, DataType::kInt32});
+  const int mul = g.add_node({BatchOp::kMul,
+                              {ValueRef::external(x0), ValueRef::external(x1)},
+                              DataType::kInt32, 0});
+  const int add = g.add_node({BatchOp::kAdd,
+                              {ValueRef::external(x2), ValueRef::node(mul)},
+                              DataType::kInt32, 1});
+  g.mark_output(add);
+  auto binding = match_instruction(g, {mul, add}, find_ins(neon(), "vmlaq_s32"));
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->inputs.at(3), ValueRef::external(x2));
+}
+
+TEST(Matcher, NonCommutativeOrderIsRespected) {
+  // Sub(I3, Mul(I1,I2)) = vmls; Sub(Mul(I1,I2), I3) must NOT match it.
+  Dataflow g(16, 32);
+  const int x0 = g.add_external({0, 0, DataType::kInt32});
+  const int x1 = g.add_external({1, 0, DataType::kInt32});
+  const int x2 = g.add_external({2, 0, DataType::kInt32});
+  const int mul = g.add_node({BatchOp::kMul,
+                              {ValueRef::external(x0), ValueRef::external(x1)},
+                              DataType::kInt32, 0});
+  const int sub_ok =
+      g.add_node({BatchOp::kSub, {ValueRef::external(x2), ValueRef::node(mul)},
+                  DataType::kInt32, 1});
+  g.mark_output(sub_ok);
+  EXPECT_TRUE(
+      match_instruction(g, {mul, sub_ok}, find_ins(neon(), "vmlsq_s32")));
+
+  Dataflow g2(16, 32);
+  const int y0 = g2.add_external({0, 0, DataType::kInt32});
+  const int y1 = g2.add_external({1, 0, DataType::kInt32});
+  const int y2 = g2.add_external({2, 0, DataType::kInt32});
+  const int mul2 = g2.add_node({BatchOp::kMul,
+                                {ValueRef::external(y0), ValueRef::external(y1)},
+                                DataType::kInt32, 0});
+  const int sub_bad =
+      g2.add_node({BatchOp::kSub, {ValueRef::node(mul2), ValueRef::external(y2)},
+                   DataType::kInt32, 1});
+  g2.mark_output(sub_bad);
+  EXPECT_FALSE(
+      match_instruction(g2, {mul2, sub_bad}, find_ins(neon(), "vmlsq_s32")));
+}
+
+TEST(Matcher, FixedImmediateOnlyMatchesExactValue) {
+  for (long long amount : {1LL, 2LL}) {
+    Dataflow g(16, 32);
+    const int x0 = g.add_external({0, 0, DataType::kInt32});
+    const int x1 = g.add_external({1, 0, DataType::kInt32});
+    const int add = g.add_node({BatchOp::kAdd,
+                                {ValueRef::external(x0), ValueRef::external(x1)},
+                                DataType::kInt32, 0});
+    const int shr = g.add_node({BatchOp::kShr,
+                                {ValueRef::node(add), ValueRef::immediate(amount)},
+                                DataType::kInt32, 1});
+    g.mark_output(shr);
+    auto binding =
+        match_instruction(g, {add, shr}, find_ins(neon(), "vhaddq_s32"));
+    EXPECT_EQ(binding.has_value(), amount == 1) << "amount=" << amount;
+  }
+}
+
+TEST(Matcher, AnyImmediateBinds) {
+  Dataflow g(16, 32);
+  const int x0 = g.add_external({0, 0, DataType::kInt32});
+  const int shl = g.add_node({BatchOp::kShl,
+                              {ValueRef::external(x0), ValueRef::immediate(5)},
+                              DataType::kInt32, 0});
+  g.mark_output(shl);
+  auto binding = match_instruction(g, {shl}, find_ins(neon(), "vshlq_n_s32"));
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_TRUE(binding->has_imm);
+  EXPECT_EQ(binding->imm, 5);
+}
+
+TEST(Matcher, ScalarConstBinds) {
+  Dataflow g(16, 32);
+  const int x0 = g.add_external({0, 0, DataType::kFloat32});
+  const int gain = g.add_node({BatchOp::kMulC,
+                               {ValueRef::external(x0), ValueRef::scalar_const(0.5)},
+                               DataType::kFloat32, 0});
+  g.mark_output(gain);
+  auto binding = match_instruction(g, {gain}, find_ins(neon(), "vmulq_n_f32"));
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_TRUE(binding->has_scalar);
+  EXPECT_DOUBLE_EQ(binding->scalar, 0.5);
+}
+
+TEST(Matcher, PatternMustCoverWholeSubgraph) {
+  MulAddGraph h;
+  // A single-node instruction cannot cover the two-node subgraph.
+  EXPECT_FALSE(
+      match_instruction(h.g, {h.mul, h.add}, find_ins(neon(), "vaddq_s32")));
+}
+
+TEST(Matcher, MemberUsedAsInputSlotFails) {
+  // Add(n0, n0) where n0 is in the subgraph but the pattern expects vector
+  // inputs from outside: {mul, add} with add = Add(mul, mul) — the second
+  // mul reference cannot bind to an input slot.
+  Dataflow g(16, 32);
+  const int x0 = g.add_external({0, 0, DataType::kInt32});
+  const int x1 = g.add_external({1, 0, DataType::kInt32});
+  const int mul = g.add_node({BatchOp::kMul,
+                              {ValueRef::external(x0), ValueRef::external(x1)},
+                              DataType::kInt32, 0});
+  const int add = g.add_node({BatchOp::kAdd,
+                              {ValueRef::node(mul), ValueRef::node(mul)},
+                              DataType::kInt32, 1});
+  g.mark_output(add);
+  EXPECT_FALSE(
+      match_instruction(g, {mul, add}, find_ins(neon(), "vmlaq_s32")));
+}
+
+TEST(Matcher, SameInputSlotMayBindSameSourceTwice) {
+  // vmla with I3 == I1: Add(Mul(x0,x1), x0): I1=x0, I2=x1, I3=x0 — distinct
+  // slots, same source.  Legal.
+  Dataflow g(16, 32);
+  const int x0 = g.add_external({0, 0, DataType::kInt32});
+  const int x1 = g.add_external({1, 0, DataType::kInt32});
+  const int mul = g.add_node({BatchOp::kMul,
+                              {ValueRef::external(x0), ValueRef::external(x1)},
+                              DataType::kInt32, 0});
+  const int add = g.add_node({BatchOp::kAdd,
+                              {ValueRef::node(mul), ValueRef::external(x0)},
+                              DataType::kInt32, 1});
+  g.mark_output(add);
+  auto binding = match_instruction(g, {mul, add}, find_ins(neon(), "vmlaq_s32"));
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_EQ(binding->inputs.at(1), binding->inputs.at(3));
+}
+
+TEST(Matcher, AbaPatternMatches) {
+  // Add(Abd(x0,x1), x2) -> vabaq_s32.
+  Dataflow g(16, 32);
+  const int x0 = g.add_external({0, 0, DataType::kInt32});
+  const int x1 = g.add_external({1, 0, DataType::kInt32});
+  const int x2 = g.add_external({2, 0, DataType::kInt32});
+  const int abd = g.add_node({BatchOp::kAbd,
+                              {ValueRef::external(x0), ValueRef::external(x1)},
+                              DataType::kInt32, 0});
+  const int add = g.add_node({BatchOp::kAdd,
+                              {ValueRef::external(x2), ValueRef::node(abd)},
+                              DataType::kInt32, 1});
+  g.mark_output(add);
+  EXPECT_TRUE(match_instruction(g, {abd, add}, find_ins(neon(), "vabaq_s32")));
+}
+
+TEST(Matcher, FindMatchingInstructionPrefersLargestPattern) {
+  MulAddGraph h;
+  auto match = find_matching_instruction(h.g, {h.mul, h.add}, neon());
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->instruction->name, "vmlaq_s32");
+  // Singleton gets the plain op.
+  auto single = find_matching_instruction(h.g, {h.mul}, neon());
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(single->instruction->name, "vmulq_s32");
+}
+
+TEST(Matcher, FindMatchingInstructionAcrossIsas) {
+  MulAddGraph h;
+  for (const char* name : {"neon", "sse", "avx2"}) {
+    auto match =
+        find_matching_instruction(h.g, {h.mul, h.add}, isa::builtin(name));
+    ASSERT_TRUE(match.has_value()) << name;
+    EXPECT_EQ(match->instruction->node_count(), 2) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hcg::synth

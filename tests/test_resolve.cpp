@@ -1,0 +1,313 @@
+// Unit tests for model resolution (type/shape inference) and actor
+// classification (paper §3.1 Actor Dispatch).
+#include <gtest/gtest.h>
+
+#include "actors/catalog.hpp"
+#include "actors/resolve.hpp"
+#include "model/builder.hpp"
+#include "support/error.hpp"
+
+namespace hcg {
+namespace {
+
+Model simple_elementwise(const std::string& type, DataType dtype, int n,
+                         std::initializer_list<
+                             std::pair<std::string_view, std::string_view>>
+                             params = {}) {
+  ModelBuilder b("m");
+  const ActorTypeInfo& info = actor_type_info(type);
+  std::vector<PortRef> ins;
+  for (int i = 0; i < info.input_count; ++i) {
+    ins.push_back(b.inport("x" + std::to_string(i), dtype, Shape({n})));
+  }
+  PortRef out = b.actor("op", type, ins, params);
+  b.outport("y", out);
+  return b.take();
+}
+
+// ---------------------------------------------------------------------------
+// catalog
+// ---------------------------------------------------------------------------
+
+TEST(Catalog, KnowsEveryTable1Actor) {
+  for (const char* type :
+       {"Add", "Sub", "Mul", "Div", "Shr", "Shl", "BitNot", "BitAnd", "BitOr",
+        "BitXor", "Min", "Max", "Abs", "Abd", "Recp", "Sqrt", "FFT", "IFFT",
+        "DCT", "IDCT", "Conv", "Conv2D", "MatMul", "MatInv", "MatDet"}) {
+    EXPECT_TRUE(is_known_actor_type(type)) << type;
+  }
+  EXPECT_FALSE(is_known_actor_type("Quux"));
+  EXPECT_THROW(actor_type_info("Quux"), ModelError);
+}
+
+TEST(Catalog, AritiesMatchSemantics) {
+  EXPECT_EQ(actor_type_info("Add").input_count, 2);
+  EXPECT_EQ(actor_type_info("Abs").input_count, 1);
+  EXPECT_EQ(actor_type_info("Conv").input_count, 2);
+  EXPECT_EQ(actor_type_info("Inport").input_count, 0);
+  EXPECT_EQ(actor_type_info("Outport").output_count, 0);
+  EXPECT_TRUE(actor_type_info("UnitDelay").stateful);
+  EXPECT_TRUE(actor_type_info("FFT").intensive);
+  EXPECT_TRUE(actor_type_info("Mul").elementwise);
+}
+
+// ---------------------------------------------------------------------------
+// element-wise inference
+// ---------------------------------------------------------------------------
+
+TEST(Resolve, ElementwiseBinaryPropagatesSpec) {
+  Model m = resolved(simple_elementwise("Add", DataType::kInt32, 16));
+  const Actor& op = m.actor_by_name("op");
+  EXPECT_EQ(op.output(0).type, DataType::kInt32);
+  EXPECT_EQ(op.output(0).shape, Shape({16}));
+  EXPECT_EQ(op.input(1).shape, Shape({16}));
+}
+
+TEST(Resolve, MismatchedOperandsRejected) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kInt32, Shape({8}));
+  PortRef y = b.inport("y", DataType::kInt32, Shape({16}));
+  b.actor("op", "Add", {x, y});
+  Model m = b.take();
+  EXPECT_THROW(resolve_model(m), ModelError);
+}
+
+TEST(Resolve, MixedTypesRejected) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kInt32, Shape({8}));
+  PortRef y = b.inport("y", DataType::kFloat32, Shape({8}));
+  b.actor("op", "Mul", {x, y});
+  Model m = b.take();
+  EXPECT_THROW(resolve_model(m), ModelError);
+}
+
+TEST(Resolve, TypeRestrictionsPerOp) {
+  // Div on integers is rejected (no SIMD integer division either).
+  EXPECT_THROW(resolved(simple_elementwise("Div", DataType::kInt32, 8)),
+               ModelError);
+  EXPECT_NO_THROW(resolved(simple_elementwise("Div", DataType::kFloat32, 8)));
+  // Bit ops need integers.
+  EXPECT_THROW(resolved(simple_elementwise("BitAnd", DataType::kFloat32, 8)),
+               ModelError);
+  EXPECT_NO_THROW(resolved(simple_elementwise("BitAnd", DataType::kUInt16, 8)));
+  // Sqrt/Recp need floats.
+  EXPECT_THROW(resolved(simple_elementwise("Sqrt", DataType::kInt32, 8)),
+               ModelError);
+  EXPECT_THROW(resolved(simple_elementwise("Recp", DataType::kInt8, 8)),
+               ModelError);
+  // Abs needs signedness.
+  EXPECT_THROW(resolved(simple_elementwise("Abs", DataType::kUInt8, 8)),
+               ModelError);
+  EXPECT_NO_THROW(resolved(simple_elementwise("Abs", DataType::kInt8, 8)));
+}
+
+TEST(Resolve, ShiftAmountValidation) {
+  EXPECT_NO_THROW(resolved(simple_elementwise("Shr", DataType::kInt32, 8,
+                                              {{"amount", "31"}})));
+  EXPECT_THROW(resolved(simple_elementwise("Shr", DataType::kInt32, 8,
+                                           {{"amount", "32"}})),
+               ModelError);
+  EXPECT_THROW(resolved(simple_elementwise("Shl", DataType::kInt16, 8,
+                                           {{"amount", "-1"}})),
+               ModelError);
+  EXPECT_THROW(resolved(simple_elementwise("Shr", DataType::kInt32, 8)),
+               ModelError);  // missing amount
+}
+
+TEST(Resolve, GainBiasNeedTheirParams) {
+  EXPECT_THROW(resolved(simple_elementwise("Gain", DataType::kFloat32, 8)),
+               ModelError);
+  EXPECT_NO_THROW(resolved(
+      simple_elementwise("Gain", DataType::kFloat32, 8, {{"gain", "2"}})));
+  EXPECT_THROW(resolved(simple_elementwise("Bias", DataType::kFloat32, 8)),
+               ModelError);
+}
+
+TEST(Resolve, CastChangesTypeKeepsShape) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({8}));
+  PortRef c = b.actor("c", "Cast", {x}, {{"to", "i32"}});
+  b.outport("y", c);
+  Model m = resolved(b.take());
+  EXPECT_EQ(m.actor_by_name("c").output(0).type, DataType::kInt32);
+  EXPECT_EQ(m.actor_by_name("c").output(0).shape, Shape({8}));
+}
+
+TEST(Resolve, CastComplexRejected) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kComplex64, Shape({8}));
+  b.actor("c", "Cast", {x}, {{"to", "i32"}});
+  Model m = b.take();
+  EXPECT_THROW(resolve_model(m), ModelError);
+}
+
+// ---------------------------------------------------------------------------
+// intensive inference
+// ---------------------------------------------------------------------------
+
+TEST(Resolve, FftRequiresComplexVector) {
+  ModelBuilder good("m");
+  PortRef x = good.inport("x", DataType::kComplex64, Shape({64}));
+  good.outport("y", good.actor("f", "FFT", {x}));
+  EXPECT_NO_THROW(resolved(good.take()));
+
+  ModelBuilder bad("m");
+  PortRef z = bad.inport("x", DataType::kFloat32, Shape({64}));
+  bad.actor("f", "FFT", {z});
+  Model model = bad.take();
+  EXPECT_THROW(resolve_model(model), ModelError);
+}
+
+TEST(Resolve, Fft2dRequiresMatrix) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kComplex64, Shape({4, 8}));
+  b.outport("y", b.actor("f", "FFT2D", {x}));
+  Model m = resolved(b.take());
+  EXPECT_EQ(m.actor_by_name("f").output(0).shape, Shape({4, 8}));
+
+  ModelBuilder bad("m");
+  PortRef z = bad.inport("x", DataType::kComplex64, Shape({8}));
+  bad.actor("f", "FFT2D", {z});
+  Model model = bad.take();
+  EXPECT_THROW(resolve_model(model), ModelError);
+}
+
+TEST(Resolve, ConvOutputIsFullLength) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({100}));
+  PortRef h = b.inport("h", DataType::kFloat32, Shape({17}));
+  b.outport("y", b.actor("c", "Conv", {x, h}));
+  Model m = resolved(b.take());
+  EXPECT_EQ(m.actor_by_name("c").output(0).shape, Shape({116}));
+}
+
+TEST(Resolve, Conv2dOutputIsFullSize) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat64, Shape({8, 10}));
+  PortRef h = b.inport("h", DataType::kFloat64, Shape({3, 3}));
+  b.outport("y", b.actor("c", "Conv2D", {x, h}));
+  Model m = resolved(b.take());
+  EXPECT_EQ(m.actor_by_name("c").output(0).shape, Shape({10, 12}));
+}
+
+TEST(Resolve, MatActorsRequireSquareFloatMatrices) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({3, 3}));
+  b.outport("y", b.actor("inv", "MatInv", {x}));
+  EXPECT_NO_THROW(resolved(b.take()));
+
+  ModelBuilder bad("m");
+  PortRef z = bad.inport("x", DataType::kFloat32, Shape({3, 4}));
+  bad.actor("inv", "MatInv", {z});
+  Model model = bad.take();
+  EXPECT_THROW(resolve_model(model), ModelError);
+
+  ModelBuilder baddt("m");
+  PortRef w = baddt.inport("x", DataType::kInt32, Shape({3, 3}));
+  baddt.actor("inv", "MatInv", {w});
+  Model model2 = baddt.take();
+  EXPECT_THROW(resolve_model(model2), ModelError);
+}
+
+TEST(Resolve, MatDetProducesScalar) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat64, Shape({4, 4}));
+  b.outport("y", b.actor("det", "MatDet", {x}));
+  Model m = resolved(b.take());
+  EXPECT_TRUE(m.actor_by_name("det").output(0).shape.is_scalar());
+  EXPECT_EQ(m.actor_by_name("det").output(0).type, DataType::kFloat64);
+}
+
+// ---------------------------------------------------------------------------
+// structural validation
+// ---------------------------------------------------------------------------
+
+TEST(Resolve, UnconnectedInputRejected) {
+  Model m("t");
+  m.add_actor("a", "Abs");
+  EXPECT_THROW(resolve_model(m), ModelError);
+}
+
+TEST(Resolve, UnitDelayRequiresDeclaredSpecMatchingFeed) {
+  Model m("t");
+  ActorId x = m.add_actor("x", "Inport");
+  m.actor(x).set_param("dtype", "i32");
+  m.actor(x).set_param("shape", "8");
+  ActorId d = m.add_actor("d", "UnitDelay");
+  m.actor(d).set_param("dtype", "i32");
+  m.actor(d).set_param("shape", "8");
+  m.connect(x, 0, d, 0);
+  EXPECT_NO_THROW(resolve_model(m));
+
+  Model bad("t");
+  ActorId x2 = bad.add_actor("x", "Inport");
+  bad.actor(x2).set_param("dtype", "i32");
+  bad.actor(x2).set_param("shape", "8");
+  ActorId d2 = bad.add_actor("d", "UnitDelay");
+  bad.actor(d2).set_param("dtype", "i32");
+  bad.actor(d2).set_param("shape", "4");  // disagrees with feed
+  bad.connect(x2, 0, d2, 0);
+  EXPECT_THROW(resolve_model(bad), ModelError);
+}
+
+TEST(Resolve, InportRequiresDtypeAndShape) {
+  Model m("t");
+  m.add_actor("x", "Inport");
+  EXPECT_THROW(resolve_model(m), ModelError);
+}
+
+TEST(Resolve, IsIdempotent) {
+  Model m = simple_elementwise("Add", DataType::kFloat32, 8);
+  resolve_model(m);
+  EXPECT_NO_THROW(resolve_model(m));
+  EXPECT_EQ(m.actor_by_name("op").output(0).shape, Shape({8}));
+}
+
+// ---------------------------------------------------------------------------
+// classification (Actor Dispatch)
+// ---------------------------------------------------------------------------
+
+TEST(Classify, ArrayElementwiseIsBatch) {
+  Model m = resolved(simple_elementwise("Mul", DataType::kInt32, 1024));
+  EXPECT_EQ(classify(m, m.find_actor("op")), ActorKind::kBatch);
+}
+
+TEST(Classify, ScalarElementwiseIsBasic) {
+  Model m = resolved(simple_elementwise("Mul", DataType::kInt32, 1));
+  EXPECT_EQ(classify(m, m.find_actor("op")), ActorKind::kBasic);
+}
+
+TEST(Classify, IntensiveSourceSinkKinds) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kComplex64, Shape({64}));
+  PortRef f = b.actor("f", "FFT", {x});
+  b.outport("y", f);
+  Model m = resolved(b.take());
+  EXPECT_EQ(classify(m, m.find_actor("f")), ActorKind::kIntensive);
+  EXPECT_EQ(classify(m, m.find_actor("x")), ActorKind::kSource);
+  EXPECT_EQ(classify(m, m.find_actor("y")), ActorKind::kSink);
+}
+
+TEST(Classify, DelayIsBasicAndConstantIsSource) {
+  Model m("t");
+  ActorId x = m.add_actor("x", "Constant");
+  m.actor(x).set_param("dtype", "i32");
+  m.actor(x).set_param("shape", "8");
+  m.actor(x).set_param("value", "1");
+  ActorId d = m.add_actor("d", "UnitDelay");
+  m.actor(d).set_param("dtype", "i32");
+  m.actor(d).set_param("shape", "8");
+  m.connect(x, 0, d, 0);
+  resolve_model(m);
+  EXPECT_EQ(classify(m, x), ActorKind::kSource);
+  EXPECT_EQ(classify(m, d), ActorKind::kBasic);
+}
+
+TEST(Classify, GainOnArrayIsBatch) {
+  Model m = resolved(
+      simple_elementwise("Gain", DataType::kFloat32, 128, {{"gain", "2"}}));
+  EXPECT_EQ(classify(m, m.find_actor("op")), ActorKind::kBatch);
+}
+
+}  // namespace
+}  // namespace hcg

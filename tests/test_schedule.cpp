@@ -1,0 +1,115 @@
+// Unit tests for schedule analysis (step 2 of the code-generation pipeline).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/builder.hpp"
+#include "model/schedule.hpp"
+#include "support/error.hpp"
+
+namespace hcg {
+namespace {
+
+int position(const std::vector<ActorId>& order, ActorId id) {
+  auto it = std::find(order.begin(), order.end(), id);
+  EXPECT_NE(it, order.end());
+  return static_cast<int>(it - order.begin());
+}
+
+TEST(Schedule, RespectsDependencies) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({4}));
+  PortRef y = b.inport("y", DataType::kFloat32, Shape({4}));
+  PortRef s = b.actor("s", "Sub", {x, y});
+  PortRef m2 = b.actor("m2", "Mul", {s, y});
+  b.outport("o", m2);
+  Model model = b.take();
+
+  const auto order = schedule(model);
+  EXPECT_EQ(order.size(), 5u);
+  EXPECT_LT(position(order, model.find_actor("x")),
+            position(order, model.find_actor("s")));
+  EXPECT_LT(position(order, model.find_actor("y")),
+            position(order, model.find_actor("s")));
+  EXPECT_LT(position(order, model.find_actor("s")),
+            position(order, model.find_actor("m2")));
+  EXPECT_LT(position(order, model.find_actor("m2")),
+            position(order, model.find_actor("o")));
+}
+
+TEST(Schedule, IsDeterministicSmallestIdFirst) {
+  Model m("t");
+  ActorId a = m.add_actor("a", "Inport");
+  ActorId b = m.add_actor("b", "Inport");
+  ActorId c = m.add_actor("c", "Inport");
+  const auto order = schedule(m);
+  EXPECT_EQ(order, (std::vector<ActorId>{a, b, c}));
+}
+
+TEST(Schedule, DiamondFanoutSchedulesOnce) {
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({4}));
+  PortRef a = b.actor("a", "Abs", {x});
+  PortRef l = b.actor("l", "Sqrt", {a});
+  PortRef r = b.actor("r", "Recp", {a});
+  b.actor("j", "Add", {l, r});
+  Model model = b.take();
+  const auto order = schedule(model);
+  EXPECT_EQ(order.size(), 5u);
+  EXPECT_EQ(std::count(order.begin(), order.end(), model.find_actor("a")), 1);
+}
+
+TEST(Schedule, MultipleWiresBetweenSamePairCountOnceEach) {
+  // Add(x, x) — two wires from the same producer.
+  ModelBuilder b("m");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({4}));
+  b.actor("d", "Add", {x, x});
+  Model model = b.take();
+  EXPECT_NO_THROW(schedule(model));
+  EXPECT_EQ(schedule(model).size(), 2u);
+}
+
+TEST(Schedule, RejectsCombinationalCycle) {
+  Model m("t");
+  ActorId a = m.add_actor("a", "Abs");
+  ActorId b = m.add_actor("b", "Abs");
+  m.connect(a, 0, b, 0);
+  m.connect(b, 0, a, 0);
+  EXPECT_THROW(schedule(m), ModelError);
+  try {
+    schedule(m);
+  } catch (const ModelError& e) {
+    // The error names the actors on the cycle.
+    EXPECT_NE(std::string(e.what()).find("a"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("b"), std::string::npos);
+  }
+}
+
+TEST(Schedule, DelayBreaksFeedbackCycle) {
+  Model m("t");
+  ActorId x = m.add_actor("x", "Inport");
+  ActorId add = m.add_actor("acc", "Add");
+  ActorId dly = m.add_actor("dly", "UnitDelay");
+  m.connect(x, 0, add, 0);
+  m.connect(dly, 0, add, 1);  // feedback through delay
+  m.connect(add, 0, dly, 0);
+  const auto order = schedule(m);
+  EXPECT_EQ(order.size(), 3u);
+  // The delay imposes no same-step ordering constraint in either direction;
+  // both its producer and consumer appear, and no cycle is reported.
+  EXPECT_NE(position(order, dly), position(order, add));
+  EXPECT_LT(position(order, x), position(order, add));
+}
+
+TEST(Schedule, IsDelayType) {
+  EXPECT_TRUE(is_delay_type("UnitDelay"));
+  EXPECT_FALSE(is_delay_type("Add"));
+}
+
+TEST(Schedule, EmptyModel) {
+  Model m("empty");
+  EXPECT_TRUE(schedule(m).empty());
+}
+
+}  // namespace
+}  // namespace hcg

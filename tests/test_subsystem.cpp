@@ -1,0 +1,232 @@
+// Tests for hierarchical models: subsystem flattening via the builder API
+// and via the XML loader, including passthroughs, nesting, fan-out and
+// end-to-end equivalence of the flattened model.
+#include <gtest/gtest.h>
+
+#include "actors/resolve.hpp"
+#include "benchmodels/benchmodels.hpp"
+#include "codegen/generator.hpp"
+#include "isa/builtin.hpp"
+#include "model/builder.hpp"
+#include "model/loader.hpp"
+#include "model/subsystem.hpp"
+#include "vm/interpreter.hpp"
+
+namespace hcg {
+namespace {
+
+/// A reusable inner block: out0 = (a - b) * taps-like gain, out1 = a.
+Model biquad_like_inner() {
+  ModelBuilder b("inner");
+  PortRef a = b.inport("a", DataType::kFloat32, Shape({16}));
+  PortRef w = b.inport("w", DataType::kFloat32, Shape({16}));
+  PortRef d = b.actor("d", "Sub", {a, w});
+  PortRef g = b.actor("g", "Gain", {d}, {{"gain", "0.25"}});
+  b.outport("out0", g);
+  b.outport("thru", a);  // pure passthrough of input 0
+  return b.take();
+}
+
+TEST(Subsystem, BuilderInstantiationFlattens) {
+  Model inner = biquad_like_inner();
+  ModelBuilder b("top");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({16}));
+  PortRef w = b.inport("w", DataType::kFloat32, Shape({16}));
+  std::vector<PortRef> outs = instantiate_subsystem(b, "blk", inner, {x, w});
+  ASSERT_EQ(outs.size(), 2u);
+  PortRef sum = b.actor("sum", "Add", {outs[0], outs[1]});
+  b.outport("y", sum);
+  Model m = b.take();
+
+  // Inner actors appear under the prefix; ports do not.
+  EXPECT_NE(m.find_actor("blk__d"), kNoActor);
+  EXPECT_NE(m.find_actor("blk__g"), kNoActor);
+  EXPECT_EQ(m.find_actor("blk__a"), kNoActor);
+  EXPECT_EQ(m.find_actor("blk__out0"), kNoActor);
+  // The passthrough output resolved to the parent input directly.
+  EXPECT_EQ(m.incoming(m.find_actor("sum"), 1)->src, m.find_actor("x"));
+  EXPECT_NO_THROW(resolve_model(m));
+}
+
+TEST(Subsystem, FlattenedModelComputesLikeInlineConstruction) {
+  Model inner = biquad_like_inner();
+  ModelBuilder b("top");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({16}));
+  PortRef w = b.inport("w", DataType::kFloat32, Shape({16}));
+  std::vector<PortRef> outs = instantiate_subsystem(b, "blk", inner, {x, w});
+  b.outport("y", b.actor("sum", "Add", {outs[0], outs[1]}));
+  Model flattened = resolved(b.take());
+
+  // The same computation written flat: y = (x - w)*0.25 + x.
+  ModelBuilder f("flat");
+  PortRef fx = f.inport("x", DataType::kFloat32, Shape({16}));
+  PortRef fw = f.inport("w", DataType::kFloat32, Shape({16}));
+  PortRef fd = f.actor("d", "Sub", {fx, fw});
+  PortRef fg = f.actor("g", "Gain", {fd}, {{"gain", "0.25"}});
+  f.outport("y", f.actor("sum", "Add", {fg, fx}));
+  Model reference = resolved(f.take());
+
+  auto inputs = benchmodels::workload(flattened, 21);
+  Interpreter a(flattened), b2(reference);
+  a.init();
+  b2.init();
+  auto ra = a.step(inputs);
+  auto rb = b2.step(inputs);
+  EXPECT_EQ(ra[0].max_abs_difference(rb[0]), 0.0);
+}
+
+TEST(Subsystem, TwoInstancesOfTheSameInnerModel) {
+  Model inner = biquad_like_inner();
+  ModelBuilder b("top");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({16}));
+  PortRef w = b.inport("w", DataType::kFloat32, Shape({16}));
+  auto first = instantiate_subsystem(b, "s1", inner, {x, w});
+  auto second = instantiate_subsystem(b, "s2", inner, {first[0], w});
+  b.outport("y", second[0]);
+  Model m = b.take();
+  EXPECT_NE(m.find_actor("s1__g"), kNoActor);
+  EXPECT_NE(m.find_actor("s2__g"), kNoActor);
+  EXPECT_NO_THROW(resolve_model(m));
+}
+
+TEST(Subsystem, InputArityIsChecked) {
+  Model inner = biquad_like_inner();
+  ModelBuilder b("top");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({16}));
+  EXPECT_THROW(instantiate_subsystem(b, "s", inner, {x}), ModelError);
+}
+
+TEST(Subsystem, UnconnectedInnerOutportRejected) {
+  Model inner("bad");
+  ActorId in = inner.add_actor("i", "Inport");
+  inner.actor(in).set_param("dtype", "f32");
+  inner.actor(in).set_param("shape", "4");
+  inner.add_actor("o", "Outport");  // dangling
+  ModelBuilder b("top");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({4}));
+  EXPECT_THROW(instantiate_subsystem(b, "s", inner, {x}), ModelError);
+}
+
+constexpr const char* kHierXml = R"(
+<model name="hier">
+  <actor name="x" type="Inport" dtype="f32" shape="32"/>
+  <actor name="w" type="Inport" dtype="f32" shape="32"/>
+  <actor name="filt" type="Subsystem">
+    <model name="filt_impl">
+      <actor name="a"   type="Inport" dtype="f32" shape="32"/>
+      <actor name="b"   type="Inport" dtype="f32" shape="32"/>
+      <actor name="d"   type="Sub"/>
+      <actor name="g"   type="Gain" gain="0.5"/>
+      <actor name="o"   type="Outport"/>
+      <actor name="echo" type="Outport"/>
+      <connect from="a" to="d:0"/>
+      <connect from="b" to="d:1"/>
+      <connect from="d" to="g"/>
+      <connect from="g" to="o"/>
+      <connect from="b" to="echo"/>
+    </model>
+  </actor>
+  <actor name="sum" type="Add"/>
+  <actor name="y" type="Outport"/>
+  <connect from="x" to="filt:0"/>
+  <connect from="w" to="filt:1"/>
+  <connect from="filt:0" to="sum:0"/>
+  <connect from="filt:1" to="sum:1"/>
+  <connect from="sum" to="y"/>
+</model>)";
+
+TEST(Subsystem, XmlLoaderFlattens) {
+  Model m = load_model(kHierXml);
+  EXPECT_NE(m.find_actor("filt__d"), kNoActor);
+  EXPECT_NE(m.find_actor("filt__g"), kNoActor);
+  EXPECT_EQ(m.find_actor("filt"), kNoActor);  // no placeholder actor remains
+  // filt:1 is a passthrough of input 1 (= w).
+  EXPECT_EQ(m.incoming(m.find_actor("sum"), 1)->src, m.find_actor("w"));
+  EXPECT_NO_THROW(resolve_model(m));
+}
+
+TEST(Subsystem, XmlHierarchyGeneratesFusedSimd) {
+  Model m = resolved(load_model(kHierXml));
+  auto gen = codegen::make_hcg_generator(isa::builtin("neon_sim"));
+  codegen::GeneratedCode code = gen->generate(m);
+  // Sub, Gain and Add fuse into one region (the hierarchy is invisible to
+  // Algorithm 2 after flattening).
+  EXPECT_EQ(code.fused_regions, 1);
+  EXPECT_EQ(code.simd_instructions,
+            (std::vector<std::string>{"vsubq_f32", "vmulq_n_f32",
+                                      "vaddq_f32"}));
+}
+
+TEST(Subsystem, NestedSubsystemsFlattenRecursively) {
+  const char* xml = R"(
+<model name="outer">
+  <actor name="x" type="Inport" dtype="i32" shape="8"/>
+  <actor name="lvl1" type="Subsystem">
+    <model name="mid">
+      <actor name="i" type="Inport" dtype="i32" shape="8"/>
+      <actor name="lvl2" type="Subsystem">
+        <model name="leaf">
+          <actor name="i" type="Inport" dtype="i32" shape="8"/>
+          <actor name="n" type="BitNot"/>
+          <actor name="o" type="Outport"/>
+          <connect from="i" to="n"/>
+          <connect from="n" to="o"/>
+        </model>
+      </actor>
+      <actor name="o" type="Outport"/>
+      <connect from="i" to="lvl2:0"/>
+      <connect from="lvl2:0" to="o"/>
+    </model>
+  </actor>
+  <actor name="y" type="Outport"/>
+  <connect from="x" to="lvl1:0"/>
+  <connect from="lvl1:0" to="y"/>
+</model>)";
+  Model m = load_model(xml);
+  EXPECT_NE(m.find_actor("lvl1__lvl2__n"), kNoActor);
+  resolve_model(m);
+  Interpreter interp(m);
+  Tensor in(DataType::kInt32, Shape({8}));
+  in.set_int(3, 5);
+  auto out = interp.step({in});
+  EXPECT_EQ(out[0].get_int(3), ~5);
+  EXPECT_EQ(out[0].get_int(0), ~0);
+}
+
+TEST(Subsystem, MissingInnerModelRejected) {
+  EXPECT_THROW(
+      load_model("<model name=\"t\"><actor name=\"s\" type=\"Subsystem\"/>"
+                 "</model>"),
+      ModelError);
+}
+
+TEST(Subsystem, DirectPassthroughChainAcrossTwoSubsystems) {
+  const char* xml = R"(
+<model name="chainy">
+  <actor name="x" type="Inport" dtype="f32" shape="4"/>
+  <actor name="p1" type="Subsystem">
+    <model name="pass1">
+      <actor name="i" type="Inport" dtype="f32" shape="4"/>
+      <actor name="o" type="Outport"/>
+      <connect from="i" to="o"/>
+    </model>
+  </actor>
+  <actor name="p2" type="Subsystem">
+    <model name="pass2">
+      <actor name="i" type="Inport" dtype="f32" shape="4"/>
+      <actor name="o" type="Outport"/>
+      <connect from="i" to="o"/>
+    </model>
+  </actor>
+  <actor name="y" type="Outport"/>
+  <connect from="x" to="p1:0"/>
+  <connect from="p1:0" to="p2:0"/>
+  <connect from="p2:0" to="y"/>
+</model>)";
+  Model m = load_model(xml);
+  // The whole chain collapses to x -> y.
+  EXPECT_EQ(m.incoming(m.find_actor("y"), 0)->src, m.find_actor("x"));
+}
+
+}  // namespace
+}  // namespace hcg

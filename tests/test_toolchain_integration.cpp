@@ -1,0 +1,304 @@
+// Integration tests: generated code is compiled with the host C compiler,
+// dlopen'ed and executed, and its outputs are compared against the
+// interpreter oracle — for every benchmark model, every generator and every
+// instruction table.
+#include <gtest/gtest.h>
+
+#include "actors/resolve.hpp"
+#include "benchmodels/benchmodels.hpp"
+#include "codegen/generator.hpp"
+#include "isa/builtin.hpp"
+#include "model/builder.hpp"
+#include "model/loader.hpp"
+#include "toolchain/compiled_model.hpp"
+#include "vm/interpreter.hpp"
+
+namespace hcg {
+namespace {
+
+double run_and_compare(const Model& resolved_model,
+                       codegen::Generator& generator,
+                       const std::string& opt_flags = "-O2",
+                       std::uint64_t seed = 42) {
+  const std::vector<Tensor> inputs =
+      benchmodels::workload(resolved_model, seed);
+  Interpreter oracle(resolved_model);
+  oracle.init();
+  const std::vector<Tensor> expected = oracle.step(inputs);
+
+  codegen::GeneratedCode code = generator.generate(resolved_model);
+  toolchain::CompileOptions options;
+  options.opt_flags = opt_flags;
+  toolchain::CompiledModel compiled(code, options);
+  compiled.init();
+  const std::vector<Tensor> got =
+      compiled.step_tensors(resolved_model, inputs);
+
+  EXPECT_EQ(got.size(), expected.size());
+  double worst = 0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    worst = std::max(worst, got[i].max_abs_difference(expected[i]));
+  }
+  return worst;
+}
+
+class PaperModelsBySeed : public ::testing::TestWithParam<int> {};
+
+TEST(Toolchain, CompilerIsAvailable) {
+  ASSERT_TRUE(toolchain::compiler_available())
+      << "these integration tests need a host gcc";
+}
+
+// ---------------------------------------------------------------------------
+// Every paper model x every generator agrees with the oracle
+// ---------------------------------------------------------------------------
+
+class EveryModel : public ::testing::TestWithParam<int> {
+ protected:
+  Model model() {
+    std::vector<Model> models = benchmodels::paper_models();
+    return resolved(std::move(models.at(static_cast<size_t>(GetParam()))));
+  }
+};
+
+TEST_P(EveryModel, SimulinkMatchesOracle) {
+  Model m = model();
+  auto gen = codegen::make_simulink_generator();
+  EXPECT_LT(run_and_compare(m, *gen), 2e-2);
+}
+
+TEST_P(EveryModel, SimulinkScatteredMatchesOracle) {
+  Model m = model();
+  auto gen = codegen::make_simulink_generator(&isa::builtin("sse"));
+  EXPECT_LT(run_and_compare(m, *gen), 2e-2);
+}
+
+TEST_P(EveryModel, DfsynthMatchesOracle) {
+  Model m = model();
+  auto gen = codegen::make_dfsynth_generator();
+  EXPECT_LT(run_and_compare(m, *gen), 2e-2);
+}
+
+TEST_P(EveryModel, HcgNeonSimMatchesOracle) {
+  Model m = model();
+  auto gen = codegen::make_hcg_generator(isa::builtin("neon_sim"));
+  EXPECT_LT(run_and_compare(m, *gen), 2e-2);
+}
+
+TEST_P(EveryModel, HcgAvx2MatchesOracleAtO3) {
+  Model m = model();
+  auto gen = codegen::make_hcg_generator(isa::builtin("avx2"));
+  EXPECT_LT(run_and_compare(m, *gen, "-O3"), 2e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperModels, EveryModel, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Integer models must be bit-exact
+// ---------------------------------------------------------------------------
+
+TEST(Integration, FirIsBitExactAcrossAllTools) {
+  Model m = resolved(benchmodels::fir_model(1024));
+  auto sc = codegen::make_simulink_generator();
+  auto df = codegen::make_dfsynth_generator();
+  auto hcg = codegen::make_hcg_generator(isa::builtin("neon_sim"));
+  auto hcg_avx = codegen::make_hcg_generator(isa::builtin("avx2"));
+  EXPECT_EQ(run_and_compare(m, *sc), 0.0);
+  EXPECT_EQ(run_and_compare(m, *df), 0.0);
+  EXPECT_EQ(run_and_compare(m, *hcg), 0.0);
+  EXPECT_EQ(run_and_compare(m, *hcg_avx), 0.0);
+}
+
+TEST(Integration, Fig4IsBitExactIncludingHalvingAdd) {
+  Model m = resolved(benchmodels::paper_fig4_model(1000));  // offset 1000%4=0
+  auto hcg = codegen::make_hcg_generator(isa::builtin("neon_sim"));
+  EXPECT_EQ(run_and_compare(m, *hcg), 0.0);
+  auto sse = codegen::make_hcg_generator(isa::builtin("sse"));
+  EXPECT_EQ(run_and_compare(m, *sse), 0.0);
+}
+
+TEST(Integration, RemainderPathIsBitExact) {
+  // 1003 % 4 == 3: three elements go through the scalar remainder.
+  Model m = resolved(benchmodels::paper_fig4_model(1003));
+  auto hcg = codegen::make_hcg_generator(isa::builtin("neon_sim"));
+  EXPECT_EQ(run_and_compare(m, *hcg), 0.0);
+  auto avx = codegen::make_hcg_generator(isa::builtin("avx2"));
+  EXPECT_EQ(run_and_compare(m, *avx), 0.0);
+}
+
+TEST(Integration, SwitchSelectAgreesWithOracleOnAllBackends) {
+  ModelBuilder b("switchy");
+  PortRef x = b.inport("x", DataType::kInt32, Shape({100}));
+  PortRef y = b.inport("y", DataType::kInt32, Shape({100}));
+  PortRef ctrl = b.inport("ctrl", DataType::kInt32, Shape({100}));
+  PortRef d = b.actor("d", "Sub", {x, y});
+  PortRef sel = b.actor("sel", "Switch", {d, y, ctrl});
+  PortRef out = b.actor("clip", "Max", {sel, y});
+  b.outport("o", out);
+  Model m = resolved(b.take());
+
+  for (const char* table : {"neon_sim", "sse", "avx2"}) {
+    auto gen = codegen::make_hcg_generator(isa::builtin(table));
+    EXPECT_EQ(run_and_compare(m, *gen), 0.0) << table;
+  }
+  auto df = codegen::make_dfsynth_generator();
+  EXPECT_EQ(run_and_compare(m, *df), 0.0);
+}
+
+TEST(Integration, FloatSwitchAgreesWithOracle) {
+  ModelBuilder b("fswitch");
+  PortRef x = b.inport("x", DataType::kFloat32, Shape({64}));
+  PortRef y = b.inport("y", DataType::kFloat32, Shape({64}));
+  PortRef ctrl = b.inport("ctrl", DataType::kFloat32, Shape({64}));
+  PortRef sel = b.actor("sel", "Switch", {x, y, ctrl});
+  b.outport("o", sel);
+  Model m = resolved(b.take());
+  for (const char* table : {"neon_sim", "sse"}) {
+    auto gen = codegen::make_hcg_generator(isa::builtin(table));
+    EXPECT_EQ(run_and_compare(m, *gen), 0.0) << table;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-step state
+// ---------------------------------------------------------------------------
+
+TEST(Integration, DelayedAccumulatorMatchesOracleOverManySteps) {
+  // acc(t) = x(t) + acc(t-1), x is a 16-wide batch signal.
+  Model m("acc_model");
+  ActorId x = m.add_actor("x", "Inport");
+  m.actor(x).set_param("dtype", "i32");
+  m.actor(x).set_param("shape", "16");
+  ActorId add = m.add_actor("acc", "Add");
+  ActorId dly = m.add_actor("dly", "UnitDelay");
+  m.actor(dly).set_param("dtype", "i32");
+  m.actor(dly).set_param("shape", "16");
+  ActorId y = m.add_actor("y", "Outport");
+  m.connect(x, 0, add, 0);
+  m.connect(dly, 0, add, 1);
+  m.connect(add, 0, dly, 0);
+  m.connect(add, 0, y, 0);
+  resolve_model(m);
+
+  Interpreter oracle(m);
+  oracle.init();
+  auto gen = codegen::make_hcg_generator(isa::builtin("neon_sim"));
+  codegen::GeneratedCode code = gen->generate(m);
+  toolchain::CompiledModel compiled(code);
+  compiled.init();
+
+  for (int step = 0; step < 10; ++step) {
+    auto inputs = benchmodels::workload(m, 100 + static_cast<unsigned>(step));
+    auto expected = oracle.step(inputs);
+    auto got = compiled.step_tensors(m, inputs);
+    ASSERT_EQ(got[0].max_abs_difference(expected[0]), 0.0) << "step " << step;
+  }
+
+  // init() resets the accumulator in both worlds.
+  oracle.init();
+  compiled.init();
+  auto inputs = benchmodels::workload(m, 7);
+  EXPECT_EQ(compiled.step_tensors(m, inputs)[0].max_abs_difference(
+                oracle.step(inputs)[0]),
+            0.0);
+}
+
+TEST(Integration, GeneratedCodeIsWarningCleanUnderStrictFlags) {
+  // Production bar: every generator's output compiles with -Wall -Wextra
+  // -Werror for every paper model.
+  toolchain::CompileOptions strict;
+  strict.extra_flags = {"-Wall", "-Wextra", "-Werror"};
+  for (Model& raw : benchmodels::paper_models()) {
+    Model m = resolved(std::move(raw));
+    for (auto& gen :
+         {codegen::make_simulink_generator(), codegen::make_dfsynth_generator(),
+          codegen::make_hcg_generator(isa::builtin("neon_sim")),
+          codegen::make_hcg_generator(isa::builtin("avx2"))}) {
+      codegen::GeneratedCode code = gen->generate(m);
+      EXPECT_NO_THROW(toolchain::CompiledModel compiled(code, strict))
+          << m.name() << " / " << code.tool_name;
+    }
+  }
+}
+
+TEST(Integration, GenerationIsDeterministic) {
+  for (const char* table : {"neon_sim", "sse"}) {
+    Model m = resolved(benchmodels::highpass_model(128));
+    auto gen1 = codegen::make_hcg_generator(isa::builtin(table));
+    auto gen2 = codegen::make_hcg_generator(isa::builtin(table));
+    EXPECT_EQ(gen1->generate(m).source, gen2->generate(m).source) << table;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Toolchain error handling
+// ---------------------------------------------------------------------------
+
+TEST(Toolchain, CompilationFailureThrowsWithDiagnostics) {
+  codegen::GeneratedCode broken;
+  broken.model_name = "broken";
+  broken.tool_name = "test";
+  broken.init_symbol = "broken_init";
+  broken.step_symbol = "broken_step";
+  broken.source = "this is not C\n";
+  try {
+    toolchain::CompiledModel compiled(broken);
+    FAIL() << "expected ToolchainError";
+  } catch (const ToolchainError& e) {
+    EXPECT_NE(std::string(e.what()).find("compilation failed"),
+              std::string::npos);
+  }
+}
+
+TEST(Toolchain, MissingSymbolsThrow) {
+  codegen::GeneratedCode code;
+  code.model_name = "sym";
+  code.tool_name = "test";
+  code.init_symbol = "sym_init";
+  code.step_symbol = "sym_step";
+  code.source = "void sym_init(void) {}\n";  // no step
+  EXPECT_THROW(toolchain::CompiledModel compiled(code), ToolchainError);
+}
+
+TEST(Toolchain, ReportsCompileTimeAndCommand) {
+  auto gen = codegen::make_dfsynth_generator();
+  codegen::GeneratedCode code = gen->generate(benchmodels::fir_model(8));
+  toolchain::CompiledModel compiled(code);
+  EXPECT_GT(compiled.compile_seconds(), 0.0);
+  EXPECT_NE(compiled.compile_command().find("-shared"), std::string::npos);
+  EXPECT_NE(compiled.compile_command().find("fir_bench_dfsynth"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Model loaded from XML goes end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(Integration, XmlModelRoundTripsThroughHcg) {
+  const char* xml = R"(
+<model name="from_xml">
+  <actor name="x"    type="Inport"   dtype="f32" shape="32"/>
+  <actor name="w"    type="Inport"   dtype="f32" shape="32"/>
+  <actor name="d"    type="Sub"/>
+  <actor name="m"    type="Mul"/>
+  <actor name="s"    type="Add"/>
+  <actor name="y"    type="Outport"/>
+  <connect from="x" to="d:0"/>
+  <connect from="w" to="d:1"/>
+  <connect from="d" to="m:0"/>
+  <connect from="w" to="m:1"/>
+  <connect from="m" to="s:0"/>
+  <connect from="x" to="s:1"/>
+  <connect from="s" to="y"/>
+</model>)";
+  Model m = resolved(load_model(xml));
+  auto gen = codegen::make_hcg_generator(isa::builtin("neon_sim"));
+  codegen::GeneratedCode code = gen->generate(m);
+  // Sub, then fused multiply-add.
+  EXPECT_EQ(code.simd_instructions,
+            (std::vector<std::string>{"vsubq_f32", "vmlaq_f32"}));
+  EXPECT_LT(run_and_compare(m, *gen), 1e-4);
+}
+
+}  // namespace
+}  // namespace hcg

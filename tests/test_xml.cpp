@@ -1,0 +1,173 @@
+// Unit tests for the XML parser/writer (the TinyXML substitute).
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "xml/xml.hpp"
+
+namespace hcg::xml {
+namespace {
+
+TEST(Xml, ParsesSelfClosingRoot) {
+  Document doc = parse("<model/>");
+  EXPECT_EQ(doc.root().name(), "model");
+  EXPECT_TRUE(doc.root().children().empty());
+  EXPECT_TRUE(doc.root().text().empty());
+}
+
+TEST(Xml, ParsesAttributes) {
+  Document doc = parse(R"(<actor name="x" type="Add" amount='3'/>)");
+  EXPECT_EQ(doc.root().attribute("name"), "x");
+  EXPECT_EQ(doc.root().attribute("type"), "Add");
+  EXPECT_EQ(doc.root().int_attribute("amount"), 3);
+}
+
+TEST(Xml, AttributeOrFallsBack) {
+  Document doc = parse("<a x=\"1\"/>");
+  EXPECT_EQ(doc.root().attribute_or("x", "z"), "1");
+  EXPECT_EQ(doc.root().attribute_or("missing", "z"), "z");
+  EXPECT_EQ(doc.root().int_attribute_or("missing", 9), 9);
+}
+
+TEST(Xml, MissingAttributeThrows) {
+  Document doc = parse("<a/>");
+  EXPECT_THROW(doc.root().attribute("nope"), ParseError);
+}
+
+TEST(Xml, ParsesNestedChildren) {
+  Document doc = parse("<m><a/><b><c/></b><a/></m>");
+  EXPECT_EQ(doc.root().children().size(), 3u);
+  EXPECT_EQ(doc.root().find_children("a").size(), 2u);
+  ASSERT_NE(doc.root().find_child("b"), nullptr);
+  EXPECT_NE(doc.root().child("b").find_child("c"), nullptr);
+  EXPECT_EQ(doc.root().find_child("zzz"), nullptr);
+  EXPECT_THROW(doc.root().child("zzz"), ParseError);
+}
+
+TEST(Xml, ParsesTextContent) {
+  Document doc = parse("<p>  hello world </p>");
+  EXPECT_EQ(doc.root().text(), "hello world");
+}
+
+TEST(Xml, DecodesEntities) {
+  Document doc = parse("<p a=\"&lt;&gt;&amp;&quot;&apos;\">&lt;x&gt; &#65;</p>");
+  EXPECT_EQ(doc.root().attribute("a"), "<>&\"'");
+  EXPECT_EQ(doc.root().text(), "<x> A");
+}
+
+TEST(Xml, HexEntity) {
+  Document doc = parse("<p>&#x41;</p>");
+  EXPECT_EQ(doc.root().text(), "A");
+}
+
+TEST(Xml, RejectsUnknownEntity) {
+  EXPECT_THROW(parse("<p>&nope;</p>"), ParseError);
+}
+
+TEST(Xml, RejectsOutOfRangeNumericEntity) {
+  EXPECT_THROW(parse("<p>&#0;</p>"), ParseError);
+  EXPECT_THROW(parse("<p>&#70000;</p>"), ParseError);
+}
+
+TEST(Xml, ParsesCdata) {
+  Document doc = parse("<p><![CDATA[a < b && c]]></p>");
+  EXPECT_EQ(doc.root().text(), "a < b && c");
+}
+
+TEST(Xml, SkipsCommentsAndDeclaration) {
+  Document doc = parse(
+      "<?xml version=\"1.0\"?>\n<!-- header -->\n<m><!-- inner --><a/></m>\n"
+      "<!-- trailer -->");
+  EXPECT_EQ(doc.root().name(), "m");
+  EXPECT_EQ(doc.root().children().size(), 1u);
+}
+
+TEST(Xml, RejectsMismatchedClosingTag) {
+  EXPECT_THROW(parse("<a><b></a></b>"), ParseError);
+}
+
+TEST(Xml, RejectsTrailingContent) {
+  EXPECT_THROW(parse("<a/><b/>"), ParseError);
+}
+
+TEST(Xml, RejectsUnterminatedElement) {
+  EXPECT_THROW(parse("<a><b/>"), ParseError);
+}
+
+TEST(Xml, RejectsUnterminatedComment) {
+  EXPECT_THROW(parse("<!-- never closed <a/>"), ParseError);
+}
+
+TEST(Xml, RejectsDuplicateAttribute) {
+  EXPECT_THROW(parse("<a x=\"1\" x=\"2\"/>"), ParseError);
+}
+
+TEST(Xml, RejectsUnquotedAttribute) {
+  EXPECT_THROW(parse("<a x=1/>"), ParseError);
+}
+
+TEST(Xml, RejectsDoctype) {
+  EXPECT_THROW(parse("<!DOCTYPE html><a/>"), ParseError);
+}
+
+TEST(Xml, ErrorCarriesLineNumber) {
+  try {
+    parse("<a>\n<b>\n</c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GE(e.line(), 2);
+  }
+}
+
+TEST(Xml, EscapeCoversSpecials) {
+  EXPECT_EQ(escape("<a b=\"c\" & 'd'>"),
+            "&lt;a b=&quot;c&quot; &amp; &apos;d&apos;&gt;");
+  EXPECT_EQ(escape("plain"), "plain");
+}
+
+TEST(Xml, WriterRoundTrips) {
+  const char* text =
+      "<model name=\"m\"><actor name=\"a\" type=\"Add\"/>"
+      "<note>hi &amp; bye</note></model>";
+  Document doc = parse(text);
+  Document again = parse(doc.to_string());
+  EXPECT_EQ(again.root().name(), "model");
+  EXPECT_EQ(again.root().attribute("name"), "m");
+  EXPECT_EQ(again.root().child("actor").attribute("type"), "Add");
+  EXPECT_EQ(again.root().child("note").text(), "hi & bye");
+}
+
+TEST(Xml, BuildProgrammatically) {
+  Element root("model");
+  root.set_attribute("name", "x");
+  Element& child = root.add_child("actor");
+  child.set_attribute("type", "Mul");
+  root.set_attribute("name", "y");  // overwrite
+  EXPECT_EQ(root.attribute("name"), "y");
+  Document doc = parse("<model name=\"y\"><actor type=\"Mul\"/></model>");
+  EXPECT_EQ(doc.root().child("actor").attribute("type"),
+            root.child("actor").attribute("type"));
+}
+
+TEST(Xml, WhitespaceAroundAttributesAccepted) {
+  Document doc = parse("<a  x = \"1\"   y= '2' />");
+  EXPECT_EQ(doc.root().attribute("x"), "1");
+  EXPECT_EQ(doc.root().attribute("y"), "2");
+}
+
+TEST(Xml, DeepNesting) {
+  std::string text;
+  const int depth = 60;
+  for (int i = 0; i < depth; ++i) text += "<n" + std::to_string(i) + ">";
+  for (int i = depth - 1; i >= 0; --i) text += "</n" + std::to_string(i) + ">";
+  Document doc = parse(text);
+  const Element* e = &doc.root();
+  int count = 0;
+  while (!e->children().empty()) {
+    e = e->children()[0].get();
+    ++count;
+  }
+  EXPECT_EQ(count, depth - 1);
+}
+
+}  // namespace
+}  // namespace hcg::xml
