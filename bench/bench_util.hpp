@@ -11,6 +11,9 @@
 #include "actors/resolve.hpp"
 #include "benchmodels/benchmodels.hpp"
 #include "codegen/generator.hpp"
+#include "obs/metrics.hpp"
+#include "support/fileio.hpp"
+#include "support/logging.hpp"
 #include "support/stopwatch.hpp"
 #include "toolchain/compiled_model.hpp"
 #include "vm/interpreter.hpp"
@@ -24,6 +27,26 @@ inline double target_seconds() {
   }
   return 0.25;
 }
+
+/// Benchmark binaries honor HCG_LOG and, when HCG_METRICS_OUT names a file,
+/// dump the process-wide metrics registry there as JSON on exit — the same
+/// writer `hcgc --report` uses, so bench results and codegen reports share
+/// one machine-readable format.
+inline const bool kObsEnvApplied = [] {
+  apply_log_env();
+  if (const char* path = std::getenv("HCG_METRICS_OUT");
+      path != nullptr && *path != '\0') {
+    static std::string out_path = path;
+    std::atexit([] {
+      try {
+        write_file(out_path, obs::Registry::instance().to_json());
+      } catch (...) {
+        // Never let a metrics dump turn a successful bench into a failure.
+      }
+    });
+  }
+  return true;
+}();
 
 /// Compiles a generated model and returns it ready to step.
 inline toolchain::CompiledModel compile(const codegen::GeneratedCode& code,
@@ -52,7 +75,9 @@ inline TimedRun time_steps(toolchain::CompiledModel& compiled,
       std::clamp(target_seconds() / once, 3.0, 200000.0));
   Stopwatch timer;
   for (int i = 0; i < reps; ++i) compiled.step(inputs, outputs);
-  return TimedRun{timer.elapsed_seconds() / reps, reps};
+  const double per_step = timer.elapsed_seconds() / reps;
+  obs::Registry::instance().histogram("bench.step_ns").observe(per_step * 1e9);
+  return TimedRun{per_step, reps};
 }
 
 /// Binds tensors to raw pointer vectors for step().

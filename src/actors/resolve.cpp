@@ -3,6 +3,8 @@
 #include "actors/batch_op.hpp"
 #include "actors/catalog.hpp"
 #include "model/schedule.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace hcg {
@@ -157,6 +159,10 @@ std::vector<PortSpec> infer_outputs(const Actor& actor,
 }  // namespace
 
 void resolve_model(Model& model) {
+  HCG_TRACE_SCOPE("resolve");
+  static obs::Counter& resolved_metric =
+      obs::Registry::instance().counter("resolve.actors");
+  resolved_metric.add(static_cast<std::uint64_t>(model.actor_count()));
   const std::vector<ActorId> order = schedule(model);
 
   // Delays self-declare their spec, so resolve them first: a consumer on a

@@ -7,7 +7,10 @@
 #include "actors/resolve.hpp"
 #include "graph/regions.hpp"
 #include "kernels/library.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
+#include "support/stopwatch.hpp"
 #include "support/strings.hpp"
 
 namespace hcg::codegen {
@@ -21,32 +24,79 @@ class Emitter {
  public:
   Emitter(const Model& model, const EmitConfig& config)
       : model_(model), config_(config) {
+    Stopwatch timer;
     resolve_model(model_);
+    resolve_ms_ = timer.elapsed_seconds() * 1e3;
   }
 
   GeneratedCode run() {
+    HCG_TRACE_SCOPE("codegen.emit");
     out_.model_name = model_.name();
     out_.tool_name = config_.tool_name;
     out_.init_symbol = model_.name() + "_init";
     out_.step_symbol = model_.name() + "_step";
 
-    build_regions();
-    order_ = emission_order(model_, regions_);
-    select_intensive_implementations();
-    plan_folding();
-    plan_buffers();
+    out_.report.model = model_.name();
+    out_.report.tool = config_.tool_name;
+    out_.report.isa = config_.isa != nullptr ? config_.isa->name : "";
+    out_.report.actor_count = model_.actor_count();
+    out_.report.phases.push_back({"resolve", resolve_ms_});
 
-    emit_header();
-    emit_kernel_sources();
-    emit_buffers();
-    emit_init();
-    emit_step();
+    Stopwatch phase;
+    {
+      HCG_TRACE_SCOPE("emit.regions");
+      build_regions();
+      order_ = emission_order(model_, regions_);
+    }
+    finish_phase("regions", phase);
+    {
+      HCG_TRACE_SCOPE("emit.intensive");
+      select_intensive_implementations();
+    }
+    finish_phase("intensive_select", phase);
+    {
+      HCG_TRACE_SCOPE("emit.plan");
+      plan_folding();
+      plan_buffers();
+    }
+    finish_phase("plan", phase);
+    {
+      HCG_TRACE_SCOPE("emit.body");
+      emit_header();
+      emit_kernel_sources();
+      emit_buffers();
+      emit_init();
+      emit_step();
+    }
+    finish_phase("emit", phase);
+
+    out_.report.emit_bytes = source_.size();
+    out_.report.static_buffer_bytes = out_.static_buffer_bytes;
+    out_.report.fused_regions = out_.fused_regions;
+    static obs::Counter& bytes_metric =
+        obs::Registry::instance().counter("codegen.emit_bytes");
+    static obs::Counter& models_metric =
+        obs::Registry::instance().counter("codegen.models");
+    static obs::Counter& fused_metric =
+        obs::Registry::instance().counter("batch.fused_regions");
+    bytes_metric.add(source_.size());
+    models_metric.add();
+    fused_metric.add(static_cast<std::uint64_t>(out_.fused_regions));
+    obs::Registry::instance()
+        .gauge("batch.simd_coverage")
+        .set(out_.report.simd_coverage());
 
     out_.source = std::move(source_);
     return std::move(out_);
   }
 
  private:
+  /// Closes one report phase: records the elapsed time and restarts `timer`.
+  void finish_phase(const char* name, Stopwatch& timer) {
+    out_.report.phases.push_back({name, timer.elapsed_seconds() * 1e3});
+    timer.reset();
+  }
+
   // ------------------------------------------------------------------
   // Planning
   // ------------------------------------------------------------------
@@ -134,17 +184,28 @@ class Emitter {
     for (const Actor& actor : model_.actors()) {
       if (classify(model_, actor.id()) != ActorKind::kIntensive) continue;
       const DataType dtype = actor.input(0).type;
+      obs::ReportIntensive entry;
+      entry.actor = actor.name();
+      entry.actor_type = actor.type();
+      entry.dtype = std::string(short_name(dtype));
       const kernels::KernelImpl* impl = nullptr;
       if (config_.select_intensive) {
         synth::SelectionHistory local;
         synth::SelectionHistory* history =
             config_.history != nullptr ? config_.history : &local;
-        impl = synth::select_implementation(actor, *history,
-                                            config_.intensive_options)
-                   .impl;
+        synth::IntensiveSelection selection = synth::select_implementation(
+            actor, *history, config_.intensive_options);
+        impl = selection.impl;
+        entry.selected = true;
+        entry.from_history = selection.from_history;
+        for (const auto& [id, seconds] : selection.measured_costs) {
+          entry.candidates.push_back({id, seconds * 1e3});
+        }
       } else {
         impl = &library.general_implementation(actor.type(), dtype);
       }
+      entry.impl = impl->id;
+      out_.report.intensive.push_back(std::move(entry));
       intensive_impl_[actor.id()] = impl;
       out_.intensive_choices[actor.name()] = impl->id;
       kernel_sources_.insert(impl->source_key);
@@ -467,6 +528,19 @@ class Emitter {
         model_, region, *config_.isa,
         [this](ActorId id, int port) { return buffer_name_.at({id, port}); },
         config_.batch_options, /*indent=*/1);
+
+    obs::ReportRegion entry;
+    for (ActorId id : region.actors) {
+      entry.actors.push_back(model_.actor(id).name());
+    }
+    entry.nodes = region.graph.node_count();
+    entry.used_simd = result.used_simd;
+    entry.batch_size = result.batch_size;
+    entry.batch_count = result.batch_count;
+    entry.scalar_remainder = result.offset;
+    entry.instructions = result.instructions_used;
+    out_.report.regions.push_back(std::move(entry));
+
     if (result.used_simd) {
       body("/* batch region (" + std::to_string(region.actors.size()) +
            " actors) -> " + config_.isa->name + " SIMD */");
@@ -632,6 +706,7 @@ class Emitter {
   std::vector<std::string> buffer_decls_;
   std::vector<std::string> delay_updates_;
   bool simd_emitted_ = false;
+  double resolve_ms_ = 0.0;
 };
 
 }  // namespace

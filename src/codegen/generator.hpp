@@ -15,6 +15,7 @@
 
 #include "isa/instruction.hpp"
 #include "model/model.hpp"
+#include "obs/report.hpp"
 #include "synth/batch.hpp"
 #include "synth/history.hpp"
 #include "synth/intensive.hpp"
@@ -71,6 +72,12 @@ struct GeneratedCode {
   std::size_t static_buffer_bytes = 0;
   /// Number of batch regions fused by Algorithm 2.
   int fused_regions = 0;
+
+  /// Structured account of this generation run: per-phase timings, every
+  /// Algorithm 1 choice with its measured candidate times, and every
+  /// Algorithm 2 region with its matched instructions.  Serialized by
+  /// `hcgc --report`; see docs/OBSERVABILITY.md for the schema.
+  obs::Report report;
 };
 
 /// Emits C code for a model (resolved internally) under a configuration.

@@ -1,0 +1,93 @@
+// Minimal JSON support for the observability subsystem: a streaming writer
+// used by the trace/metrics/report exporters, and a small recursive-descent
+// parser used by tests (and anyone else) to check well-formedness and read
+// values back.  Deliberately tiny — no external dependency, no DOM mutation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace hcg::obs {
+
+/// Escapes `text` for inclusion inside a JSON string literal (no quotes).
+std::string json_escape(std::string_view text);
+
+/// Streaming JSON writer.  Keys and values must alternate correctly inside
+/// objects; the writer inserts commas automatically.  Non-finite doubles are
+/// serialized as null (JSON has no NaN/Inf).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Starts a key inside an object; follow with exactly one value call.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  /// Any other integer type routes to the 64-bit overload of its signedness
+  /// (a fixed overload set would collide where e.g. size_t == uint64_t).
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& value(T number) {
+    if constexpr (std::is_signed_v<T>) {
+      return value(static_cast<std::int64_t>(number));
+    } else {
+      return value(static_cast<std::uint64_t>(number));
+    }
+  }
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+  std::string out_;
+  /// One entry per open container: count of values written at that level.
+  std::vector<int> counts_;
+  bool pending_key_ = false;
+};
+
+/// A parsed JSON value.  Numbers are stored as double (sufficient for the
+/// timings/counters this subsystem produces); objects keep insertion order
+/// via a vector alongside the lookup map.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue* find(std::string_view name) const;
+  /// Like find() but throws hcg::ParseError when absent.
+  const JsonValue& at(std::string_view name) const;
+};
+
+/// Parses a complete JSON document; throws hcg::ParseError on any syntax
+/// error or trailing garbage.
+JsonValue json_parse(std::string_view text);
+
+/// True when `text` is a syntactically valid JSON document.
+bool json_valid(std::string_view text);
+
+}  // namespace hcg::obs

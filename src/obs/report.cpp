@@ -1,0 +1,107 @@
+#include "obs/report.hpp"
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace hcg::obs {
+
+double Report::simd_coverage() const {
+  int total = 0;
+  int covered = 0;
+  for (const ReportRegion& region : regions) {
+    total += region.nodes;
+    if (region.used_simd) covered += region.nodes;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(covered) / total;
+}
+
+std::string Report::to_json(bool include_metrics) const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("hcg-report-v1");
+  w.key("model").value(model);
+  w.key("tool").value(tool);
+  w.key("isa").value(isa);
+  w.key("actor_count").value(actor_count);
+
+  w.key("phases").begin_array();
+  for (const ReportPhase& phase : phases) {
+    w.begin_object();
+    w.key("name").value(phase.name);
+    w.key("ms").value(phase.ms);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("intensive").begin_array();
+  for (const ReportIntensive& choice : intensive) {
+    w.begin_object();
+    w.key("actor").value(choice.actor);
+    w.key("type").value(choice.actor_type);
+    w.key("dtype").value(choice.dtype);
+    w.key("impl").value(choice.impl);
+    w.key("from_history").value(choice.from_history);
+    w.key("selected").value(choice.selected);
+    w.key("candidates").begin_array();
+    for (const ReportCandidate& candidate : choice.candidates) {
+      w.begin_object();
+      w.key("impl").value(candidate.impl);
+      w.key("ms").value(candidate.ms);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("regions").begin_array();
+  for (const ReportRegion& region : regions) {
+    w.begin_object();
+    w.key("actors").begin_array();
+    for (const std::string& actor : region.actors) w.value(actor);
+    w.end_array();
+    w.key("nodes").value(region.nodes);
+    w.key("used_simd").value(region.used_simd);
+    w.key("batch_size").value(region.batch_size);
+    w.key("batch_count").value(region.batch_count);
+    w.key("scalar_remainder").value(region.scalar_remainder);
+    w.key("instructions").begin_array();
+    for (const std::string& ins : region.instructions) w.value(ins);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("codegen").begin_object();
+  w.key("emit_bytes").value(emit_bytes);
+  w.key("static_buffer_bytes").value(static_buffer_bytes);
+  w.key("fused_regions").value(fused_regions);
+  w.key("simd_coverage").value(simd_coverage());
+  w.end_object();
+
+  w.key("history").begin_object();
+  w.key("hits").value(history_hits);
+  w.key("misses").value(history_misses);
+  w.key("entries").value(history_entries);
+  w.end_object();
+
+  if (compile_ms >= 0) {
+    w.key("toolchain").begin_object();
+    w.key("compile_ms").value(compile_ms);
+    w.key("command").value(compile_command);
+    w.end_object();
+  }
+
+  if (include_metrics) {
+    // Splice the registry's own JSON object in as a sub-document.
+    w.key("metrics");
+    std::string json = w.take();
+    json += Registry::instance().to_json();
+    json += '}';
+    return json;
+  }
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace hcg::obs

@@ -1,0 +1,83 @@
+// Machine-readable codegen report: a structured record of *why* one
+// generation run produced the code it did — per-phase timings, Algorithm 1's
+// per-actor implementation choices with the measured candidate times behind
+// them, and Algorithm 2's per-region SIMD matching results.
+//
+// emit_model() fills the codegen-side fields into GeneratedCode::report;
+// drivers (hcgc, the toolchain harness, benches) layer their own phases and
+// the toolchain/history sections on top, then serialize with to_json().
+// The schema is documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hcg::obs {
+
+struct ReportPhase {
+  std::string name;
+  double ms = 0.0;
+};
+
+struct ReportCandidate {
+  std::string impl;
+  double ms = 0.0;  // best-of-N measured run time
+};
+
+/// One Algorithm 1 decision.
+struct ReportIntensive {
+  std::string actor;
+  std::string actor_type;
+  std::string dtype;
+  std::string impl;          // chosen implementation id
+  bool from_history = false;  // true: history hit, no pre-calculation ran
+  bool selected = false;      // false: generic impl, Algorithm 1 skipped
+  std::vector<ReportCandidate> candidates;  // measured times (selection runs)
+};
+
+/// One Algorithm 2 batch region.
+struct ReportRegion {
+  std::vector<std::string> actors;
+  int nodes = 0;
+  bool used_simd = false;
+  int batch_size = 0;        // vector lanes
+  int batch_count = 0;       // full vector iterations
+  int scalar_remainder = 0;  // elements handled by the scalar epilogue/prologue
+  std::vector<std::string> instructions;  // SIMD instructions, emission order
+};
+
+struct Report {
+  std::string model;
+  std::string tool;
+  std::string isa;
+  int actor_count = 0;
+
+  std::vector<ReportPhase> phases;
+  std::vector<ReportIntensive> intensive;
+  std::vector<ReportRegion> regions;
+
+  // Codegen totals.
+  std::size_t emit_bytes = 0;
+  std::size_t static_buffer_bytes = 0;
+  int fused_regions = 0;
+
+  // Selection-history statistics (filled by the driver when a history is in
+  // play; hits+misses == 0 means no history was consulted).
+  std::uint64_t history_hits = 0;
+  std::uint64_t history_misses = 0;
+  std::size_t history_entries = 0;
+
+  // Toolchain (filled when the generated code was actually compiled).
+  double compile_ms = -1.0;  // < 0: not compiled
+  std::string compile_command;
+
+  /// Fraction of region nodes that ended up in SIMD code, 0..1.
+  double simd_coverage() const;
+
+  /// Serializes the report; when `include_metrics` is set the process-wide
+  /// obs::Registry snapshot is embedded under "metrics".
+  std::string to_json(bool include_metrics = true) const;
+};
+
+}  // namespace hcg::obs

@@ -1,7 +1,12 @@
 #include "support/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#include <chrono>
 
 namespace hcg {
 
@@ -18,15 +23,72 @@ const char* level_tag(LogLevel level) {
   }
   return "?????";
 }
+
+/// Wall-clock "HH:MM:SS.mmm" for log line prefixes.
+void format_timestamp(char* buf, size_t size) {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const auto millis =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm_buf;
+  localtime_r(&secs, &tm_buf);
+  std::snprintf(buf, size, "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(millis));
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  if (iequals(text, "debug")) return LogLevel::kDebug;
+  if (iequals(text, "info")) return LogLevel::kInfo;
+  if (iequals(text, "warn") || iequals(text, "warning")) return LogLevel::kWarn;
+  if (iequals(text, "error")) return LogLevel::kError;
+  if (iequals(text, "off") || iequals(text, "none")) return LogLevel::kOff;
+  return std::nullopt;
+}
+
+bool apply_log_env() {
+  const char* env = std::getenv("HCG_LOG");
+  if (env == nullptr) return false;
+  const std::optional<LogLevel> level = parse_log_level(env);
+  if (!level) {
+    std::fprintf(stderr,
+                 "[hcg WARN ] ignoring HCG_LOG='%s' "
+                 "(want debug|info|warn|error|off)\n",
+                 env);
+    return false;
+  }
+  set_log_level(*level);
+  return true;
+}
+
 namespace detail {
-void log_write(LogLevel level, const std::string& message) {
+void log_write(LogLevel level, const char* module, const std::string& message) {
   if (level < g_level.load()) return;
-  std::fprintf(stderr, "[hcg %s] %s\n", level_tag(level), message.c_str());
+  char ts[16];
+  format_timestamp(ts, sizeof(ts));
+  if (module != nullptr) {
+    std::fprintf(stderr, "[hcg %s %s %s] %s\n", level_tag(level), ts, module,
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[hcg %s %s] %s\n", level_tag(level), ts,
+                 message.c_str());
+  }
 }
 }  // namespace detail
 

@@ -2,11 +2,21 @@
 //
 // The library logs sparingly (synthesis decisions, toolchain invocations).
 // The default level is kWarn so tests and benches stay quiet; tools that
-// want the narrative call set_log_level(LogLevel::kInfo).
+// want the narrative call set_log_level(LogLevel::kInfo) or export
+// HCG_LOG=info (see apply_log_env).
+//
+// Lines carry a wall-clock timestamp and an optional module tag:
+//   [hcg INFO  12:34:56.789 synth] Algorithm 1: FFT/c64 ...
+//
+// Message construction is gated on the threshold: a discarded
+// log_debug() << ... never materializes its ostringstream, so disabled
+// levels cost one atomic load per statement.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace hcg {
 
@@ -16,31 +26,54 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parses "debug" | "info" | "warn" | "error" | "off" (case-insensitive);
+/// nullopt for anything else.
+std::optional<LogLevel> parse_log_level(std::string_view text);
+
+/// Applies the HCG_LOG environment variable (if set and valid) to the global
+/// threshold.  Called at startup by hcgc and the bench binaries.  Returns
+/// true when a valid value was applied.
+bool apply_log_env();
+
 namespace detail {
-void log_write(LogLevel level, const std::string& message);
+void log_write(LogLevel level, const char* module, const std::string& message);
 
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
+  explicit LogLine(LogLevel level, const char* module = nullptr)
+      : level_(level), module_(module) {
+    if (level >= log_level()) stream_.emplace();
+  }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
-  ~LogLine() { log_write(level_, stream_.str()); }
+  ~LogLine() {
+    if (stream_) log_write(level_, module_, stream_->str());
+  }
 
   template <typename T>
   LogLine& operator<<(const T& value) {
-    stream_ << value;
+    if (stream_) *stream_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
-  std::ostringstream stream_;
+  const char* module_;
+  std::optional<std::ostringstream> stream_;
 };
 }  // namespace detail
 
-inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
-inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
-inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
-inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+inline detail::LogLine log_debug(const char* module = nullptr) {
+  return detail::LogLine(LogLevel::kDebug, module);
+}
+inline detail::LogLine log_info(const char* module = nullptr) {
+  return detail::LogLine(LogLevel::kInfo, module);
+}
+inline detail::LogLine log_warn(const char* module = nullptr) {
+  return detail::LogLine(LogLevel::kWarn, module);
+}
+inline detail::LogLine log_error(const char* module = nullptr) {
+  return detail::LogLine(LogLevel::kError, module);
+}
 
 }  // namespace hcg

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/strings.hpp"
@@ -25,6 +27,14 @@ class BatchSynthesizer {
         pad_(static_cast<size_t>(indent) * 2, ' ') {}
 
   BatchSynthResult run() {
+    HCG_TRACE_SCOPE("synth.batch");
+    static obs::Counter& regions_metric =
+        obs::Registry::instance().counter("batch.regions");
+    static obs::Counter& simd_metric =
+        obs::Registry::instance().counter("batch.simd_regions");
+    static obs::Counter& scalar_metric =
+        obs::Registry::instance().counter("batch.scalar_fallbacks");
+    regions_metric.add();
     BatchSynthResult result;
 
     // Algorithm 2 lines 1-4: batch size / batch count.
@@ -35,12 +45,14 @@ class BatchSynthesizer {
     if (result.batch_count < 1 ||
         graph_.node_count() < options_.min_nodes_for_simd) {
       result.used_simd = false;
+      scalar_metric.add();
       return result;
     }
     for (const DfgNode& node : graph_.nodes()) {
       if (isa_.lanes(node.out_type) != lanes) {
         // A node type the table cannot vectorize at this width; conventional.
         result.used_simd = false;
+        scalar_metric.add();
         return result;
       }
     }
@@ -57,6 +69,7 @@ class BatchSynthesizer {
     code += loop_code(calc_lines, result);
     result.code = std::move(code);
     result.used_simd = true;
+    simd_metric.add();
     return result;
   }
 

@@ -1,5 +1,6 @@
 #include "synth/history.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/fileio.hpp"
 #include "support/strings.hpp"
@@ -21,8 +22,18 @@ std::string SelectionHistory::key(std::string_view actor_type, DataType dtype,
 std::optional<std::string> SelectionHistory::lookup(
     std::string_view actor_type, DataType dtype,
     const std::vector<Shape>& in_shapes) const {
+  static obs::Counter& hit_metric =
+      obs::Registry::instance().counter("synth.history.hits");
+  static obs::Counter& miss_metric =
+      obs::Registry::instance().counter("synth.history.misses");
   auto it = entries_.find(key(actor_type, dtype, in_shapes));
-  if (it == entries_.end()) return std::nullopt;
+  if (it == entries_.end()) {
+    ++misses_;
+    miss_metric.add();
+    return std::nullopt;
+  }
+  ++hits_;
+  hit_metric.add();
   return it->second;
 }
 

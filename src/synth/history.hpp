@@ -28,6 +28,13 @@ class SelectionHistory {
   std::size_t size() const { return entries_.size(); }
   void clear() { entries_.clear(); }
 
+  /// Lookup statistics since construction (a warm history shows hits, a cold
+  /// one only misses).  Also mirrored into the process-wide metrics as
+  /// synth.history.hits / synth.history.misses.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void reset_stats() { hits_ = misses_ = 0; }
+
   /// Line-based text form: "FFT c64 1024 fft_radix4".
   std::string serialize() const;
   static SelectionHistory deserialize(std::string_view text);
@@ -39,6 +46,10 @@ class SelectionHistory {
   static std::string key(std::string_view actor_type, DataType dtype,
                          const std::vector<Shape>& in_shapes);
   std::map<std::string, std::string> entries_;
+  /// Mutable: lookup() is logically const; the history is not thread-safe
+  /// anyway (the entry map itself is unguarded).
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
 };
 
 }  // namespace hcg::synth

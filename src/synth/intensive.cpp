@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "actors/exec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/rng.hpp"
@@ -62,6 +64,15 @@ std::vector<Tensor> generate_test_inputs(const Actor& actor,
 IntensiveSelection select_implementation(const Actor& actor,
                                          SelectionHistory& history,
                                          const IntensiveOptions& options) {
+  HCG_TRACE_SCOPE("synth.intensive");
+  static obs::Counter& stale_metric =
+      obs::Registry::instance().counter("synth.history.stale");
+  static obs::Counter& precalc_metric =
+      obs::Registry::instance().counter("synth.precalc.runs");
+  static obs::Counter& candidate_metric =
+      obs::Registry::instance().counter("synth.precalc.candidates");
+  static obs::Histogram& candidate_ns_metric =
+      obs::Registry::instance().histogram("synth.precalc.candidate_ns");
   require(actor.is_resolved(), "select_implementation: unresolved actor");
   const DataType dtype = actor.input(0).type;
   const std::vector<Shape> shapes = input_shapes(actor);
@@ -80,8 +91,10 @@ IntensiveSelection select_implementation(const Actor& actor,
       }
       // A stale entry (library changed since it was stored): fall through to
       // a fresh pre-calculation, which will overwrite it.
+      stale_metric.add();
     }
   }
+  precalc_metric.add();
 
   // Lines 7-8: load the code library and default to the general impl.
   std::vector<const kernels::KernelImpl*> impls =
@@ -112,6 +125,8 @@ IntensiveSelection select_implementation(const Actor& actor,
       best = std::min(best, timer.elapsed_seconds());
     }
     result.measured_costs[impl->id] = best;
+    candidate_metric.add();
+    candidate_ns_metric.observe(best * 1e9);
     if (best < min_cost) {  // lines 15-17
       min_cost = best;
       result.impl = impl;
@@ -122,7 +137,7 @@ IntensiveSelection select_implementation(const Actor& actor,
   if (options.use_history) {
     history.store(actor.type(), dtype, shapes, result.impl->id);
   }
-  log_debug() << "Algorithm 1: " << actor.type() << "/"
+  log_debug("synth") << "Algorithm 1: " << actor.type() << "/"
               << short_name(dtype) << " size " << shapes[0].to_string()
               << " -> " << result.impl->id;
   return result;

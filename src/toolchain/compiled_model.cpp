@@ -5,6 +5,8 @@
 #include <cstdlib>
 
 #include "actors/exec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/logging.hpp"
 #include "support/stopwatch.hpp"
@@ -37,6 +39,11 @@ bool compiler_available(const std::string& cc) {
 CompiledModel::CompiledModel(const codegen::GeneratedCode& code,
                              const CompileOptions& options)
     : dir_("hcg-cc") {
+  HCG_TRACE_SCOPE("toolchain.compile");
+  static obs::Counter& compiles_metric =
+      obs::Registry::instance().counter("toolchain.compiles");
+  static obs::Histogram& compile_ms_metric =
+      obs::Registry::instance().histogram("toolchain.compile_ms");
   if (options.keep_artifacts) dir_.keep();
 
   source_path_ = dir_.path() / (code.model_name + "_" + code.tool_name + ".c");
@@ -59,6 +66,8 @@ CompiledModel::CompiledModel(const codegen::GeneratedCode& code,
   Stopwatch timer;
   const int rc = std::system(cmd.c_str());
   compile_seconds_ = timer.elapsed_seconds();
+  compiles_metric.add();
+  compile_ms_metric.observe(compile_seconds_ * 1e3);
   if (rc != 0) {
     std::string log;
     try {
@@ -82,8 +91,9 @@ CompiledModel::CompiledModel(const codegen::GeneratedCode& code,
     throw ToolchainError("generated code is missing " + code.init_symbol +
                          " or " + code.step_symbol);
   }
-  log_debug() << "compiled " << code.model_name << " [" << code.tool_name
-              << "] in " << compile_seconds_ << "s";
+  log_debug("toolchain") << "compiled " << code.model_name << " ["
+                         << code.tool_name << "] in " << compile_seconds_
+                         << "s";
 }
 
 CompiledModel::~CompiledModel() {

@@ -2,18 +2,29 @@
 //
 //   hcgc generate <model.xml> [--tool hcg|simulink|dfsynth] [--isa NAME|FILE]
 //                 [--out FILE] [--history FILE] [--threshold N] [--scattered]
+//                 [--report FILE] [--trace FILE]
 //   hcgc inspect  <model.xml> [--isa NAME|FILE]
 //   hcgc verify   <model.xml> [--tool ...] [--isa ...] [--seed N]
 //   hcgc bench    <model.xml> [--isa NAME|FILE] [--seed N]
 //   hcgc isa      [NAME]
 //
 // generate: emit deployable C for a model (default: HCG against neon).
+//           The subcommand may be omitted: `hcgc model.xml [flags]` and
+//           `hcgc --flag ... model.xml` run generate.
 // inspect : print actors, classification, batch regions and their graphs.
 // verify  : generate, compile with the host cc, run one step on random
 //           input, and compare against the built-in simulator.
 // bench   : compile all three tools' output and time steps side by side.
 // isa     : list the built-in instruction tables, or dump one as text.
+//
+// Observability (docs/OBSERVABILITY.md):
+//   --report FILE   write a machine-readable JSON codegen report.
+//   --trace FILE    write a Chrome trace-event JSON file of pipeline spans.
+//   HCG_TRACE       like --trace; the value "summary" (or "1") prints a
+//                   human-readable span tree to stderr instead.
+//   HCG_LOG         log threshold: debug|info|warn|error|off.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
@@ -28,8 +39,12 @@
 #include "isa/builtin.hpp"
 #include "isa/isa_parse.hpp"
 #include "model/loader.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/fileio.hpp"
+#include "support/logging.hpp"
 #include "support/stopwatch.hpp"
 #include "toolchain/compiled_model.hpp"
 #include "vm/interpreter.hpp"
@@ -44,10 +59,13 @@ int usage() {
                "  hcgc generate <model.xml> [--tool hcg|simulink|dfsynth]\n"
                "                [--isa NAME|FILE] [--out FILE]\n"
                "                [--history FILE] [--threshold N] [--scattered]\n"
+               "                [--report FILE] [--trace FILE]\n"
                "  hcgc inspect  <model.xml> [--isa NAME|FILE]\n"
                "  hcgc verify   <model.xml> [--tool ...] [--isa ...] [--seed N]\n"
                "  hcgc bench    <model.xml> [--isa NAME|FILE] [--seed N]\n"
-               "  hcgc isa      [NAME]\n");
+               "  hcgc isa      [NAME]\n"
+               "(the generate subcommand may be omitted)\n"
+               "env: HCG_LOG=debug|info|warn|error|off   HCG_TRACE=FILE|summary\n");
   return 2;
 }
 
@@ -58,16 +76,37 @@ struct Options {
   std::string isa_name = "neon";
   std::string out_path;
   std::string history_path;
+  std::string report_path;
+  std::string trace_path;        // file path, or "summary" for stderr
+  bool trace_from_env = false;
   int threshold = 0;
   bool scattered = false;
   std::uint64_t seed = 42;
 };
 
+bool known_command(const std::string& name) {
+  return name == "generate" || name == "inspect" || name == "verify" ||
+         name == "bench" || name == "isa";
+}
+
 bool parse_args(int argc, char** argv, Options& opt) {
   if (argc < 2) return false;
   opt.command = argv[1];
+  int start = 2;
+  if (!known_command(opt.command)) {
+    // Allow omitting the subcommand: `hcgc --isa neon model.xml` and
+    // `hcgc model.xml` default to generate.  A bare unknown word (neither a
+    // flag nor an existing file) still falls through to usage.
+    if (opt.command.rfind("-", 0) == 0 ||
+        std::filesystem::exists(opt.command)) {
+      opt.command = "generate";
+      start = 1;
+    } else {
+      return true;  // main() rejects the unknown command with usage()
+    }
+  }
   int position = 0;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = start; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
       if (i + 1 >= argc) throw Error("missing value after " + arg);
@@ -85,6 +124,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.threshold = std::atoi(value());
     } else if (arg == "--seed") {
       opt.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (arg == "--report") {
+      opt.report_path = value();
+    } else if (arg == "--trace") {
+      opt.trace_path = value();
+      opt.trace_from_env = false;
     } else if (arg == "--scattered") {
       opt.scattered = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -123,8 +167,25 @@ std::unique_ptr<codegen::Generator> make_tool(const Options& opt,
   throw Error("unknown tool '" + opt.tool + "' (hcg|simulink|dfsynth)");
 }
 
+/// Fills the CLI-level report fields (load phase, history stats) and writes
+/// the report JSON when requested.
+void finish_report(const Options& opt, codegen::GeneratedCode& code,
+                   double load_ms, const synth::SelectionHistory& history) {
+  code.report.phases.insert(code.report.phases.begin(),
+                            {"model.load", load_ms});
+  code.report.history_hits = history.hits();
+  code.report.history_misses = history.misses();
+  code.report.history_entries = history.size();
+  if (!opt.report_path.empty()) {
+    write_file(opt.report_path, code.report.to_json());
+    std::fprintf(stderr, "wrote report %s\n", opt.report_path.c_str());
+  }
+}
+
 int cmd_generate(const Options& opt) {
+  Stopwatch load_timer;
   Model model = resolved(load_model_file(opt.model_path));
+  const double load_ms = load_timer.elapsed_seconds() * 1e3;
   isa::VectorIsa file_isa;
   const isa::VectorIsa& table = resolve_isa(opt.isa_name, file_isa);
 
@@ -156,9 +217,16 @@ int cmd_generate(const Options& opt) {
   for (const auto& [actor, impl] : code.intensive_choices) {
     std::fprintf(stderr, "intensive %s -> %s\n", actor.c_str(), impl.c_str());
   }
+  if (opt.tool == "hcg") {
+    std::fprintf(stderr, "history: %llu hits, %llu misses (%zu entries)\n",
+                 static_cast<unsigned long long>(history.hits()),
+                 static_cast<unsigned long long>(history.misses()),
+                 history.size());
+  }
   if (!code.compile_flags.empty()) {
     std::fprintf(stderr, "compile with: %s\n", code.compile_flags.c_str());
   }
+  finish_report(opt, code, load_ms, history);
   return 0;
 }
 
@@ -192,7 +260,9 @@ int cmd_inspect(const Options& opt) {
 }
 
 int cmd_verify(const Options& opt) {
+  Stopwatch load_timer;
   Model model = resolved(load_model_file(opt.model_path));
+  const double load_ms = load_timer.elapsed_seconds() * 1e3;
   isa::VectorIsa file_isa;
   const isa::VectorIsa& table = resolve_isa(opt.isa_name, file_isa);
 
@@ -201,6 +271,9 @@ int cmd_verify(const Options& opt) {
   codegen::GeneratedCode code = tool->generate(model);
 
   toolchain::CompiledModel compiled(code);
+  code.report.compile_ms = compiled.compile_seconds() * 1e3;
+  code.report.compile_command = compiled.compile_command();
+  finish_report(opt, code, load_ms, history);
   compiled.init();
 
   std::vector<Tensor> inputs = benchmodels::workload(model, opt.seed);
@@ -297,19 +370,59 @@ int cmd_isa(const Options& opt) {
   return 0;
 }
 
+/// Applies HCG_TRACE when --trace was not given.  Returns true if tracing
+/// (to a file or as a stderr summary) is active.
+bool setup_tracing(Options& opt) {
+  if (opt.trace_path.empty()) {
+    if (const char* env = std::getenv("HCG_TRACE");
+        env != nullptr && *env != '\0') {
+      opt.trace_path = env;
+      opt.trace_from_env = true;
+    }
+  }
+  if (opt.trace_path.empty()) return false;
+  obs::Tracer::instance().set_enabled(true);
+  return true;
+}
+
+/// "summary" / "1" mean a human-readable tree on stderr; anything else is a
+/// Chrome trace-event JSON output path.
+void write_trace(const Options& opt) {
+  obs::Tracer& tracer = obs::Tracer::instance();
+  if (opt.trace_path == "summary" || opt.trace_path == "1") {
+    std::fputs(tracer.summary().c_str(), stderr);
+    return;
+  }
+  write_file(opt.trace_path, tracer.trace_json());
+  std::fprintf(stderr, "wrote trace %s\n", opt.trace_path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  apply_log_env();
   Options opt;
   try {
     if (!parse_args(argc, argv, opt)) return usage();
-    if (opt.command == "isa") return cmd_isa(opt);
-    if (opt.model_path.empty()) return usage();
-    if (opt.command == "generate") return cmd_generate(opt);
-    if (opt.command == "inspect") return cmd_inspect(opt);
-    if (opt.command == "verify") return cmd_verify(opt);
-    if (opt.command == "bench") return cmd_bench(opt);
-    return usage();
+    const bool tracing = setup_tracing(opt);
+    int rc = 2;
+    if (opt.command == "isa") {
+      rc = cmd_isa(opt);
+    } else if (opt.model_path.empty()) {
+      return usage();
+    } else if (opt.command == "generate") {
+      rc = cmd_generate(opt);
+    } else if (opt.command == "inspect") {
+      rc = cmd_inspect(opt);
+    } else if (opt.command == "verify") {
+      rc = cmd_verify(opt);
+    } else if (opt.command == "bench") {
+      rc = cmd_bench(opt);
+    } else {
+      return usage();
+    }
+    if (tracing) write_trace(opt);
+    return rc;
   } catch (const Error& e) {
     std::fprintf(stderr, "hcgc: %s\n", e.what());
     return 1;

@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 
+#include "obs/json.hpp"
 #include "support/error.hpp"
 #include "support/fileio.hpp"
 
@@ -184,6 +185,65 @@ TEST_F(CliFixture, MissingModelFileFails) {
   CliResult r = run_cli("generate /nonexistent/model.xml");
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.output.find("hcgc:"), std::string::npos);
+}
+
+TEST_F(CliFixture, GenerateWithoutSubcommand) {
+  // `hcgc <model>` and `hcgc --flag ... <model>` default to generate.
+  CliResult r = run_cli(model_path_ + " --isa neon_sim");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("cli_fir_init"), std::string::npos);
+  CliResult flags_first = run_cli("--tool dfsynth " + model_path_);
+  EXPECT_EQ(flags_first.exit_code, 0) << flags_first.output;
+  EXPECT_NE(flags_first.output.find("cli_fir_init"), std::string::npos);
+}
+
+TEST_F(CliFixture, GenerateWritesReportAndTrace) {
+  const std::string report = (dir_.path() / "r.json").string();
+  const std::string trace = (dir_.path() / "t.json").string();
+  CliResult r = run_cli("generate " + model_path_ +
+                        " --isa neon_sim --out " +
+                        (dir_.path() / "gen.c").string() + " --report " +
+                        report + " --trace " + trace);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("history:"), std::string::npos);
+
+  const std::string report_text = read_file(report);
+  ASSERT_TRUE(obs::json_valid(report_text)) << report_text;
+  obs::JsonValue doc = obs::json_parse(report_text);
+  EXPECT_EQ(doc.at("schema").string, "hcg-report-v1");
+  EXPECT_EQ(doc.at("model").string, "cli_fir");
+  EXPECT_FALSE(doc.at("phases").array.empty());
+  EXPECT_EQ(doc.at("phases").array[0].at("name").string, "model.load");
+  ASSERT_FALSE(doc.at("regions").array.empty());
+  const obs::JsonValue& region = doc.at("regions").array[0];
+  EXPECT_TRUE(region.at("used_simd").boolean);
+  EXPECT_FALSE(region.at("instructions").array.empty());
+
+  const std::string trace_text = read_file(trace);
+  ASSERT_TRUE(obs::json_valid(trace_text)) << trace_text;
+  obs::JsonValue events = obs::json_parse(trace_text);
+  ASSERT_TRUE(events.is_array());
+#ifndef HCG_DISABLE_TRACING
+  ASSERT_FALSE(events.array.empty());
+  bool saw_emit = false;
+  for (const obs::JsonValue& event : events.array) {
+    EXPECT_EQ(event.at("ph").string, "X");
+    EXPECT_NE(event.find("ts"), nullptr);
+    EXPECT_NE(event.find("dur"), nullptr);
+    if (event.at("name").string == "codegen.emit") saw_emit = true;
+  }
+  EXPECT_TRUE(saw_emit);
+#endif
+}
+
+TEST_F(CliFixture, TraceSummaryGoesToStderr) {
+#ifdef HCG_DISABLE_TRACING
+  GTEST_SKIP() << "tracing compiled out";
+#endif
+  CliResult r = run_cli("generate " + model_path_ + " --isa neon_sim --out " +
+                        (dir_.path() / "gen.c").string() + " --trace summary");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("codegen.emit"), std::string::npos);
 }
 
 }  // namespace
