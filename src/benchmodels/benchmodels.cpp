@@ -124,6 +124,47 @@ Model batch_chain_model(int actors, int n) {
   return b.take();
 }
 
+Model intensive_farm_model(int actors, bool distinct_keys) {
+  require(actors >= 1, "intensive_farm_model: need at least one actor");
+  ModelBuilder b("ifarm" + std::to_string(actors) +
+                 (distinct_keys ? "" : "_dup"));
+  for (int i = 0; i < actors; ++i) {
+    const int kind = i % 4;
+    // Variant index: unique per actor of a kind when keys must be distinct,
+    // else cycling through four sizes so keys repeat.
+    const int v = distinct_keys ? i / 4 : (i / 4) % 4;
+    const std::string tag = std::to_string(i);
+    switch (kind) {
+      case 0: {  // FFT over c64[4(v+1)]: multiples of four, mostly non-pow2
+        PortRef x = b.inport("x" + tag, DataType::kComplex64, Shape{4 * (v + 1)});
+        b.outport("y" + tag, b.actor("fft" + tag, "FFT", {x}));
+        break;
+      }
+      case 1: {  // DCT over f32[8(v+1)]
+        PortRef x = b.inport("x" + tag, DataType::kFloat32, Shape{8 * (v + 1)});
+        b.outport("y" + tag, b.actor("dct" + tag, "DCT", {x}));
+        break;
+      }
+      case 2: {  // Conv f32[256] * taps[4(v+1)]
+        PortRef x = b.inport("x" + tag, DataType::kFloat32, Shape{256});
+        PortRef taps = b.constant("taps" + tag, DataType::kFloat32,
+                                  Shape{4 * (v + 1)},
+                                  float_series(4 * (v + 1), 0.1, 0.37));
+        b.outport("y" + tag, b.actor("conv" + tag, "Conv", {x, taps}));
+        break;
+      }
+      default: {  // MatMul f32[(v+2) x (v+2)]
+        const int n = v + 2;
+        PortRef a = b.inport("a" + tag, DataType::kFloat32, Shape{n, n});
+        PortRef c = b.inport("c" + tag, DataType::kFloat32, Shape{n, n});
+        b.outport("y" + tag, b.actor("mm" + tag, "MatMul", {a, c}));
+        break;
+      }
+    }
+  }
+  return b.take();
+}
+
 std::vector<Model> paper_models() {
   std::vector<Model> models;
   models.push_back(fft_model());

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <future>
 #include <set>
 
 #include "actors/catalog.hpp"
@@ -12,6 +13,7 @@
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
 #include "support/strings.hpp"
+#include "support/thread_pool.hpp"
 
 namespace hcg::codegen {
 
@@ -42,6 +44,11 @@ class Emitter {
     out_.report.actor_count = model_.actor_count();
     out_.report.phases.push_back({"resolve", resolve_ms_});
 
+    // The synthesis pool: intensive pre-calculation sweeps and Algorithm 2
+    // region matching fan out over it; everything else stays on this thread.
+    ThreadPool pool(config_.jobs);
+    obs::Registry::instance().gauge("synth.pool.threads").set(pool.size());
+
     Stopwatch phase;
     {
       HCG_TRACE_SCOPE("emit.regions");
@@ -51,7 +58,7 @@ class Emitter {
     finish_phase("regions", phase);
     {
       HCG_TRACE_SCOPE("emit.intensive");
-      select_intensive_implementations();
+      select_intensive_implementations(pool);
     }
     finish_phase("intensive_select", phase);
     {
@@ -60,6 +67,11 @@ class Emitter {
       plan_buffers();
     }
     finish_phase("plan", phase);
+    {
+      HCG_TRACE_SCOPE("emit.batch");
+      synthesize_regions(pool);
+    }
+    finish_phase("batch_synth", phase);
     {
       HCG_TRACE_SCOPE("emit.body");
       emit_header();
@@ -179,10 +191,66 @@ class Emitter {
     return {region};
   }
 
-  void select_intensive_implementations() {
+  /// Fans `task(0..count-1)` out over the pool and collects the results in
+  /// index order.  Every task is awaited even on failure (nothing may still
+  /// reference this stack frame afterwards); the first exception, in index
+  /// order, is rethrown once all tasks have finished.
+  template <typename Result, typename Task>
+  static std::vector<Result> run_indexed(ThreadPool& pool, std::size_t count,
+                                         const Task& task) {
+    static obs::Counter& tasks_metric =
+        obs::Registry::instance().counter("synth.pool.tasks");
+    std::vector<std::future<Result>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      futures.push_back(pool.submit([&task, i] { return task(i); }));
+      tasks_metric.add();
+    }
+    obs::Registry::instance()
+        .gauge("synth.pool.queue_depth")
+        .set(static_cast<double>(pool.pending()));
+    std::vector<Result> results;
+    results.reserve(count);
+    std::exception_ptr first_error;
+    for (std::future<Result>& future : futures) {
+      try {
+        results.push_back(future.get());
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+        results.emplace_back();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return results;
+  }
+
+  void select_intensive_implementations(ThreadPool& pool) {
     const kernels::CodeLibrary& library = kernels::CodeLibrary::instance();
+    std::vector<const Actor*> intensive;
     for (const Actor& actor : model_.actors()) {
       if (classify(model_, actor.id()) != ActorKind::kIntensive) continue;
+      intensive.push_back(&actor);
+    }
+    if (intensive.empty()) return;
+
+    // Algorithm 1 sweeps run concurrently; the single-flight selector makes
+    // duplicate (type, dtype, shapes) keys share one measurement, whether
+    // the duplicates race in parallel or arrive sequentially at --jobs 1.
+    std::vector<synth::IntensiveSelection> selections;
+    if (config_.select_intensive) {
+      synth::SelectionHistory* history =
+          config_.history != nullptr ? config_.history : &local_history_;
+      selections = run_indexed<synth::IntensiveSelection>(
+          pool, intensive.size(), [&](std::size_t i) {
+            return selector_.select(*intensive[i], *history,
+                                    config_.intensive_options);
+          });
+    }
+
+    // Report entries, impl bindings and kernel sources are committed on this
+    // thread in model order, so the output is identical at every job count.
+    for (std::size_t i = 0; i < intensive.size(); ++i) {
+      const Actor& actor = *intensive[i];
       const DataType dtype = actor.input(0).type;
       obs::ReportIntensive entry;
       entry.actor = actor.name();
@@ -190,11 +258,7 @@ class Emitter {
       entry.dtype = std::string(short_name(dtype));
       const kernels::KernelImpl* impl = nullptr;
       if (config_.select_intensive) {
-        synth::SelectionHistory local;
-        synth::SelectionHistory* history =
-            config_.history != nullptr ? config_.history : &local;
-        synth::IntensiveSelection selection = synth::select_implementation(
-            actor, *history, config_.intensive_options);
+        const synth::IntensiveSelection& selection = selections[i];
         impl = selection.impl;
         entry.selected = true;
         entry.from_history = selection.from_history;
@@ -210,6 +274,23 @@ class Emitter {
       out_.intensive_choices[actor.name()] = impl->id;
       kernel_sources_.insert(impl->source_key);
     }
+  }
+
+  /// Runs Algorithm 2 over every batch region concurrently (regions are
+  /// independent dataflow graphs) and caches the results; emit_step() then
+  /// merges them in deterministic region order.  Buffer names are planned
+  /// by the time this runs, so the tasks only read shared state.
+  void synthesize_regions(ThreadPool& pool) {
+    if (regions_.empty()) return;
+    region_synth_ = run_indexed<synth::BatchSynthResult>(
+        pool, regions_.size(), [this](std::size_t r) {
+          return synth::synthesize_batch(
+              model_, regions_[r], *config_.isa,
+              [this](ActorId id, int port) {
+                return buffer_name_.at({id, port});
+              },
+              config_.batch_options, /*indent=*/1);
+        });
   }
 
   /// Expression folding: single-consumer scalar elementwise/constant signals
@@ -510,7 +591,7 @@ class Emitter {
 
     for (const EmissionItem& item : order_) {
       if (item.region >= 0) {
-        emit_region(regions_[static_cast<size_t>(item.region)]);
+        emit_region(static_cast<size_t>(item.region));
       } else {
         emit_actor(model_.actor(item.actor));
       }
@@ -523,11 +604,11 @@ class Emitter {
     line("}");
   }
 
-  void emit_region(const BatchRegion& region) {
-    synth::BatchSynthResult result = synth::synthesize_batch(
-        model_, region, *config_.isa,
-        [this](ActorId id, int port) { return buffer_name_.at({id, port}); },
-        config_.batch_options, /*indent=*/1);
+  void emit_region(size_t region_index) {
+    const BatchRegion& region = regions_[region_index];
+    // Algorithm 2 already ran (concurrently) in synthesize_regions; this
+    // merge step is serial and follows the deterministic emission order.
+    synth::BatchSynthResult& result = region_synth_[region_index];
 
     obs::ReportRegion entry;
     for (ActorId id : region.actors) {
@@ -696,7 +777,13 @@ class Emitter {
   std::string source_;
   std::vector<BatchRegion> regions_;
   std::map<ActorId, int> region_of_;
+  /// Per-region Algorithm 2 results, index-aligned with regions_.
+  std::vector<synth::BatchSynthResult> region_synth_;
   std::vector<EmissionItem> order_;
+  /// In-run single-flight cache + fallback history for Algorithm 1 (used
+  /// when the caller provides no persistent history).
+  synth::SingleFlightSelector selector_;
+  synth::SelectionHistory local_history_;
   std::map<ActorId, const kernels::KernelImpl*> intensive_impl_;
   std::set<std::string> kernel_sources_;
   std::set<ActorId> folded_;

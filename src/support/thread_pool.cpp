@@ -1,0 +1,90 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace hcg {
+
+namespace {
+
+/// 0 = no override; set by set_default_parallelism (the --jobs flag).
+std::atomic<int> g_default_override{0};
+
+int clamp_jobs(long n) {
+  return static_cast<int>(std::clamp<long>(n, 1, 256));
+}
+
+int env_or_hardware_parallelism() {
+  if (const char* env = std::getenv("HCG_JOBS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && n >= 1) return clamp_jobs(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : clamp_jobs(static_cast<long>(hw));
+}
+
+}  // namespace
+
+int ThreadPool::default_parallelism() {
+  const int override = g_default_override.load(std::memory_order_relaxed);
+  if (override > 0) return override;
+  return env_or_hardware_parallelism();
+}
+
+void ThreadPool::set_default_parallelism(int n) {
+  g_default_override.store(n > 0 ? clamp_jobs(n) : 0,
+                           std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(int threads)
+    : size_(threads > 0 ? clamp_jobs(threads) : default_parallelism()) {
+  if (size_ == 1) return;  // inline mode: no workers at all
+  workers_.reserve(static_cast<std::size_t>(size_));
+  for (int i = 0; i < size_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    require(!stopping_, "ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Graceful shutdown: drain the queue before exiting.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace hcg

@@ -1,0 +1,91 @@
+// Fixed-size worker pool for the parallel synthesis engine.
+//
+// A ThreadPool owns N worker threads draining one FIFO task queue; submit()
+// returns a std::future for the task's result.  The destructor drains the
+// queue and joins every worker (graceful shutdown: already-queued tasks
+// still run, new submissions are rejected).
+//
+// A pool of size 1 runs tasks *inline* inside submit() on the caller's
+// thread: `--jobs 1` is genuinely serial — same stack, same thread-local
+// state, zero scheduling jitter — which is what the determinism tests pin
+// against.
+//
+// The default pool size is resolved once per call from, in order:
+//   1. set_default_parallelism(n)  (the `hcgc --jobs N` flag)
+//   2. the HCG_JOBS environment variable
+//   3. std::thread::hardware_concurrency()
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace hcg {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 picks default_parallelism().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of execution lanes (1 = inline, no worker threads).
+  int size() const { return size_; }
+
+  /// Tasks queued but not yet picked up by a worker.
+  std::size_t pending() const;
+
+  /// Total tasks ever submitted to this pool.
+  std::uint64_t submitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Schedules `fn()` and returns a future for its result.  With size 1 the
+  /// task runs before submit() returns.  Exceptions propagate through the
+  /// future.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    // shared_ptr because std::function requires a copyable target and
+    // packaged_task is move-only.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (size_ == 1) {
+      (*task)();
+      return future;
+    }
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// The process-wide default lane count (see header comment).  Always >= 1.
+  static int default_parallelism();
+
+  /// Overrides default_parallelism() for the rest of the process (<= 0
+  /// clears the override, falling back to HCG_JOBS / hardware concurrency).
+  static void set_default_parallelism(int n);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  int size_ = 1;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::vector<std::thread> workers_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace hcg

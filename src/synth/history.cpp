@@ -1,5 +1,7 @@
 #include "synth/history.hpp"
 
+#include <functional>
+
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/fileio.hpp"
@@ -7,8 +9,8 @@
 
 namespace hcg::synth {
 
-std::string SelectionHistory::key(std::string_view actor_type, DataType dtype,
-                                  const std::vector<Shape>& in_shapes) {
+std::string selection_key(std::string_view actor_type, DataType dtype,
+                          const std::vector<Shape>& in_shapes) {
   std::string out(actor_type);
   out += " ";
   out += short_name(dtype);
@@ -19,6 +21,32 @@ std::string SelectionHistory::key(std::string_view actor_type, DataType dtype,
   return out;
 }
 
+std::size_t SelectionHistory::shard_index(std::string_view key) {
+  return std::hash<std::string_view>{}(key) % kShards;
+}
+
+void SelectionHistory::copy_from(const SelectionHistory& other) {
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> lock(other.shards_[i].mutex);
+    shards_[i].entries = other.shards_[i].entries;
+  }
+  hits_.store(other.hits(), std::memory_order_relaxed);
+  misses_.store(other.misses(), std::memory_order_relaxed);
+}
+
+SelectionHistory& SelectionHistory::operator=(const SelectionHistory& other) {
+  if (this == &other) return *this;
+  copy_from(other);
+  return *this;
+}
+
+SelectionHistory& SelectionHistory::operator=(
+    SelectionHistory&& other) noexcept {
+  if (this == &other) return *this;
+  copy_from(other);
+  return *this;
+}
+
 std::optional<std::string> SelectionHistory::lookup(
     std::string_view actor_type, DataType dtype,
     const std::vector<Shape>& in_shapes) const {
@@ -26,13 +54,16 @@ std::optional<std::string> SelectionHistory::lookup(
       obs::Registry::instance().counter("synth.history.hits");
   static obs::Counter& miss_metric =
       obs::Registry::instance().counter("synth.history.misses");
-  auto it = entries_.find(key(actor_type, dtype, in_shapes));
-  if (it == entries_.end()) {
-    ++misses_;
+  const std::string key = selection_key(actor_type, dtype, in_shapes);
+  const Shard& shard = shards_[shard_index(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     miss_metric.add();
     return std::nullopt;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   hit_metric.add();
   return it->second;
 }
@@ -40,12 +71,38 @@ std::optional<std::string> SelectionHistory::lookup(
 void SelectionHistory::store(std::string_view actor_type, DataType dtype,
                              const std::vector<Shape>& in_shapes,
                              std::string_view impl_id) {
-  entries_[key(actor_type, dtype, in_shapes)] = std::string(impl_id);
+  std::string key = selection_key(actor_type, dtype, in_shapes);
+  Shard& shard = shards_[shard_index(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.entries[std::move(key)] = std::string(impl_id);
+}
+
+std::size_t SelectionHistory::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+void SelectionHistory::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.clear();
+  }
 }
 
 std::string SelectionHistory::serialize() const {
+  // Merge the shards so the text form is sorted by key, independent of the
+  // shard hash — serialized histories diff cleanly across runs.
+  std::map<std::string, std::string> merged;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    merged.insert(shard.entries.begin(), shard.entries.end());
+  }
   std::string out;
-  for (const auto& [k, v] : entries_) {
+  for (const auto& [k, v] : merged) {
     out += k + " -> " + v + "\n";
   }
   return out;
@@ -59,7 +116,9 @@ SelectionHistory SelectionHistory::deserialize(std::string_view text) {
     if (arrow == std::string::npos) {
       throw ParseError("bad selection-history line: '" + line + "'");
     }
-    history.entries_[line.substr(0, arrow)] = line.substr(arrow + 4);
+    std::string key = line.substr(0, arrow);
+    Shard& shard = history.shards_[shard_index(key)];
+    shard.entries[std::move(key)] = line.substr(arrow + 4);
   }
   return history;
 }

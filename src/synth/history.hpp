@@ -1,10 +1,17 @@
 // Selection history (Algorithm 1, lines 1-6 and 18): a persistent cache of
 // (actor type, data type, data size) -> chosen implementation, so repeated
 // synthesis of the same actor shape skips the pre-calculation run.
+//
+// Thread-safe: the entry map is sharded under per-shard mutexes (lookups of
+// different keys rarely contend) and the hit/miss statistics are atomic, so
+// the parallel synthesis engine can consult one history from every worker.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -14,8 +21,19 @@
 
 namespace hcg::synth {
 
+/// The canonical history key, "FFT c64 1024" — also the single-flight dedup
+/// key of the parallel pre-calculation layer.
+std::string selection_key(std::string_view actor_type, DataType dtype,
+                          const std::vector<Shape>& in_shapes);
+
 class SelectionHistory {
  public:
+  SelectionHistory() = default;
+  SelectionHistory(const SelectionHistory& other) { copy_from(other); }
+  SelectionHistory(SelectionHistory&& other) noexcept { copy_from(other); }
+  SelectionHistory& operator=(const SelectionHistory& other);
+  SelectionHistory& operator=(SelectionHistory&& other) noexcept;
+
   /// loadSelectionHistory + match (Algorithm 1 lines 3-6).
   std::optional<std::string> lookup(std::string_view actor_type,
                                     DataType dtype,
@@ -25,17 +43,24 @@ class SelectionHistory {
   void store(std::string_view actor_type, DataType dtype,
              const std::vector<Shape>& in_shapes, std::string_view impl_id);
 
-  std::size_t size() const { return entries_.size(); }
-  void clear() { entries_.clear(); }
+  std::size_t size() const;
+  void clear();
 
   /// Lookup statistics since construction (a warm history shows hits, a cold
   /// one only misses).  Also mirrored into the process-wide metrics as
   /// synth.history.hits / synth.history.misses.
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  void reset_stats() { hits_ = misses_ = 0; }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  void reset_stats() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
 
-  /// Line-based text form: "FFT c64 1024 fft_radix4".
+  /// Line-based text form: "FFT c64 1024 fft_radix4".  Entries are emitted
+  /// in key order regardless of which shard holds them, so the serialized
+  /// form is deterministic.
   std::string serialize() const;
   static SelectionHistory deserialize(std::string_view text);
 
@@ -43,13 +68,18 @@ class SelectionHistory {
   static SelectionHistory load(const std::filesystem::path& path);
 
  private:
-  static std::string key(std::string_view actor_type, DataType dtype,
-                         const std::vector<Shape>& in_shapes);
-  std::map<std::string, std::string> entries_;
-  /// Mutable: lookup() is logically const; the history is not thread-safe
-  /// anyway (the entry map itself is unguarded).
-  mutable std::uint64_t hits_ = 0;
-  mutable std::uint64_t misses_ = 0;
+  static constexpr std::size_t kShards = 8;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, std::string> entries;
+  };
+
+  static std::size_t shard_index(std::string_view key);
+  void copy_from(const SelectionHistory& other);
+
+  std::array<Shard, kShards> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace hcg::synth

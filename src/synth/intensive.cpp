@@ -46,6 +46,15 @@ void fill_random(Tensor& t, Rng& rng, bool diagonally_dominant) {
   }
 }
 
+/// Serializes the stopwatch windows of concurrent pre-calculations: no two
+/// candidates are ever timed at once, so a measurement never competes with
+/// another measurement for cores, caches or memory bandwidth.  Warm-up runs
+/// and input generation deliberately stay outside this mutex.
+std::mutex& measurement_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
 }  // namespace
 
 std::vector<Tensor> generate_test_inputs(const Actor& actor,
@@ -117,12 +126,21 @@ IntensiveSelection select_implementation(const Actor& actor,
   for (const kernels::KernelImpl* impl : impls) {
     if (!impl->can_handle(dtype, shapes)) continue;  // lines 12-13
     // Warm-up run (also validates the kernel doesn't blow up on this size).
+    // Runs outside the measurement mutex: concurrent warm-ups are fine.
     kernels::run_kernel(*impl, input_ptrs, &output);
     double best = std::numeric_limits<double>::infinity();
-    for (int rep = 0; rep < options.repetitions; ++rep) {
-      Stopwatch timer;
-      kernels::run_kernel(*impl, input_ptrs, &output);
-      best = std::min(best, timer.elapsed_seconds());
+    {
+      std::lock_guard<std::mutex> lock(measurement_mutex());
+      Stopwatch budget;
+      for (int rep = 0; rep < options.repetitions; ++rep) {
+        Stopwatch timer;
+        kernels::run_kernel(*impl, input_ptrs, &output);
+        best = std::min(best, timer.elapsed_seconds());
+        if (options.measure_budget_seconds > 0 &&
+            budget.elapsed_seconds() >= options.measure_budget_seconds) {
+          break;  // slow kernel: one long run is already noise-robust
+        }
+      }
     }
     result.measured_costs[impl->id] = best;
     candidate_metric.add();
@@ -141,6 +159,48 @@ IntensiveSelection select_implementation(const Actor& actor,
               << short_name(dtype) << " size " << shapes[0].to_string()
               << " -> " << result.impl->id;
   return result;
+}
+
+IntensiveSelection SingleFlightSelector::select(const Actor& actor,
+                                                SelectionHistory& history,
+                                                const IntensiveOptions& options) {
+  static obs::Counter& dedup_metric =
+      obs::Registry::instance().counter("synth.pool.dedup_hits");
+  require(actor.is_resolved(), "SingleFlightSelector: unresolved actor");
+  const std::string key =
+      selection_key(actor.type(), actor.input(0).type, input_shapes(actor));
+
+  std::promise<IntensiveSelection> promise;
+  std::shared_future<IntensiveSelection> shared;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = done_.try_emplace(key);
+    if (inserted) {
+      it->second = promise.get_future().share();
+      leader = true;
+    }
+    shared = it->second;
+  }
+
+  if (!leader) {
+    // Follower: the measurement is (or was) in flight — share its result.
+    dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+    dedup_metric.add();
+    IntensiveSelection result = shared.get();
+    result.deduped = true;
+    return result;
+  }
+
+  try {
+    IntensiveSelection result = select_implementation(actor, history, options);
+    promise.set_value(result);
+    return result;
+  } catch (...) {
+    // Followers blocked on the future see the same error the leader throws.
+    promise.set_exception(std::current_exception());
+    throw;
+  }
 }
 
 }  // namespace hcg::synth

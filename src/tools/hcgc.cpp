@@ -2,7 +2,7 @@
 //
 //   hcgc generate <model.xml> [--tool hcg|simulink|dfsynth] [--isa NAME|FILE]
 //                 [--out FILE] [--history FILE] [--threshold N] [--scattered]
-//                 [--report FILE] [--trace FILE]
+//                 [--report FILE] [--trace FILE] [--jobs N]
 //   hcgc inspect  <model.xml> [--isa NAME|FILE]
 //   hcgc verify   <model.xml> [--tool ...] [--isa ...] [--seed N]
 //   hcgc bench    <model.xml> [--isa NAME|FILE] [--seed N]
@@ -23,6 +23,10 @@
 //   HCG_TRACE       like --trace; the value "summary" (or "1") prints a
 //                   human-readable span tree to stderr instead.
 //   HCG_LOG         log threshold: debug|info|warn|error|off.
+//
+// Parallelism (docs/PARALLELISM.md):
+//   --jobs N        synthesis worker threads (1 = fully serial).  Defaults
+//                   to HCG_JOBS, else the hardware concurrency.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +50,7 @@
 #include "support/fileio.hpp"
 #include "support/logging.hpp"
 #include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
 #include "toolchain/compiled_model.hpp"
 #include "vm/interpreter.hpp"
 
@@ -59,13 +64,14 @@ int usage() {
                "  hcgc generate <model.xml> [--tool hcg|simulink|dfsynth]\n"
                "                [--isa NAME|FILE] [--out FILE]\n"
                "                [--history FILE] [--threshold N] [--scattered]\n"
-               "                [--report FILE] [--trace FILE]\n"
+               "                [--report FILE] [--trace FILE] [--jobs N]\n"
                "  hcgc inspect  <model.xml> [--isa NAME|FILE]\n"
                "  hcgc verify   <model.xml> [--tool ...] [--isa ...] [--seed N]\n"
                "  hcgc bench    <model.xml> [--isa NAME|FILE] [--seed N]\n"
                "  hcgc isa      [NAME]\n"
                "(the generate subcommand may be omitted)\n"
-               "env: HCG_LOG=debug|info|warn|error|off   HCG_TRACE=FILE|summary\n");
+               "env: HCG_LOG=debug|info|warn|error|off   HCG_TRACE=FILE|summary\n"
+               "     HCG_JOBS=N synthesis worker threads (--jobs overrides)\n");
   return 2;
 }
 
@@ -80,6 +86,7 @@ struct Options {
   std::string trace_path;        // file path, or "summary" for stderr
   bool trace_from_env = false;
   int threshold = 0;
+  int jobs = 0;  // 0 = HCG_JOBS env, else hardware concurrency
   bool scattered = false;
   std::uint64_t seed = 42;
 };
@@ -122,6 +129,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.history_path = value();
     } else if (arg == "--threshold") {
       opt.threshold = std::atoi(value());
+    } else if (arg == "--jobs") {
+      opt.jobs = std::atoi(value());
+      if (opt.jobs < 1) throw Error("--jobs needs a positive thread count");
     } else if (arg == "--seed") {
       opt.seed = static_cast<std::uint64_t>(std::atoll(value()));
     } else if (arg == "--report") {
@@ -404,6 +414,7 @@ int main(int argc, char** argv) {
   Options opt;
   try {
     if (!parse_args(argc, argv, opt)) return usage();
+    if (opt.jobs > 0) ThreadPool::set_default_parallelism(opt.jobs);
     const bool tracing = setup_tracing(opt);
     int rc = 2;
     if (opt.command == "isa") {

@@ -1,0 +1,235 @@
+// Tests for the parallel synthesis engine: the support thread pool, the
+// thread-safe SelectionHistory, single-flight pre-calculation dedup, and
+// byte-identical generation across job counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "benchmodels/benchmodels.hpp"
+#include "codegen/generator.hpp"
+#include "isa/builtin.hpp"
+#include "model/builder.hpp"
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+#include "synth/history.hpp"
+#include "synth/intensive.hpp"
+
+namespace hcg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsTasksAndReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+  EXPECT_EQ(pool.submitted(), 64u);
+}
+
+TEST(ThreadPool, SizeOneRunsInlineOnCallerThread) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  auto future = pool.submit([&] { seen = std::this_thread::get_id(); });
+  future.get();
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw SynthesisError("boom"); });
+  EXPECT_THROW(future.get(), SynthesisError);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // destructor must wait for all 32, not drop queued tasks
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, DefaultParallelismOverride) {
+  ThreadPool::set_default_parallelism(3);
+  EXPECT_EQ(ThreadPool::default_parallelism(), 3);
+  EXPECT_EQ(ThreadPool(0).size(), 3);
+  ThreadPool::set_default_parallelism(0);  // back to env/hardware
+  EXPECT_GE(ThreadPool::default_parallelism(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// SelectionHistory under contention
+// ---------------------------------------------------------------------------
+
+TEST(ParallelHistory, HammerFromEightThreads) {
+  synth::SelectionHistory history;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+  constexpr int kKeySpace = 32;
+  std::atomic<std::uint64_t> lookups{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const int k = (t * 7 + op) % kKeySpace;
+        const Shape shape({16 << (k / 8)});
+        const std::string type = "FFT" + std::to_string(k % 8);
+        if (op % 3 == 0) {
+          history.store(type, DataType::kComplex64, {shape},
+                        "impl" + std::to_string(k));
+        } else {
+          (void)history.lookup(type, DataType::kComplex64, {shape});
+          lookups.fetch_add(1);
+        }
+        if (op % 97 == 0) {
+          (void)history.serialize();  // concurrent reader of every shard
+          (void)history.size();
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Every (type, shape) combination was stored at least once.
+  EXPECT_EQ(history.size(), static_cast<std::size_t>(kKeySpace));
+  // Statistics did not lose updates.
+  EXPECT_EQ(history.hits() + history.misses(), lookups.load());
+  // The merged text form round-trips.
+  synth::SelectionHistory copy =
+      synth::SelectionHistory::deserialize(history.serialize());
+  EXPECT_EQ(copy.size(), history.size());
+}
+
+// ---------------------------------------------------------------------------
+// Single-flight dedup
+// ---------------------------------------------------------------------------
+
+codegen::EmitConfig hcg_config(int jobs, synth::SelectionHistory* history) {
+  codegen::EmitConfig config;
+  config.tool_name = "hcg";
+  config.batch_mode = codegen::BatchMode::kRegions;
+  config.isa = &isa::builtin("neon_sim");
+  config.select_intensive = true;
+  config.history = history;
+  config.fold_scalar_expressions = true;
+  config.reuse_buffers = true;
+  config.jobs = jobs;
+  return config;
+}
+
+TEST(SingleFlight, DuplicateKeysMeasureOnce) {
+  // 32 actors over 16 distinct (type, dtype, shapes) keys.
+  const Model model = benchmodels::intensive_farm_model(32, false);
+  obs::Counter& precalc =
+      obs::Registry::instance().counter("synth.precalc.runs");
+  obs::Counter& dedup =
+      obs::Registry::instance().counter("synth.pool.dedup_hits");
+  const std::uint64_t precalc_before = precalc.value();
+  const std::uint64_t dedup_before = dedup.value();
+
+  codegen::GeneratedCode code =
+      codegen::emit_model(model, hcg_config(/*jobs=*/4, nullptr));
+
+  EXPECT_EQ(code.intensive_choices.size(), 32u);
+#ifndef HCG_DISABLE_TRACING  // metric updates are no-ops in notrace builds
+  // Every distinct key ran exactly one pre-calculation sweep...
+  EXPECT_EQ(precalc.value() - precalc_before, 16u);
+  // ...and every duplicate shared it through the single-flight layer.
+  EXPECT_EQ(dedup.value() - dedup_before, 16u);
+#endif
+  // Duplicates resolved to the same implementation as their leader.
+  for (int i = 0; i < 16; ++i) {
+    const std::string kinds[] = {"fft", "dct", "conv", "mm"};
+    const std::string name = kinds[i % 4] + std::to_string(i);
+    const std::string dup_name = kinds[i % 4] + std::to_string(i + 16);
+    ASSERT_TRUE(code.intensive_choices.count(name)) << name;
+    ASSERT_TRUE(code.intensive_choices.count(dup_name)) << dup_name;
+    EXPECT_EQ(code.intensive_choices.at(name),
+              code.intensive_choices.at(dup_name));
+  }
+}
+
+TEST(SingleFlight, MemoizesAtOneJob) {
+  // The in-run cache must also collapse duplicates when everything is
+  // serial-inline (--jobs 1) and no persistent history is attached.
+  const Model dup_model = benchmodels::intensive_farm_model(40, false);
+  obs::Counter& precalc =
+      obs::Registry::instance().counter("synth.precalc.runs");
+  const std::uint64_t before = precalc.value();
+  codegen::GeneratedCode code =
+      codegen::emit_model(dup_model, hcg_config(/*jobs=*/1, nullptr));
+  EXPECT_EQ(code.intensive_choices.size(), 40u);
+#ifndef HCG_DISABLE_TRACING
+  EXPECT_EQ(precalc.value() - before, 16u);  // 40 actors, 16 distinct keys
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across job counts
+// ---------------------------------------------------------------------------
+
+/// Four disconnected Add/Mul chains over f32[64]: four independent batch
+/// regions, so Algorithm 2 runs concurrently at jobs > 1.
+Model multi_region_model() {
+  ModelBuilder b("four_chains");
+  for (int chain = 0; chain < 4; ++chain) {
+    const std::string tag = std::to_string(chain);
+    PortRef x = b.inport("x" + tag, DataType::kFloat32, Shape{64});
+    PortRef w = b.inport("w" + tag, DataType::kFloat32, Shape{64});
+    PortRef a = b.actor("add" + tag, "Add", {x, w});
+    PortRef m = b.actor("mul" + tag, "Mul", {a, w});
+    PortRef s = b.actor("sub" + tag, "Sub", {m, x});
+    b.outport("y" + tag, s);
+  }
+  return b.take();
+}
+
+TEST(ParallelDeterminism, BatchRegionsByteIdenticalAcrossJobs) {
+  const Model model = multi_region_model();
+  codegen::GeneratedCode serial =
+      codegen::emit_model(model, hcg_config(/*jobs=*/1, nullptr));
+  codegen::GeneratedCode parallel =
+      codegen::emit_model(model, hcg_config(/*jobs=*/8, nullptr));
+  EXPECT_EQ(serial.source, parallel.source);
+  EXPECT_EQ(serial.simd_instructions, parallel.simd_instructions);
+  EXPECT_EQ(serial.fused_regions, parallel.fused_regions);
+}
+
+TEST(ParallelDeterminism, IntensiveByteIdenticalWithWarmHistory) {
+  const Model model = benchmodels::intensive_farm_model(24, true);
+
+  // Warm the history once (selections pinned from here on).
+  synth::SelectionHistory history;
+  codegen::emit_model(model, hcg_config(/*jobs=*/0, &history));
+  EXPECT_EQ(history.size(), 24u);
+  history.reset_stats();
+
+  codegen::GeneratedCode serial =
+      codegen::emit_model(model, hcg_config(/*jobs=*/1, &history));
+  codegen::GeneratedCode parallel =
+      codegen::emit_model(model, hcg_config(/*jobs=*/8, &history));
+
+  // Both runs answered every actor from the warm history...
+  EXPECT_EQ(history.misses(), 0u);
+  EXPECT_EQ(history.hits(), 48u);
+  // ...and produced byte-identical C.
+  EXPECT_EQ(serial.source, parallel.source);
+  EXPECT_EQ(serial.intensive_choices, parallel.intensive_choices);
+}
+
+}  // namespace
+}  // namespace hcg
