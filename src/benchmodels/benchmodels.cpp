@@ -140,24 +140,30 @@ Model intensive_farm_model(int actors, bool distinct_keys) {
         b.outport("y" + tag, b.actor("fft" + tag, "FFT", {x}));
         break;
       }
-      case 1: {  // DCT over f32[8(v+1)]
+      case 1: {  // DCT over f32[8(v+1)], scaled on the way out
         PortRef x = b.inport("x" + tag, DataType::kFloat32, Shape{8 * (v + 1)});
-        b.outport("y" + tag, b.actor("dct" + tag, "DCT", {x}));
+        PortRef dct = b.actor("dct" + tag, "DCT", {x});
+        b.outport("y" + tag,
+                  b.actor("g" + tag, "Gain", {dct}, {{"gain", "0.5"}}));
         break;
       }
-      case 2: {  // Conv f32[256] * taps[4(v+1)]
+      case 2: {  // Conv f32[256] * taps[4(v+1)], scaled on the way out
         PortRef x = b.inport("x" + tag, DataType::kFloat32, Shape{256});
         PortRef taps = b.constant("taps" + tag, DataType::kFloat32,
                                   Shape{4 * (v + 1)},
                                   float_series(4 * (v + 1), 0.1, 0.37));
-        b.outport("y" + tag, b.actor("conv" + tag, "Conv", {x, taps}));
+        PortRef conv = b.actor("conv" + tag, "Conv", {x, taps});
+        b.outport("y" + tag,
+                  b.actor("g" + tag, "Gain", {conv}, {{"gain", "0.5"}}));
         break;
       }
-      default: {  // MatMul f32[(v+2) x (v+2)]
+      default: {  // MatMul f32[(v+2) x (v+2)], scaled on the way out
         const int n = v + 2;
         PortRef a = b.inport("a" + tag, DataType::kFloat32, Shape{n, n});
         PortRef c = b.inport("c" + tag, DataType::kFloat32, Shape{n, n});
-        b.outport("y" + tag, b.actor("mm" + tag, "MatMul", {a, c}));
+        PortRef mm = b.actor("mm" + tag, "MatMul", {a, c});
+        b.outport("y" + tag,
+                  b.actor("g" + tag, "Gain", {mm}, {{"gain", "0.5"}}));
         break;
       }
     }

@@ -1,0 +1,552 @@
+#include "cgir/passes.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace hcg::cgir {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Access summaries.
+//
+// A statement's effect on memory is summarized as a list of (buffer, write,
+// range) entries.  Elementwise accesses inside a loop cover exactly the
+// loop's iteration domain [begin, end); everything else is treated as
+// touching the whole buffer.  Two ranged accesses with disjoint domains
+// never alias, which is what lets a scalar remainder loop over [0, off)
+// slide past a vector loop over [off, len).
+// ---------------------------------------------------------------------------
+
+struct AccessSummary {
+  std::string buffer;
+  bool write = false;
+  bool ranged = false;
+  int begin = 0;
+  int end = 0;
+};
+
+std::vector<AccessSummary> summarize(const Stmt& stmt) {
+  std::vector<AccessSummary> out;
+  if (stmt.kind == Stmt::Kind::kText) {
+    for (const BufferAccess& access : stmt.accesses) {
+      out.push_back({access.buffer, access.write, false, 0, 0});
+    }
+    return out;
+  }
+  for (const Stmt& line : stmt.body) {
+    for (const AccessSummary& access : summarize(line)) {
+      AccessSummary entry = access;
+      entry.ranged = false;
+      out.push_back(entry);
+    }
+    if (line.kind == Stmt::Kind::kText) {
+      // Re-tag the direct children: elementwise accesses are confined to
+      // this loop's iteration domain.
+      std::size_t base = out.size() - line.accesses.size();
+      for (std::size_t k = 0; k < line.accesses.size(); ++k) {
+        if (line.accesses[k].elementwise) {
+          out[base + k].ranged = true;
+          out[base + k].begin = stmt.begin;
+          out[base + k].end = stmt.end;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool disjoint(const AccessSummary& a, const AccessSummary& b) {
+  return a.ranged && b.ranged && (a.end <= b.begin || b.end <= a.begin);
+}
+
+bool conflicts(const std::vector<AccessSummary>& a,
+               const std::vector<AccessSummary>& b) {
+  for (const AccessSummary& lhs : a) {
+    for (const AccessSummary& rhs : b) {
+      if (lhs.buffer != rhs.buffer) continue;
+      if (!lhs.write && !rhs.write) continue;
+      if (disjoint(lhs, rhs)) continue;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Loop fusion.
+// ---------------------------------------------------------------------------
+
+bool same_shape(const Stmt& a, const Stmt& b) {
+  return a.begin == b.begin && a.end == b.end && a.step == b.step &&
+         a.vector_loop == b.vector_loop &&
+         a.single_iteration == b.single_iteration;
+}
+
+const std::string* read_buffer(const Stmt& line) {
+  for (const BufferAccess& access : line.accesses) {
+    if (!access.write) return &access.buffer;
+  }
+  return nullptr;
+}
+
+const std::string* write_buffer(const Stmt& line) {
+  for (const BufferAccess& access : line.accesses) {
+    if (access.write) return &access.buffer;
+  }
+  return nullptr;
+}
+
+std::set<std::string> stored_buffers(const Stmt& loop) {
+  std::set<std::string> stored;
+  for (const Stmt& line : loop.body) {
+    if (!line.is_store) continue;
+    if (const std::string* buf = write_buffer(line)) stored.insert(*buf);
+  }
+  return stored;
+}
+
+/// Merging `later` into `earlier` preserves semantics when every buffer the
+/// two bodies share (with at least one write) is accessed elementwise on
+/// both sides: with identical iteration domains, running the bodies
+/// back-to-back per iteration sees exactly the values the separate loops
+/// saw.  Local-variable collisions are allowed only when forwarding or
+/// deduplication is guaranteed to remove the colliding line.
+bool merge_compatible(const Stmt& earlier, const Stmt& later) {
+  for (const Stmt& a : earlier.body) {
+    for (const BufferAccess& lhs : a.accesses) {
+      for (const Stmt& b : later.body) {
+        for (const BufferAccess& rhs : b.accesses) {
+          if (lhs.buffer != rhs.buffer) continue;
+          if (!lhs.write && !rhs.write) continue;
+          if (!lhs.elementwise || !rhs.elementwise) return false;
+        }
+      }
+    }
+  }
+  std::map<std::string, const Stmt*> defined;
+  for (const Stmt& a : earlier.body) {
+    if (!a.defines.empty()) defined.emplace(a.defines, &a);
+  }
+  std::set<std::string> stored = stored_buffers(earlier);
+  for (const Stmt& b : later.body) {
+    if (b.defines.empty()) continue;
+    auto it = defined.find(b.defines);
+    if (it == defined.end()) continue;
+    if (b.is_load) {
+      const std::string* buf = read_buffer(b);
+      if (buf != nullptr && stored.count(*buf)) continue;   // forwarded away
+      if (it->second->text == b.text) continue;             // shared load
+    }
+    return false;
+  }
+  return true;
+}
+
+/// Appends `later`'s body to `earlier`'s, dropping loads that duplicate a
+/// load `earlier` already performs (same variable, same text).
+void merge_bodies(Stmt& earlier, Stmt&& later, PassStats& stats) {
+  // Keep copies, not Stmt pointers: the push_back below grows earlier.body
+  // and would invalidate any pointer into it.
+  std::map<std::string, std::string> defined;
+  for (const Stmt& a : earlier.body) {
+    if (!a.defines.empty()) defined.emplace(a.defines, a.text);
+  }
+  std::set<std::string> stored = stored_buffers(earlier);
+  for (Stmt& line : later.body) {
+    if (line.is_load && !line.defines.empty()) {
+      auto it = defined.find(line.defines);
+      const std::string* buf = read_buffer(line);
+      if (it != defined.end() && it->second == line.text &&
+          (buf == nullptr || !stored.count(*buf))) {
+        ++stats.copies_elided;
+        continue;
+      }
+    }
+    earlier.body.push_back(std::move(line));
+  }
+  earlier.banner_actors += later.banner_actors;
+}
+
+/// One fusion step: find the first loop that can merge into an earlier
+/// same-shape loop.  Intervening statements stay behind the merged loop
+/// when independent of the later loop, or hoist above it when independent
+/// of the earlier loop and of everything that stays; any other conflict
+/// aborts this pairing.
+bool try_fuse_once(std::vector<Stmt>& body, PassStats& stats) {
+  std::vector<std::vector<AccessSummary>> summaries(body.size());
+  for (std::size_t i = 0; i < body.size(); ++i) summaries[i] = summarize(body[i]);
+
+  for (std::size_t p = 0; p < body.size(); ++p) {
+    const Stmt& later = body[p];
+    if (later.kind != Stmt::Kind::kLoop || !later.fusible) continue;
+    for (std::size_t q = p; q-- > 0;) {
+      const Stmt& earlier = body[q];
+      if (earlier.kind != Stmt::Kind::kLoop || !earlier.fusible) continue;
+      if (!same_shape(earlier, later)) continue;
+
+      std::vector<std::size_t> stay;
+      std::vector<std::size_t> hoist;
+      bool ok = true;
+      for (std::size_t m = q + 1; m < p && ok; ++m) {
+        if (!conflicts(summaries[m], summaries[p])) {
+          stay.push_back(m);
+          continue;
+        }
+        bool can_hoist = !conflicts(summaries[m], summaries[q]);
+        for (std::size_t t : stay) {
+          if (!can_hoist) break;
+          can_hoist = !conflicts(summaries[m], summaries[t]);
+        }
+        if (can_hoist) {
+          hoist.push_back(m);
+        } else {
+          ok = false;
+        }
+      }
+      if (!ok || !merge_compatible(earlier, later)) continue;
+
+      std::vector<Stmt> rebuilt;
+      rebuilt.reserve(body.size() - 1);
+      for (std::size_t i = 0; i < q; ++i) rebuilt.push_back(std::move(body[i]));
+      for (std::size_t m : hoist) rebuilt.push_back(std::move(body[m]));
+      Stmt merged = std::move(body[q]);
+      merge_bodies(merged, std::move(body[p]), stats);
+      rebuilt.push_back(std::move(merged));
+      for (std::size_t m : stay) rebuilt.push_back(std::move(body[m]));
+      for (std::size_t i = p + 1; i < body.size(); ++i) {
+        rebuilt.push_back(std::move(body[i]));
+      }
+      body = std::move(rebuilt);
+      ++stats.loops_fused;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Copy forwarding.
+// ---------------------------------------------------------------------------
+
+/// Vector bodies: a load of a buffer some earlier line in the same body
+/// stored is dropped, and uses of the loaded variable are renamed to the
+/// stored vector variable.
+void forward_vector(Stmt& loop, PassStats& stats) {
+  std::map<std::string, std::string> stored;  // buffer -> vector variable
+  std::vector<std::pair<std::string, std::string>> renames;
+  std::vector<Stmt> rebuilt;
+  rebuilt.reserve(loop.body.size());
+  for (Stmt& line : loop.body) {
+    for (const auto& rename : renames) {
+      line.text = replace_identifier(line.text, rename.first, rename.second);
+      if (line.stores_var == rename.first) line.stores_var = rename.second;
+    }
+    if (line.is_load) {
+      const std::string* buf = read_buffer(line);
+      if (buf != nullptr) {
+        auto it = stored.find(*buf);
+        if (it != stored.end()) {
+          if (line.defines != it->second) {
+            renames.emplace_back(line.defines, it->second);
+          }
+          ++stats.copies_elided;
+          continue;
+        }
+      }
+    }
+    if (line.is_store) {
+      if (const std::string* buf = write_buffer(line)) {
+        stored[*buf] = line.stores_var;
+      }
+    }
+    rebuilt.push_back(std::move(line));
+  }
+  loop.body = std::move(rebuilt);
+}
+
+bool identifier_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Replaces `buf[i]` (token-boundary checked on the left) with `var`.
+bool replace_indexed_read(std::string& text, const std::string& buf,
+                          const std::string& var) {
+  const std::string pattern = buf + "[i]";
+  bool changed = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t hit = text.find(pattern, pos);
+    if (hit == std::string::npos) break;
+    if (hit == 0 || !identifier_char(text[hit - 1])) {
+      text.replace(hit, pattern.size(), var);
+      pos = hit + var.size();
+      changed = true;
+    } else {
+      pos = hit + 1;
+    }
+  }
+  return changed;
+}
+
+/// Scalar remainder bodies: reads of `buf[i]` where an earlier line in the
+/// same body stored `buf[i] = var;` become `var` directly.
+void forward_scalar(Stmt& loop) {
+  std::map<std::string, std::string> stored;  // buffer -> scalar variable
+  for (Stmt& line : loop.body) {
+    const std::string* own_store = line.is_store ? write_buffer(line) : nullptr;
+    for (const auto& entry : stored) {
+      if (own_store != nullptr && *own_store == entry.first) continue;
+      if (replace_indexed_read(line.text, entry.first, entry.second)) {
+        auto dead = std::remove_if(
+            line.accesses.begin(), line.accesses.end(),
+            [&](const BufferAccess& access) {
+              return !access.write && access.buffer == entry.first;
+            });
+        line.accesses.erase(dead, line.accesses.end());
+      }
+    }
+    if (line.is_store && own_store != nullptr) {
+      stored[*own_store] = line.stores_var;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dead handoff-buffer elimination.
+// ---------------------------------------------------------------------------
+
+void for_each_stmt(std::vector<Stmt>& body,
+                   const std::function<void(Stmt&)>& fn) {
+  for (Stmt& stmt : body) {
+    fn(stmt);
+    if (stmt.kind == Stmt::Kind::kLoop) for_each_stmt(stmt.body, fn);
+  }
+}
+
+bool buffer_is_read(std::vector<Stmt>& body, const std::string& name) {
+  bool read = false;
+  for_each_stmt(body, [&](Stmt& stmt) {
+    for (const BufferAccess& access : stmt.accesses) {
+      if (!access.write && access.buffer == name) read = true;
+    }
+  });
+  return read;
+}
+
+/// True when every write to `name` is a pure store line (safe to delete).
+bool only_store_writes(std::vector<Stmt>& body, const std::string& name) {
+  bool ok = true;
+  for_each_stmt(body, [&](Stmt& stmt) {
+    for (const BufferAccess& access : stmt.accesses) {
+      if (access.write && access.buffer == name && !stmt.is_store) ok = false;
+    }
+  });
+  return ok;
+}
+
+int erase_stores(std::vector<Stmt>& body, const std::string& name) {
+  int removed = 0;
+  for (Stmt& stmt : body) {
+    if (stmt.kind == Stmt::Kind::kLoop) removed += erase_stores(stmt.body, name);
+  }
+  auto dead = std::remove_if(body.begin(), body.end(), [&](const Stmt& stmt) {
+    if (stmt.kind != Stmt::Kind::kText || !stmt.is_store) return false;
+    const std::string* buf = write_buffer(stmt);
+    return buf != nullptr && *buf == name;
+  });
+  removed += static_cast<int>(body.end() - dead);
+  body.erase(dead, body.end());
+  return removed;
+}
+
+void eliminate_dead_buffers(TranslationUnit& tu, PassStats& stats) {
+  for (std::size_t i = 0; i < tu.buffers.size();) {
+    const BufferDecl& decl = tu.buffers[i];
+    if (!decl.arena_eligible || decl.is_const ||
+        buffer_is_read(tu.init.body, decl.name) ||
+        buffer_is_read(tu.step.body, decl.name) ||
+        !only_store_writes(tu.init.body, decl.name) ||
+        !only_store_writes(tu.step.body, decl.name)) {
+      ++i;
+      continue;
+    }
+    std::string name = decl.name;
+    stats.copies_elided += erase_stores(tu.init.body, name);
+    stats.copies_elided += erase_stores(tu.step.body, name);
+    tu.buffers.erase(tu.buffers.begin() + static_cast<std::ptrdiff_t>(i));
+    ++stats.buffers_eliminated;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arena reuse.
+// ---------------------------------------------------------------------------
+
+struct LiveRange {
+  int first_write = -1;
+  int last_access = -1;
+};
+
+void record_liveness(std::vector<Stmt>& body, int& position,
+                     std::map<std::string, LiveRange>& ranges) {
+  for (Stmt& top : body) {
+    for (const AccessSummary& access : summarize(top)) {
+      auto it = ranges.find(access.buffer);
+      if (it == ranges.end()) continue;
+      if (access.write &&
+          (it->second.first_write < 0 || position < it->second.first_write)) {
+        it->second.first_write = position;
+      }
+      it->second.last_access = std::max(it->second.last_access, position);
+    }
+    ++position;
+  }
+}
+
+struct ArenaSlot {
+  std::string ctype;
+  std::size_t elem_bytes = 0;
+  int components = 0;
+  int free_at = -1;
+  std::string first_member;  // decl whose position the slot inherits
+};
+
+void reuse_arena(TranslationUnit& tu, PassStats& stats) {
+  std::map<std::string, LiveRange> ranges;
+  for (const BufferDecl& decl : tu.buffers) {
+    if (decl.arena_eligible && !decl.is_const) ranges.emplace(decl.name, LiveRange{});
+  }
+  if (ranges.empty()) return;
+  int position = 0;
+  record_liveness(tu.init.body, position, ranges);
+  record_liveness(tu.step.body, position, ranges);
+
+  // Process buffers in order of first write so slot intervals stay disjoint.
+  std::vector<const BufferDecl*> eligible;
+  for (const BufferDecl& decl : tu.buffers) {
+    if (!decl.arena_eligible || decl.is_const) continue;
+    if (ranges.at(decl.name).first_write < 0) continue;  // never written
+    eligible.push_back(&decl);
+  }
+  std::stable_sort(eligible.begin(), eligible.end(),
+                   [&](const BufferDecl* a, const BufferDecl* b) {
+                     return ranges.at(a->name).first_write <
+                            ranges.at(b->name).first_write;
+                   });
+
+  std::vector<ArenaSlot> slots;
+  std::map<std::string, std::size_t> slot_of;  // buffer -> slot index
+  std::size_t before_bytes = 0;
+  for (const BufferDecl* decl : eligible) {
+    before_bytes += decl->bytes();
+    const LiveRange& range = ranges.at(decl->name);
+    std::size_t chosen = slots.size();
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (slots[s].ctype == decl->ctype &&
+          slots[s].elem_bytes == decl->elem_bytes &&
+          slots[s].free_at < range.first_write) {
+        chosen = s;
+        break;
+      }
+    }
+    if (chosen == slots.size()) {
+      slots.push_back({decl->ctype, decl->elem_bytes, 0, -1, decl->name});
+    }
+    ArenaSlot& slot = slots[chosen];
+    slot.components = std::max(slot.components, decl->components);
+    slot.free_at = std::max(slot.free_at, range.last_access);
+    slot_of[decl->name] = chosen;
+  }
+  if (slot_of.empty()) return;
+
+  // Pick collision-free slot names.
+  std::set<std::string> taken;
+  for (const BufferDecl& decl : tu.buffers) {
+    if (!slot_of.count(decl.name)) taken.insert(decl.name);
+  }
+  std::vector<std::string> slot_names;
+  int next_id = 0;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    std::string name;
+    do {
+      name = "buf" + std::to_string(next_id++);
+    } while (taken.count(name));
+    taken.insert(name);
+    slot_names.push_back(name);
+  }
+
+  // Rename every rebound buffer across the whole unit.
+  auto rename_everywhere = [&](const std::string& from, const std::string& to) {
+    auto apply = [&](Stmt& stmt) {
+      if (stmt.kind != Stmt::Kind::kText) return;
+      stmt.text = replace_identifier(stmt.text, from, to);
+      for (BufferAccess& access : stmt.accesses) {
+        if (access.buffer == from) access.buffer = to;
+      }
+    };
+    for_each_stmt(tu.init.body, apply);
+    for_each_stmt(tu.step.body, apply);
+  };
+  for (const auto& entry : slot_of) {
+    rename_everywhere(entry.first, slot_names[slot_of.at(entry.first)]);
+  }
+
+  // Rebuild the declaration list: the first member of each slot (in decl
+  // order) becomes the slot's declaration; later members disappear.
+  std::vector<BufferDecl> rebuilt;
+  std::set<std::size_t> declared;
+  std::size_t after_bytes = 0;
+  for (const BufferDecl& decl : tu.buffers) {
+    auto it = slot_of.find(decl.name);
+    if (it == slot_of.end()) {
+      rebuilt.push_back(decl);
+      continue;
+    }
+    if (!declared.insert(it->second).second) continue;
+    const ArenaSlot& slot = slots[it->second];
+    BufferDecl merged = decl;
+    merged.name = slot_names[it->second];
+    merged.components = slot.components;
+    rebuilt.push_back(merged);
+    after_bytes += merged.bytes();
+  }
+  tu.buffers = std::move(rebuilt);
+
+  stats.buffers_rebound = static_cast<int>(slot_of.size());
+  if (before_bytes > after_bytes) {
+    stats.arena_bytes_saved = before_bytes - after_bytes;
+  }
+}
+
+}  // namespace
+
+PassStats run_passes(TranslationUnit& tu, const PassOptions& options) {
+  PassStats stats;
+  if (options.fuse_loops) {
+    while (try_fuse_once(tu.step.body, stats)) {
+    }
+    for (Stmt& stmt : tu.step.body) {
+      if (stmt.kind != Stmt::Kind::kLoop) continue;
+      if (stmt.vector_loop || stmt.single_iteration) {
+        forward_vector(stmt, stats);
+      } else {
+        forward_scalar(stmt);
+      }
+    }
+    eliminate_dead_buffers(tu, stats);
+  }
+  if (options.reuse_arena) {
+    reuse_arena(tu, stats);
+  }
+  return stats;
+}
+
+}  // namespace hcg::cgir

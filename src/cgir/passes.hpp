@@ -1,0 +1,48 @@
+// Optimization passes over the codegen IR.
+//
+// The pipeline runs three passes in order:
+//
+//   1. Loop fusion — adjacent region loops with the same iteration domain
+//      merge into one loop when every buffer they share is accessed
+//      elementwise (so per-iteration body order preserves semantics).
+//      Statements sitting between two fusion candidates either stay behind
+//      the merged loop (when independent of the later loop) or hoist above
+//      it (when independent of the earlier loop and everything that stays).
+//   2. Copy forwarding — inside fused vector loops, a load of a buffer that
+//      an earlier line in the same body stored becomes a rename of the
+//      stored vector variable; inside scalar remainder loops, `buf[i]`
+//      reads of a just-stored element become the stored scalar variable.
+//      Handoff buffers left with stores but no remaining reads are deleted
+//      together with their declarations (dead-copy elimination).
+//   3. Arena reuse — intermediate signal buffers whose live ranges (first
+//      write to last access, at whole-statement granularity) do not overlap
+//      rebind onto shared arena slots, shrinking static footprint.
+//
+// All passes are deterministic: they iterate the tree in order and never
+// consult addresses, hashes, or time.
+#pragma once
+
+#include <cstddef>
+
+#include "cgir/cgir.hpp"
+
+namespace hcg::cgir {
+
+struct PassOptions {
+  bool fuse_loops = true;    // pass 1 + the forwarding it exposes (pass 2)
+  bool reuse_arena = true;   // pass 3
+};
+
+/// What the pipeline did, for the obs report and metrics.
+struct PassStats {
+  int loops_fused = 0;          // number of merge events (N loops -> N-1)
+  int copies_elided = 0;        // forwarded loads / dead stores removed
+  int buffers_eliminated = 0;   // handoff buffers deleted outright
+  int buffers_rebound = 0;      // buffers renamed onto arena slots
+  std::size_t arena_bytes_saved = 0;
+};
+
+/// Runs the enabled passes over `tu` in place and reports their effect.
+PassStats run_passes(TranslationUnit& tu, const PassOptions& options);
+
+}  // namespace hcg::cgir

@@ -1,9 +1,16 @@
+// The emitter: lowers a resolved model — scheduled actors plus Algorithm 2's
+// matched batch regions — into the cgir translation unit, runs the -O1 pass
+// pipeline over it (loop fusion, copy forwarding, arena reuse), and prints
+// the result.  At -O0 the printed output is byte-identical to the historical
+// string-concatenation emitter.
 #include <algorithm>
 #include <future>
 #include <set>
 
 #include "actors/catalog.hpp"
 #include "actors/exec.hpp"
+#include "cgir/cgir.hpp"
+#include "cgir/passes.hpp"
 #include "codegen/generator.hpp"
 #include "actors/resolve.hpp"
 #include "graph/regions.hpp"
@@ -76,11 +83,15 @@ class Emitter {
       HCG_TRACE_SCOPE("emit.body");
       emit_header();
       emit_kernel_sources();
-      emit_buffers();
       emit_init();
       emit_step();
     }
     finish_phase("emit", phase);
+    {
+      HCG_TRACE_SCOPE("emit.opt");
+      run_pass_pipeline();
+    }
+    finish_phase("opt", phase);
 
     out_.report.emit_bytes = source_.size();
     out_.report.static_buffer_bytes = out_.static_buffer_bytes;
@@ -125,9 +136,7 @@ class Emitter {
       std::vector<BatchRegion> grouped = find_batch_regions(model_, *config_.isa);
       for (const BatchRegion& region : grouped) {
         for (ActorId id : region.actors) {
-          std::vector<BatchRegion> single =
-              find_batch_regions_for(model_, *config_.isa, {id});
-          regions_.insert(regions_.end(), single.begin(), single.end());
+          regions_.push_back(singleton_batch_region(model_, id));
         }
       }
     }
@@ -136,59 +145,19 @@ class Emitter {
         region_of_[id] = static_cast<int>(r);
       }
     }
-    // Predict which regions Algorithm 2 will vectorize (mirrors its early
-    // exits) so interior signals — which live entirely in vector registers —
-    // get no memory buffer.
+    // Predict which regions Algorithm 2 will vectorize (the shared helper
+    // mirrors its early exits) so interior signals — which live entirely in
+    // vector registers — get no memory buffer.
     for (const BatchRegion& region : regions_) {
-      const Dataflow& graph = region.graph;
-      const int lanes = config_.isa->width_bits / graph.data_bit_width();
-      bool simd = graph.length() / lanes >= 1 &&
-                  graph.node_count() >= config_.batch_options.min_nodes_for_simd;
-      for (const DfgNode& node : graph.nodes()) {
-        if (config_.isa->lanes(node.out_type) != lanes) simd = false;
-      }
-      if (!simd) continue;
+      const RegionVectorPlan plan = plan_region_vectorization(
+          region, config_.isa->width_bits,
+          [this](DataType type) { return config_.isa->lanes(type); },
+          config_.batch_options.min_nodes_for_simd);
+      if (!plan.viable) continue;
       for (const auto& [actor, node_index] : region.node_of) {
-        if (!graph.is_output(node_index)) register_only_.insert(actor);
+        if (!region.graph.is_output(node_index)) register_only_.insert(actor);
       }
     }
-  }
-
-  /// Builds the singleton region for one batch actor (scattered mode): the
-  /// same structure find_batch_regions produces, but every input is an
-  /// external, so the generated loop loads and stores on every pass.
-  static std::vector<BatchRegion> find_batch_regions_for(
-      const Model& model, const OpSupport& /*support*/,
-      const std::vector<ActorId>& only) {
-    const ActorId id = only.at(0);
-    const Actor& actor = model.actor(id);
-    BatchRegion region{
-        {id},
-        {},
-        Dataflow(actor.output(0).shape.elements(),
-                 bit_width(actor.output(0).type))};
-    DfgNode node;
-    node.op = batch_op_for_actor_type(actor.type());
-    node.out_type = actor.output(0).type;
-    node.actor = id;
-    for (int port = 0; port < actor.input_count(); ++port) {
-      const Connection conn = *model.incoming(id, port);
-      DfgExternal ext{conn.src, conn.src_port,
-                      model.actor(conn.src).output(conn.src_port).type};
-      node.operands.push_back(ValueRef::external(region.graph.add_external(ext)));
-    }
-    if (node.op == BatchOp::kMulC) {
-      node.operands.push_back(
-          ValueRef::scalar_const(parse_double(actor.param("gain"))));
-    } else if (node.op == BatchOp::kAddC) {
-      node.operands.push_back(
-          ValueRef::scalar_const(parse_double(actor.param("bias"))));
-    } else if (has_immediate(node.op)) {
-      node.operands.push_back(ValueRef::immediate(actor.int_param("amount")));
-    }
-    region.node_of[id] = region.graph.add_node(std::move(node));
-    region.graph.mark_output(0);
-    return {region};
   }
 
   /// Fans `task(0..count-1)` out over the pool and collects the results in
@@ -346,7 +315,11 @@ class Emitter {
 
     // Live-range buffer reuse (Simulink Coder's output variable reuse).
     // Position = index in the emission order; a signal is live from its
-    // producer's position to its last consumer's position.
+    // producer's position to its last consumer's position.  At -O1 the
+    // cgir arena pass supersedes this slot naming: every signal keeps its
+    // own `sig_` buffer here, marked arena-eligible, and the pass rebinds
+    // non-overlapping ones after fusion has settled the true live ranges.
+    const bool legacy_slots = config_.reuse_buffers && config_.opt_level < 1;
     std::map<ActorId, int> position;
     for (size_t i = 0; i < order_.size(); ++i) {
       if (order_[i].actor != kNoActor) {
@@ -389,7 +362,7 @@ class Emitter {
           }
 
           std::string name;
-          if (reusable) {
+          if (reusable && legacy_slots) {
             Slot* found = nullptr;
             for (Slot& slot : slots) {
               if (slot.type == spec.type && slot.shape == spec.shape &&
@@ -402,7 +375,8 @@ class Emitter {
               slots.push_back(Slot{"buf" + std::to_string(slots.size()),
                                    spec.type, spec.shape, -1});
               found = &slots.back();
-              declare_buffer(found->name, spec, /*constant=*/nullptr);
+              declare_buffer(found->name, spec, /*constant=*/nullptr,
+                             /*arena_eligible=*/false);
             }
             found->free_at = last_use;
             name = found->name;
@@ -412,7 +386,7 @@ class Emitter {
             if (port != 0) name += "_p" + std::to_string(port);
             const Actor* const_src =
                 actor.type() == "Constant" ? &actor : nullptr;
-            declare_buffer(name, spec, const_src);
+            declare_buffer(name, spec, const_src, /*arena_eligible=*/reusable);
           }
           buffer_name_[{id, port}] = name;
         }
@@ -420,29 +394,27 @@ class Emitter {
     }
   }
 
-  /// Queues a static buffer declaration (emitted between planning passes).
+  /// Declares a static buffer in the translation unit.
   void declare_buffer(const std::string& name, const PortSpec& spec,
-                      const Actor* constant_source) {
-    const int components =
+                      const Actor* constant_source, bool arena_eligible) {
+    cgir::BufferDecl decl;
+    decl.name = name;
+    decl.ctype = std::string(c_name(spec.type));
+    decl.components =
         is_complex(spec.type) ? spec.shape.elements() * 2 : spec.shape.elements();
-    const std::string ctype(c_name(spec.type));
-    std::string decl;
+    decl.elem_bytes = byte_width(component_type(spec.type));
+    decl.arena_eligible = arena_eligible;
     if (constant_source != nullptr) {
+      decl.is_const = true;
       Tensor value = constant_tensor(*constant_source);
-      decl = "static const " + ctype + " " + name + "[" +
-             std::to_string(components) + "] = {";
-      for (int i = 0; i < components; ++i) {
-        if (i > 0) decl += ", ";
-        decl += component_literal(value, i);
+      std::vector<std::string> literals;
+      literals.reserve(static_cast<std::size_t>(decl.components));
+      for (int i = 0; i < decl.components; ++i) {
+        literals.push_back(component_literal(value, i));
       }
-      decl += "};";
-    } else {
-      decl = "static " + ctype + " " + name + "[" + std::to_string(components) +
-             "];";
+      decl.init_values = join(literals, ", ");
     }
-    buffer_decls_.push_back(decl);
-    out_.static_buffer_bytes +=
-        static_cast<std::size_t>(components) * byte_width(component_type(spec.type));
+    tu_.buffers.push_back(std::move(decl));
   }
 
   static std::string component_literal(const Tensor& value, int i) {
@@ -465,11 +437,17 @@ class Emitter {
   // ------------------------------------------------------------------
 
   /// C expression for one element of a signal: buffer[index] or, for folded
-  /// producers, the inlined expression.
+  /// producers, the inlined expression.  Buffer reads are recorded into the
+  /// active access sink (when one is installed) so the statement being built
+  /// carries its dependence information for the passes.
   std::string element_expr(const SignalId& signal, const std::string& index) {
     const Actor& producer = model_.actor(signal.first);
     if (is_folded(signal.first)) return folded_expr(producer);
-    return buffer_name_.at(signal) + "[" + index + "]";
+    const std::string& buffer = buffer_name_.at(signal);
+    if (access_sink_ != nullptr) {
+      access_sink_->push_back({buffer, false, index == "i"});
+    }
+    return buffer + "[" + index + "]";
   }
 
   std::string folded_expr(const Actor& actor) {
@@ -510,21 +488,22 @@ class Emitter {
   }
 
   // ------------------------------------------------------------------
-  // Emission
+  // Lowering
   // ------------------------------------------------------------------
 
-  void line(const std::string& text) { source_ += text + "\n"; }
-  void body(const std::string& text) { source_ += "  " + text + "\n"; }
+  /// Appends a statement to the step body.
+  void push(cgir::Stmt stmt) { tu_.step.body.push_back(std::move(stmt)); }
 
   void emit_header() {
-    line("/* Generated by " + config_.tool_name + " for model '" +
-         model_.name() + "'.");
-    line(" * ABI: void " + out_.init_symbol + "(void);");
-    line(" *      void " + out_.step_symbol +
-         "(const void* const* inputs, void* const* outputs); */");
-    line("#include <stdint.h>");
-    line("#include <string.h>");
-    line("#include <math.h>");
+    tu_.header_lines.push_back("/* Generated by " + config_.tool_name +
+                               " for model '" + model_.name() + "'.");
+    tu_.header_lines.push_back(" * ABI: void " + out_.init_symbol + "(void);");
+    tu_.header_lines.push_back(" *      void " + out_.step_symbol +
+                               "(const void* const* inputs, void* const* "
+                               "outputs); */");
+    tu_.header_lines.push_back("#include <stdint.h>");
+    tu_.header_lines.push_back("#include <string.h>");
+    tu_.header_lines.push_back("#include <math.h>");
     const bool may_use_simd =
         config_.isa != nullptr &&
         (config_.batch_mode == BatchMode::kScattered ||
@@ -532,62 +511,58 @@ class Emitter {
         !regions_.empty();
     if (may_use_simd) {
       if (config_.isa->simulated) {
-        line("#include \"" + config_.isa->header + "\"");
+        tu_.header_lines.push_back("#include \"" + config_.isa->header + "\"");
       } else {
-        line("#include <" + config_.isa->header + ">");
+        tu_.header_lines.push_back("#include <" + config_.isa->header + ">");
       }
       out_.compile_flags = config_.isa->compile_flags;
       out_.needs_neon_sim = config_.isa->simulated;
     }
-    line("");
+    tu_.header_lines.push_back("");
   }
 
   void emit_kernel_sources() {
     if (kernel_sources_.empty()) return;
     const kernels::CodeLibrary& library = kernels::CodeLibrary::instance();
-    line("/* ---- intensive-actor kernel library (embedded) ---- */");
     for (const std::string& key : kernel_sources_) {
-      source_ += std::string(library.source(key));
-      line("");
+      tu_.kernel_sources.push_back(std::string(library.source(key)));
     }
-  }
-
-  void emit_buffers() {
-    line("/* ---- signal buffers ---- */");
-    for (const std::string& decl : buffer_decls_) line(decl);
-    line("");
   }
 
   void emit_init() {
-    line("void " + out_.init_symbol + "(void) {");
+    tu_.init.opener = "void " + out_.init_symbol + "(void) {";
     for (const Actor& actor : model_.actors()) {
       if (actor.type() != "UnitDelay") continue;
       const std::string& name = buffer_name_.at({actor.id(), 0});
-      body("memset(" + name + ", 0, sizeof(" + name + "));");
+      cgir::Stmt stmt = cgir::Stmt::text_line("memset(" + name +
+                                              ", 0, sizeof(" + name + "));");
+      stmt.accesses.push_back({name, true, false});
+      tu_.init.body.push_back(std::move(stmt));
     }
-    line("}");
-    line("");
   }
 
   void emit_step() {
-    line("void " + out_.step_symbol +
-         "(const void* const* inputs, void* const* outputs) {");
+    tu_.step.opener = "void " + out_.step_symbol +
+                      "(const void* const* inputs, void* const* outputs) {";
 
     const std::vector<ActorId> ins = model_.inports();
     for (size_t i = 0; i < ins.size(); ++i) {
       const Actor& port = model_.actor(ins[i]);
       const std::string ctype(c_name(port.output(0).type));
-      body("const " + ctype + "* " + buffer_name_.at({ins[i], 0}) + " = (const " +
-           ctype + "*)inputs[" + std::to_string(i) + "];");
+      push(cgir::Stmt::text_line(
+          "const " + ctype + "* " + buffer_name_.at({ins[i], 0}) +
+          " = (const " + ctype + "*)inputs[" + std::to_string(i) + "];"));
     }
     const std::vector<ActorId> outs = model_.outports();
     for (size_t i = 0; i < outs.size(); ++i) {
       const Actor& port = model_.actor(outs[i]);
       const std::string ctype(c_name(port.input(0).type));
-      body(ctype + "* out_" + sanitize_identifier(port.name()) + " = (" +
-           ctype + "*)outputs[" + std::to_string(i) + "];");
+      push(cgir::Stmt::text_line(ctype + "* out_" +
+                                 sanitize_identifier(port.name()) + " = (" +
+                                 ctype + "*)outputs[" + std::to_string(i) +
+                                 "];"));
     }
-    line("");
+    push(cgir::Stmt::text_line(""));
 
     for (const EmissionItem& item : order_) {
       if (item.region >= 0) {
@@ -598,10 +573,10 @@ class Emitter {
     }
 
     if (!delay_updates_.empty()) {
-      body("/* delay state updates */");
-      for (const std::string& update : delay_updates_) body(update);
+      push(cgir::Stmt::text_line("/* delay state updates */"));
+      for (cgir::Stmt& update : delay_updates_) push(std::move(update));
+      delay_updates_.clear();
     }
-    line("}");
   }
 
   void emit_region(size_t region_index) {
@@ -623,14 +598,47 @@ class Emitter {
     out_.report.regions.push_back(std::move(entry));
 
     if (result.used_simd) {
-      body("/* batch region (" + std::to_string(region.actors.size()) +
-           " actors) -> " + config_.isa->name + " SIMD */");
-      source_ += result.code;
       for (std::string& name : result.instructions_used) {
         out_.simd_instructions.push_back(std::move(name));
       }
       if (region.actors.size() > 1) ++out_.fused_regions;
       simd_emitted_ = true;
+
+      // The batch-region banner attaches to the first loop of the region
+      // (the scalar remainder when one exists — Algorithm 2 line 26 puts it
+      // "at the front" — otherwise the vector loop).
+      bool banner_pending = true;
+      if (result.offset != 0) {
+        cgir::Stmt remainder;
+        remainder.kind = cgir::Stmt::Kind::kLoop;
+        remainder.begin = 0;
+        remainder.end = result.offset;
+        remainder.step = 1;
+        remainder.fusible = true;
+        remainder.banner_actors = static_cast<int>(region.actors.size());
+        remainder.banner_isa = config_.isa->name;
+        remainder.body = std::move(result.remainder_body);
+        banner_pending = false;
+        push(std::move(remainder));
+      }
+      cgir::Stmt main;
+      main.kind = cgir::Stmt::Kind::kLoop;
+      main.vector_loop = true;
+      main.fusible = true;
+      main.begin = result.offset;
+      main.step = result.batch_size;
+      if (result.batch_count >= 2) {
+        main.end = region.graph.length();
+      } else {
+        main.single_iteration = true;
+        main.end = result.offset + result.batch_size;
+      }
+      if (banner_pending) {
+        main.banner_actors = static_cast<int>(region.actors.size());
+        main.banner_isa = config_.isa->name;
+      }
+      main.body = std::move(result.vector_body);
+      push(std::move(main));
       return;
     }
     // Algorithm 2 lines 3-4: conventionalTranslate.
@@ -649,15 +657,25 @@ class Emitter {
       const SignalId src = source_of(actor.id(), 0);
       const std::string out_name = "out_" + sanitize_identifier(actor.name());
       if (is_folded(src.first)) {
-        body(out_name + "[0] = " + folded_expr(model_.actor(src.first)) + ";");
+        cgir::Stmt stmt;
+        access_sink_ = &stmt.accesses;
+        stmt.text =
+            out_name + "[0] = " + folded_expr(model_.actor(src.first)) + ";";
+        access_sink_ = nullptr;
+        stmt.accesses.push_back({out_name, true, false});
+        push(std::move(stmt));
       } else {
         const PortSpec& spec = actor.input(0);
         const int components = is_complex(spec.type)
                                    ? spec.shape.elements() * 2
                                    : spec.shape.elements();
-        body("memcpy(" + out_name + ", " + buffer_name_.at(src) + ", " +
-             std::to_string(components) + " * sizeof(" +
-             std::string(c_name(spec.type)) + "));");
+        cgir::Stmt stmt = cgir::Stmt::text_line(
+            "memcpy(" + out_name + ", " + buffer_name_.at(src) + ", " +
+            std::to_string(components) + " * sizeof(" +
+            std::string(c_name(spec.type)) + "));");
+        stmt.accesses.push_back({out_name, true, false});
+        stmt.accesses.push_back({buffer_name_.at(src), false, false});
+        push(std::move(stmt));
       }
       return;
     }
@@ -668,10 +686,14 @@ class Emitter {
       const PortSpec& spec = actor.output(0);
       const int components = is_complex(spec.type) ? spec.shape.elements() * 2
                                                    : spec.shape.elements();
-      delay_updates_.push_back("memcpy(" + buffer_name_.at({actor.id(), 0}) +
-                               ", " + buffer_name_.at(src) + ", " +
-                               std::to_string(components) + " * sizeof(" +
-                               std::string(c_name(spec.type)) + "));");
+      const std::string& state = buffer_name_.at({actor.id(), 0});
+      cgir::Stmt stmt = cgir::Stmt::text_line(
+          "memcpy(" + state + ", " + buffer_name_.at(src) + ", " +
+          std::to_string(components) + " * sizeof(" +
+          std::string(c_name(spec.type)) + "));");
+      stmt.accesses.push_back({state, true, false});
+      stmt.accesses.push_back({buffer_name_.at(src), false, false});
+      delay_updates_.push_back(std::move(stmt));
       return;
     }
 
@@ -694,17 +716,36 @@ class Emitter {
     const bool unroll = config_.batch_mode == BatchMode::kUnrollThenLoops &&
                         n <= config_.unroll_threshold;
     if (n == 1) {
-      body(dst + "[0] = " + elementwise_expr(actor, "0") + ";");
+      cgir::Stmt stmt;
+      access_sink_ = &stmt.accesses;
+      stmt.text = dst + "[0] = " + elementwise_expr(actor, "0") + ";";
+      access_sink_ = nullptr;
+      stmt.accesses.push_back({dst, true, false});
+      push(std::move(stmt));
     } else if (unroll) {
       // Paper Figure 2: one statement per element.
       for (int i = 0; i < n; ++i) {
         const std::string idx = std::to_string(i);
-        body(dst + "[" + idx + "] = " + elementwise_expr(actor, idx) + ";");
+        cgir::Stmt stmt;
+        access_sink_ = &stmt.accesses;
+        stmt.text = dst + "[" + idx + "] = " + elementwise_expr(actor, idx) + ";";
+        access_sink_ = nullptr;
+        stmt.accesses.push_back({dst, true, false});
+        push(std::move(stmt));
       }
     } else {
-      body("for (int i = 0; i < " + std::to_string(n) + "; ++i) {");
-      body("  " + dst + "[i] = " + elementwise_expr(actor, "i") + ";");
-      body("}");
+      cgir::Stmt loop;
+      loop.kind = cgir::Stmt::Kind::kLoop;
+      loop.begin = 0;
+      loop.end = n;
+      loop.step = 1;
+      cgir::Stmt body_line;
+      access_sink_ = &body_line.accesses;
+      body_line.text = dst + "[i] = " + elementwise_expr(actor, "i") + ";";
+      access_sink_ = nullptr;
+      body_line.accesses.push_back({dst, true, true});
+      loop.body.push_back(std::move(body_line));
+      push(std::move(loop));
     }
   }
 
@@ -716,57 +757,99 @@ class Emitter {
         actor.type() == "IFFT" || actor.type() == "IFFT2D";
     const Shape& shape0 = actor.input(0).shape;
 
+    std::string call;
+    std::string in1;
     switch (impl.sig) {
       case kernels::KernelSig::kFft1D:
-        body(impl.c_function + "(" + in0 + ", " + out + ", " +
-             std::to_string(shape0.elements()) + ", " +
-             (inverse ? "1" : "0") + ");");
-        return;
+        call = impl.c_function + "(" + in0 + ", " + out + ", " +
+               std::to_string(shape0.elements()) + ", " +
+               (inverse ? "1" : "0") + ");";
+        break;
       case kernels::KernelSig::kFft2D:
-        body(impl.c_function + "(" + in0 + ", " + out + ", " +
-             std::to_string(shape0.dims[0]) + ", " +
-             std::to_string(shape0.dims[1]) + ", " + (inverse ? "1" : "0") +
-             ");");
-        return;
+        call = impl.c_function + "(" + in0 + ", " + out + ", " +
+               std::to_string(shape0.dims[0]) + ", " +
+               std::to_string(shape0.dims[1]) + ", " + (inverse ? "1" : "0") +
+               ");";
+        break;
       case kernels::KernelSig::kXform1D:
-        body(impl.c_function + "(" + in0 + ", " + out + ", " +
-             std::to_string(shape0.elements()) + ");");
-        return;
+        call = impl.c_function + "(" + in0 + ", " + out + ", " +
+               std::to_string(shape0.elements()) + ");";
+        break;
       case kernels::KernelSig::kXform2D:
-        body(impl.c_function + "(" + in0 + ", " + out + ", " +
-             std::to_string(shape0.dims[0]) + ", " +
-             std::to_string(shape0.dims[1]) + ");");
-        return;
+        call = impl.c_function + "(" + in0 + ", " + out + ", " +
+               std::to_string(shape0.dims[0]) + ", " +
+               std::to_string(shape0.dims[1]) + ");";
+        break;
       case kernels::KernelSig::kConv1D: {
-        const std::string in1 = buffer_name_.at(source_of(actor.id(), 1));
+        in1 = buffer_name_.at(source_of(actor.id(), 1));
         const Shape& shape1 = actor.input(1).shape;
-        body(impl.c_function + "(" + in0 + ", " +
-             std::to_string(shape0.elements()) + ", " + in1 + ", " +
-             std::to_string(shape1.elements()) + ", " + out + ");");
-        return;
+        call = impl.c_function + "(" + in0 + ", " +
+               std::to_string(shape0.elements()) + ", " + in1 + ", " +
+               std::to_string(shape1.elements()) + ", " + out + ");";
+        break;
       }
       case kernels::KernelSig::kConv2D: {
-        const std::string in1 = buffer_name_.at(source_of(actor.id(), 1));
+        in1 = buffer_name_.at(source_of(actor.id(), 1));
         const Shape& shape1 = actor.input(1).shape;
-        body(impl.c_function + "(" + in0 + ", " + std::to_string(shape0.dims[0]) +
-             ", " + std::to_string(shape0.dims[1]) + ", " + in1 + ", " +
-             std::to_string(shape1.dims[0]) + ", " +
-             std::to_string(shape1.dims[1]) + ", " + out + ");");
-        return;
+        call = impl.c_function + "(" + in0 + ", " +
+               std::to_string(shape0.dims[0]) + ", " +
+               std::to_string(shape0.dims[1]) + ", " + in1 + ", " +
+               std::to_string(shape1.dims[0]) + ", " +
+               std::to_string(shape1.dims[1]) + ", " + out + ");";
+        break;
       }
       case kernels::KernelSig::kMatMul: {
-        const std::string in1 = buffer_name_.at(source_of(actor.id(), 1));
-        body(impl.c_function + "(" + in0 + ", " + in1 + ", " + out + ", " +
-             std::to_string(shape0.dims[0]) + ");");
-        return;
+        in1 = buffer_name_.at(source_of(actor.id(), 1));
+        call = impl.c_function + "(" + in0 + ", " + in1 + ", " + out + ", " +
+               std::to_string(shape0.dims[0]) + ");";
+        break;
       }
       case kernels::KernelSig::kMatInv:
       case kernels::KernelSig::kMatDet:
-        body(impl.c_function + "(" + in0 + ", " + out + ", " +
-             std::to_string(shape0.dims[0]) + ");");
-        return;
+        call = impl.c_function + "(" + in0 + ", " + out + ", " +
+               std::to_string(shape0.dims[0]) + ");";
+        break;
     }
-    throw CodegenError("emit_intensive: bad kernel signature");
+    if (call.empty()) {
+      throw CodegenError("emit_intensive: bad kernel signature");
+    }
+    cgir::Stmt stmt = cgir::Stmt::text_line(std::move(call));
+    stmt.accesses.push_back({out, true, false});
+    stmt.accesses.push_back({in0, false, false});
+    if (!in1.empty()) stmt.accesses.push_back({in1, false, false});
+    push(std::move(stmt));
+  }
+
+  // ------------------------------------------------------------------
+  // Passes + printing
+  // ------------------------------------------------------------------
+
+  void run_pass_pipeline() {
+    cgir::PassStats stats;
+    if (config_.opt_level >= 1) {
+      cgir::PassOptions options;
+      options.fuse_loops = true;
+      options.reuse_arena = config_.reuse_buffers;
+      stats = cgir::run_passes(tu_, options);
+    }
+    source_ = cgir::print(tu_);
+    out_.cgir_dump = cgir::dump(tu_);
+
+    out_.static_buffer_bytes = 0;
+    for (const cgir::BufferDecl& decl : tu_.buffers) {
+      out_.static_buffer_bytes += decl.bytes();
+    }
+
+    out_.report.opt_level = config_.opt_level;
+    out_.report.loops_fused = stats.loops_fused;
+    out_.report.copies_elided = stats.copies_elided;
+    out_.report.arena_bytes_saved = stats.arena_bytes_saved;
+    static obs::Counter& fusion_metric =
+        obs::Registry::instance().counter("codegen.fusion.loops_fused");
+    static obs::Counter& arena_metric =
+        obs::Registry::instance().counter("codegen.arena.bytes_saved");
+    fusion_metric.add(static_cast<std::uint64_t>(stats.loops_fused));
+    arena_metric.add(stats.arena_bytes_saved);
   }
 
   // ------------------------------------------------------------------
@@ -775,6 +858,10 @@ class Emitter {
   EmitConfig config_;
   GeneratedCode out_;
   std::string source_;
+  cgir::TranslationUnit tu_;
+  /// When non-null, element_expr records buffer reads here (the statement
+  /// currently being built).
+  std::vector<cgir::BufferAccess>* access_sink_ = nullptr;
   std::vector<BatchRegion> regions_;
   std::map<ActorId, int> region_of_;
   /// Per-region Algorithm 2 results, index-aligned with regions_.
@@ -790,8 +877,7 @@ class Emitter {
   std::set<ActorId> register_only_;
   std::set<ActorId> direct_outports_;
   std::map<SignalId, std::string> buffer_name_;
-  std::vector<std::string> buffer_decls_;
-  std::vector<std::string> delay_updates_;
+  std::vector<cgir::Stmt> delay_updates_;
   bool simd_emitted_ = false;
   double resolve_ms_ = 0.0;
 };

@@ -50,6 +50,12 @@ struct EmitConfig {
   /// Reuse signal buffers whose live ranges do not overlap
   /// (Simulink Coder's "output variable reuse"; HCG inherits it).
   bool reuse_buffers = false;
+  /// Optimization level for the cgir pass pipeline run over the lowered
+  /// translation unit.  0 = lowering only (output byte-identical to the
+  /// historical string emitter); 1 = region loop fusion + copy forwarding,
+  /// and — when reuse_buffers is set — arena rebinding of intermediate
+  /// buffers (which replaces the legacy slot-reuse naming at -O1).
+  int opt_level = 0;
   /// Algorithm 1 implementation selection; false = generic implementations.
   bool select_intensive = false;
   synth::SelectionHistory* history = nullptr;  // used when select_intensive
@@ -77,6 +83,9 @@ struct GeneratedCode {
   std::size_t static_buffer_bytes = 0;
   /// Number of batch regions fused by Algorithm 2.
   int fused_regions = 0;
+  /// "cgir-v1" serialization of the translation unit after passes (the
+  /// `hcgc --dump-cgir` surface; cgir::parse_dump() round-trips it).
+  std::string cgir_dump;
 
   /// Structured account of this generation run: per-phase timings, every
   /// Algorithm 1 choice with its measured candidate times, and every
@@ -98,17 +107,19 @@ class Generator {
 
 /// The HCG generator (this paper): Algorithm 1 + Algorithm 2 against the
 /// given instruction table.  The history is shared across calls.
+/// `opt_level` selects the cgir pass pipeline (default -O1).
 std::unique_ptr<Generator> make_hcg_generator(const isa::VectorIsa& isa,
                                               synth::SelectionHistory* history = nullptr,
-                                              synth::BatchOptions batch_options = {});
+                                              synth::BatchOptions batch_options = {},
+                                              int opt_level = 1);
 
 /// Simulink-Coder-like baseline: expression folding, variable reuse,
 /// unrolled scalar statements (Figure 2), generic intensive functions.
 /// `scattered_isa` enables the per-actor scattered-SIMD mode of §4.2.
 std::unique_ptr<Generator> make_simulink_generator(
-    const isa::VectorIsa* scattered_isa = nullptr);
+    const isa::VectorIsa* scattered_isa = nullptr, int opt_level = 0);
 
 /// DFSynth-like baseline: per-actor loop code, generic intensive functions.
-std::unique_ptr<Generator> make_dfsynth_generator();
+std::unique_ptr<Generator> make_dfsynth_generator(int opt_level = 0);
 
 }  // namespace hcg::codegen

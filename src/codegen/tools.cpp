@@ -9,8 +9,11 @@ namespace {
 class HcgGenerator final : public Generator {
  public:
   HcgGenerator(const isa::VectorIsa& isa, synth::SelectionHistory* history,
-               synth::BatchOptions batch_options)
-      : isa_(isa), history_(history), batch_options_(batch_options) {}
+               synth::BatchOptions batch_options, int opt_level)
+      : isa_(isa),
+        history_(history),
+        batch_options_(batch_options),
+        opt_level_(opt_level) {}
 
   std::string name() const override { return "hcg"; }
 
@@ -22,6 +25,7 @@ class HcgGenerator final : public Generator {
     config.select_intensive = true;
     config.history = history_ != nullptr ? history_ : &own_history_;
     config.batch_options = batch_options_;
+    config.opt_level = opt_level_;
     // HCG keeps the conventional composition optimizations of the Simulink
     // Coder path (paper §3: only the implementation part of actors changes).
     config.fold_scalar_expressions = true;
@@ -34,12 +38,13 @@ class HcgGenerator final : public Generator {
   synth::SelectionHistory* history_;
   synth::SelectionHistory own_history_;
   synth::BatchOptions batch_options_;
+  int opt_level_;
 };
 
 class SimulinkGenerator final : public Generator {
  public:
-  explicit SimulinkGenerator(const isa::VectorIsa* scattered_isa)
-      : scattered_isa_(scattered_isa) {}
+  SimulinkGenerator(const isa::VectorIsa* scattered_isa, int opt_level)
+      : scattered_isa_(scattered_isa), opt_level_(opt_level) {}
 
   std::string name() const override { return "simulink"; }
 
@@ -57,15 +62,19 @@ class SimulinkGenerator final : public Generator {
     config.fold_scalar_expressions = true;
     config.reuse_buffers = true;
     config.select_intensive = false;  // generic intensive functions
+    config.opt_level = opt_level_;
     return emit_model(model, config);
   }
 
  private:
   const isa::VectorIsa* scattered_isa_;
+  int opt_level_;
 };
 
 class DfsynthGenerator final : public Generator {
  public:
+  explicit DfsynthGenerator(int opt_level) : opt_level_(opt_level) {}
+
   std::string name() const override { return "dfsynth"; }
 
   GeneratedCode generate(const Model& model) override {
@@ -75,25 +84,30 @@ class DfsynthGenerator final : public Generator {
     config.fold_scalar_expressions = false;
     config.reuse_buffers = false;
     config.select_intensive = false;  // generic intensive functions
+    config.opt_level = opt_level_;
     return emit_model(model, config);
   }
+
+ private:
+  int opt_level_;
 };
 
 }  // namespace
 
 std::unique_ptr<Generator> make_hcg_generator(const isa::VectorIsa& isa,
                                               synth::SelectionHistory* history,
-                                              synth::BatchOptions batch_options) {
-  return std::make_unique<HcgGenerator>(isa, history, batch_options);
+                                              synth::BatchOptions batch_options,
+                                              int opt_level) {
+  return std::make_unique<HcgGenerator>(isa, history, batch_options, opt_level);
 }
 
 std::unique_ptr<Generator> make_simulink_generator(
-    const isa::VectorIsa* scattered_isa) {
-  return std::make_unique<SimulinkGenerator>(scattered_isa);
+    const isa::VectorIsa* scattered_isa, int opt_level) {
+  return std::make_unique<SimulinkGenerator>(scattered_isa, opt_level);
 }
 
-std::unique_ptr<Generator> make_dfsynth_generator() {
-  return std::make_unique<DfsynthGenerator>();
+std::unique_ptr<Generator> make_dfsynth_generator(int opt_level) {
+  return std::make_unique<DfsynthGenerator>(opt_level);
 }
 
 }  // namespace hcg::codegen

@@ -47,6 +47,30 @@ Signature signature_of(const Actor& actor) {
                    bit_width(actor.output(0).type)};
 }
 
+/// The op/type/actor skeleton of a dataflow node, before operands.
+DfgNode make_batch_node(const Model& model, ActorId id) {
+  const Actor& actor = model.actor(id);
+  DfgNode node;
+  node.op = batch_op_for_actor_type(actor.type());
+  node.out_type = actor.output(0).type;
+  node.actor = id;
+  return node;
+}
+
+/// Appends the trailing non-wire operand some ops carry: MulC's gain,
+/// AddC's bias, or a shift's immediate amount.
+void append_parameter_operand(const Actor& actor, DfgNode& node) {
+  if (node.op == BatchOp::kMulC) {
+    node.operands.push_back(
+        ValueRef::scalar_const(parse_double(actor.param("gain"))));
+  } else if (node.op == BatchOp::kAddC) {
+    node.operands.push_back(
+        ValueRef::scalar_const(parse_double(actor.param("bias"))));
+  } else if (has_immediate(node.op)) {
+    node.operands.push_back(ValueRef::immediate(actor.int_param("amount")));
+  }
+}
+
 }  // namespace
 
 std::vector<BatchRegion> find_batch_regions(const Model& model,
@@ -202,11 +226,7 @@ std::vector<BatchRegion> find_batch_regions(const Model& model,
     const std::set<ActorId> member_set(members.begin(), members.end());
     for (ActorId id : members) {
       const Actor& actor = model.actor(id);
-      const BatchOp op = batch_op_for_actor_type(actor.type());
-      DfgNode node;
-      node.op = op;
-      node.out_type = actor.output(0).type;
-      node.actor = id;
+      DfgNode node = make_batch_node(model, id);
 
       for (int port = 0; port < actor.input_count(); ++port) {
         const Connection conn = *model.incoming(id, port);
@@ -218,15 +238,7 @@ std::vector<BatchRegion> find_batch_regions(const Model& model,
               ValueRef::external(external_index(conn.src, conn.src_port)));
         }
       }
-      if (op == BatchOp::kMulC) {
-        node.operands.push_back(
-            ValueRef::scalar_const(parse_double(actor.param("gain"))));
-      } else if (op == BatchOp::kAddC) {
-        node.operands.push_back(
-            ValueRef::scalar_const(parse_double(actor.param("bias"))));
-      } else if (has_immediate(op)) {
-        node.operands.push_back(ValueRef::immediate(actor.int_param("amount")));
-      }
+      append_parameter_operand(actor, node);
 
       region.node_of[id] = region.graph.add_node(std::move(node));
     }
@@ -244,6 +256,51 @@ std::vector<BatchRegion> find_batch_regions(const Model& model,
     regions.push_back(std::move(region));
   }
   return regions;
+}
+
+BatchRegion singleton_batch_region(const Model& model, ActorId id) {
+  const Actor& actor = model.actor(id);
+  BatchRegion region{{id},
+                     {},
+                     Dataflow(actor.output(0).shape.elements(),
+                              bit_width(actor.output(0).type))};
+
+  std::map<std::pair<ActorId, int>, int> external_of;
+  DfgNode node = make_batch_node(model, id);
+  for (int port = 0; port < actor.input_count(); ++port) {
+    const Connection conn = *model.incoming(id, port);
+    const auto key = std::make_pair(conn.src, conn.src_port);
+    auto it = external_of.find(key);
+    if (it == external_of.end()) {
+      DfgExternal ext{conn.src, conn.src_port,
+                      model.actor(conn.src).output(conn.src_port).type};
+      it = external_of.emplace(key, region.graph.add_external(ext)).first;
+    }
+    node.operands.push_back(ValueRef::external(it->second));
+  }
+  append_parameter_operand(actor, node);
+  region.node_of[id] = region.graph.add_node(std::move(node));
+  region.graph.mark_output(0);
+  return region;
+}
+
+RegionVectorPlan plan_region_vectorization(
+    const BatchRegion& region, int width_bits,
+    const std::function<int(DataType)>& lanes_of, int min_nodes_for_simd) {
+  RegionVectorPlan plan;
+  const Dataflow& graph = region.graph;
+  plan.lanes = width_bits / graph.data_bit_width();
+  if (plan.lanes <= 0) return plan;
+  plan.batch_count = graph.length() / plan.lanes;
+  plan.offset = graph.length() % plan.lanes;
+  if (plan.batch_count < 1 || graph.node_count() < min_nodes_for_simd) {
+    return plan;
+  }
+  for (const DfgNode& node : graph.nodes()) {
+    if (lanes_of(node.out_type) != plan.lanes) return plan;
+  }
+  plan.viable = true;
+  return plan;
 }
 
 std::vector<EmissionItem> emission_order(

@@ -3,6 +3,7 @@
 // element bit-width into regions, and converts each region into a Dataflow.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -43,6 +44,27 @@ struct BatchRegion {
 /// can be emitted as one block.  Components violating this are split.
 std::vector<BatchRegion> find_batch_regions(const Model& model,
                                             const OpSupport& support);
+
+/// Builds the one-actor region scattered mode uses: the same structure
+/// find_batch_regions produces for a group of size one, except every input
+/// is an external, so the generated loop loads and stores on every pass.
+/// Duplicate (source, port) inputs share a single external (and thus a
+/// single vector load).
+BatchRegion singleton_batch_region(const Model& model, ActorId id);
+
+/// Mirror of Algorithm 2's early exits (batch count, the §4.3 node-count
+/// threshold, lane agreement across node types), shared by the batch
+/// synthesizer and the emitter's buffer planner so both always agree on
+/// which regions end up vectorized.
+struct RegionVectorPlan {
+  bool viable = false;  // SIMD synthesis will succeed structurally
+  int lanes = 0;        // elements per vector register
+  int batch_count = 0;  // full vector iterations
+  int offset = 0;       // scalar remainder length
+};
+RegionVectorPlan plan_region_vectorization(
+    const BatchRegion& region, int width_bits,
+    const std::function<int(DataType)>& lanes_of, int min_nodes_for_simd);
 
 /// One entry of the contracted emission order: either a single actor
 /// (region < 0) or a whole batch region (actor == kNoActor).

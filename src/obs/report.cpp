@@ -77,6 +77,14 @@ std::string Report::to_json(bool include_metrics) const {
   w.key("static_buffer_bytes").value(static_buffer_bytes);
   w.key("fused_regions").value(fused_regions);
   w.key("simd_coverage").value(simd_coverage());
+  w.key("opt_level").value(opt_level);
+  w.key("fusion").begin_object();
+  w.key("loops_fused").value(loops_fused);
+  w.key("copies_elided").value(copies_elided);
+  w.end_object();
+  w.key("arena").begin_object();
+  w.key("bytes_saved").value(arena_bytes_saved);
+  w.end_object();
   w.end_object();
 
   w.key("history").begin_object();

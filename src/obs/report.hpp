@@ -62,6 +62,13 @@ struct Report {
   std::size_t static_buffer_bytes = 0;
   int fused_regions = 0;
 
+  // cgir optimization pipeline (PR 3): the -O level the run used and what
+  // the passes did.  All zero at -O0.
+  int opt_level = 0;
+  int loops_fused = 0;                 // codegen.fusion.loops_fused
+  int copies_elided = 0;               // codegen.fusion.copies_elided
+  std::size_t arena_bytes_saved = 0;   // codegen.arena.bytes_saved
+
   // Selection-history statistics (filled by the driver when a history is in
   // play; hits+misses == 0 means no history was consulted).
   std::uint64_t history_hits = 0;

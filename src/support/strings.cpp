@@ -89,6 +89,41 @@ std::string replace_all(std::string_view text, std::string_view from,
   return out;
 }
 
+namespace {
+
+bool identifier_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+}  // namespace
+
+std::string replace_identifier(std::string_view text, std::string_view from,
+                               std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string out;
+  out.reserve(text.size());
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t hit = text.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(text.substr(pos));
+      break;
+    }
+    bool left_ok = hit == 0 || !identifier_char(text[hit - 1]);
+    std::size_t after = hit + from.size();
+    bool right_ok = after >= text.size() || !identifier_char(text[after]);
+    out.append(text.substr(pos, hit - pos));
+    if (left_ok && right_ok) {
+      out.append(to);
+    } else {
+      out.append(from);
+    }
+    pos = after;
+  }
+  return out;
+}
+
 std::string to_lower(std::string_view text) {
   std::string out(text);
   for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));

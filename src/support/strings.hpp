@@ -28,6 +28,12 @@ std::string join(const std::vector<std::string>& pieces,
 std::string replace_all(std::string_view text, std::string_view from,
                         std::string_view to);
 
+/// Replaces occurrences of the identifier `from` with `to`, but only where
+/// `from` is not part of a longer identifier (C token boundaries on both
+/// sides), so renaming `buf1` leaves `buf10` and `sig_buf1` untouched.
+std::string replace_identifier(std::string_view text, std::string_view from,
+                               std::string_view to);
+
 /// Lower-cases ASCII letters.
 std::string to_lower(std::string_view text);
 

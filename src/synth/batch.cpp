@@ -37,36 +37,38 @@ class BatchSynthesizer {
     regions_metric.add();
     BatchSynthResult result;
 
-    // Algorithm 2 lines 1-4: batch size / batch count.
-    const int lanes = isa_.width_bits / graph_.data_bit_width();
-    result.batch_size = lanes;
-    result.batch_count = graph_.length() / lanes;
-    result.offset = graph_.length() % lanes;
-    if (result.batch_count < 1 ||
-        graph_.node_count() < options_.min_nodes_for_simd) {
+    // Algorithm 2 lines 1-4: batch size / batch count — the same early
+    // exits the emitter's buffer planner mirrors via the shared helper.
+    const RegionVectorPlan plan = plan_region_vectorization(
+        region_, isa_.width_bits,
+        [this](DataType type) { return isa_.lanes(type); },
+        options_.min_nodes_for_simd);
+    result.batch_size = plan.lanes;
+    result.batch_count = plan.batch_count;
+    result.offset = plan.offset;
+    if (!plan.viable) {
+      // BatchCount < 1, the §4.3 threshold, or a node type the table cannot
+      // vectorize at this width; conventional translation.
       result.used_simd = false;
       scalar_metric.add();
       return result;
     }
-    for (const DfgNode& node : graph_.nodes()) {
-      if (isa_.lanes(node.out_type) != lanes) {
-        // A node type the table cannot vectorize at this width; conventional.
-        result.used_simd = false;
-        scalar_metric.add();
-        return result;
-      }
-    }
 
     // Map the dataflow graph onto instructions (lines 10-22).
-    std::vector<std::string> calc_lines = map_graph(result);
+    std::vector<cgir::Stmt> calc_lines = map_graph(result);
 
-    // Assemble: remainder first (line 25-26: "added to the front"), then the
-    // main vector loop.
+    // Structured bodies: loads, calculations, stores for the vector loop;
+    // the element-wise recomputation for the scalar remainder.
+    result.vector_body = vector_body(std::move(calc_lines));
+    if (result.offset != 0) result.remainder_body = remainder_body();
+
+    // Assemble the text form: remainder first (line 25-26: "added to the
+    // front"), then the main vector loop.
     std::string code;
     if (result.offset != 0) {
-      code += remainder_code(result.offset);
+      code += render_remainder(result.remainder_body, result.offset);
     }
-    code += loop_code(calc_lines, result);
+    code += render_loop(result.vector_body, result);
     result.code = std::move(code);
     result.used_simd = true;
     simd_metric.add();
@@ -120,8 +122,8 @@ class BatchSynthesizer {
 
   // ---- graph mapping --------------------------------------------------------
 
-  std::vector<std::string> map_graph(BatchSynthResult& result) {
-    std::vector<std::string> lines;
+  std::vector<cgir::Stmt> map_graph(BatchSynthResult& result) {
+    std::vector<cgir::Stmt> lines;
     std::vector<bool> mapped(static_cast<size_t>(graph_.node_count()), false);
     int remaining = graph_.node_count();
 
@@ -150,7 +152,9 @@ class BatchSynthesizer {
           ins_name = match->instruction->name;
         }
 
-        lines.push_back(std::move(line));  // line 20
+        cgir::Stmt stmt = cgir::Stmt::text_line(std::move(line));  // line 20
+        stmt.defines = node_var(subgraph.back());
+        lines.push_back(std::move(stmt));
         result.instructions_used.push_back(ins_name);
         for (int member : subgraph) {  // line 21: removeNodes
           mapped[static_cast<size_t>(member)] = true;
@@ -203,9 +207,76 @@ class BatchSynthesizer {
 
   // ---- loop assembly ---------------------------------------------------------
 
-  std::string loop_code(const std::vector<std::string>& calc_lines,
-                        const BatchSynthResult& result) const {
-    std::string body_pad = pad_ + "  ";
+  /// Assembles the main loop body: data preparation (line 9), the mapped
+  /// calculation lines, and stores for region outputs (line 23).
+  std::vector<cgir::Stmt> vector_body(std::vector<cgir::Stmt> calc_lines) const {
+    std::vector<cgir::Stmt> body;
+    for (size_t x = 0; x < graph_.externals().size(); ++x) {
+      const DfgExternal& ext = graph_.externals()[x];
+      const isa::IoCode* load = isa_.find_load(ext.type);
+      require(load != nullptr, "batch synth: missing load");
+      cgir::Stmt stmt = cgir::Stmt::text_line(isa::substitute_tokens(
+          load->code,
+          {{"O", vtype_of(ext.type).c_name + " " +
+                     external_var(static_cast<int>(x))},
+           {"P", "&" + external_buffer(static_cast<int>(x)) + "[i]"}}));
+      stmt.defines = external_var(static_cast<int>(x));
+      stmt.is_load = true;
+      stmt.accesses.push_back(
+          {external_buffer(static_cast<int>(x)), false, true});
+      body.push_back(std::move(stmt));
+    }
+
+    for (cgir::Stmt& line : calc_lines) body.push_back(std::move(line));
+
+    for (int out : graph_.outputs()) {
+      const DfgNode& node = graph_.node(out);
+      const isa::IoCode* store = isa_.find_store(node.out_type);
+      require(store != nullptr, "batch synth: missing store");
+      cgir::Stmt stmt = cgir::Stmt::text_line(isa::substitute_tokens(
+          store->code, {{"P", "&" + buffer_name_(node.actor, 0) + "[i]"},
+                        {"V", node_var(out)}}));
+      stmt.stores_var = node_var(out);
+      stmt.is_store = true;
+      stmt.accesses.push_back({buffer_name_(node.actor, 0), true, true});
+      body.push_back(std::move(stmt));
+    }
+    return body;
+  }
+
+  /// Lines 24-26: the scalar remainder, same computation element-wise.
+  std::vector<cgir::Stmt> remainder_body() const {
+    std::vector<cgir::Stmt> body;
+    for (int n = 0; n < graph_.node_count(); ++n) {
+      const DfgNode& node = graph_.node(n);
+      cgir::Stmt stmt =
+          cgir::Stmt::text_line(std::string(c_name(node.out_type)) + " " +
+                                node_scalar_var(n) + " = " + scalar_expr(n) +
+                                ";");
+      stmt.defines = node_scalar_var(n);
+      for (const ValueRef& operand : node.operands) {
+        if (operand.kind == ValueRef::Kind::kExternal) {
+          stmt.accesses.push_back(
+              {external_buffer(operand.index), false, true});
+        }
+      }
+      body.push_back(std::move(stmt));
+    }
+    for (int out : graph_.outputs()) {
+      const std::string buffer = buffer_name_(graph_.node(out).actor, 0);
+      cgir::Stmt stmt = cgir::Stmt::text_line(
+          buffer + "[i] = " + node_scalar_var(out) + ";");
+      stmt.stores_var = node_scalar_var(out);
+      stmt.is_store = true;
+      stmt.accesses.push_back({buffer, true, true});
+      body.push_back(std::move(stmt));
+    }
+    return body;
+  }
+
+  std::string render_loop(const std::vector<cgir::Stmt>& body,
+                          const BatchSynthResult& result) const {
+    const std::string body_pad = pad_ + "  ";
     std::string code;
     if (result.batch_count >= 2) {  // lines 7-8: addBatchLoop
       code += pad_ + "for (int i = " + std::to_string(result.offset) +
@@ -216,53 +287,17 @@ class BatchSynthesizer {
       code += body_pad + "const int i = " + std::to_string(result.offset) +
               ";\n";
     }
-
-    // Line 9: data preparation (loads) for every external array.
-    for (size_t x = 0; x < graph_.externals().size(); ++x) {
-      const DfgExternal& ext = graph_.externals()[x];
-      const isa::IoCode* load = isa_.find_load(ext.type);
-      require(load != nullptr, "batch synth: missing load");
-      code += body_pad +
-              isa::substitute_tokens(
-                  load->code,
-                  {{"O", vtype_of(ext.type).c_name + " " +
-                             external_var(static_cast<int>(x))},
-                   {"P", "&" + external_buffer(static_cast<int>(x)) + "[i]"}}) +
-              "\n";
-    }
-
-    for (const std::string& line : calc_lines) code += body_pad + line + "\n";
-
-    // Line 23: stores for region outputs.
-    for (int out : graph_.outputs()) {
-      const DfgNode& node = graph_.node(out);
-      const isa::IoCode* store = isa_.find_store(node.out_type);
-      require(store != nullptr, "batch synth: missing store");
-      code += body_pad +
-              isa::substitute_tokens(
-                  store->code,
-                  {{"P", "&" + buffer_name_(node.actor, 0) + "[i]"},
-                   {"V", node_var(out)}}) +
-              "\n";
-    }
+    for (const cgir::Stmt& line : body) code += body_pad + line.text + "\n";
     code += pad_ + "}\n";
     return code;
   }
 
-  /// Lines 24-26: the scalar remainder, same computation element-wise.
-  std::string remainder_code(int offset) const {
-    std::string body_pad = pad_ + "  ";
+  std::string render_remainder(const std::vector<cgir::Stmt>& body,
+                               int offset) const {
+    const std::string body_pad = pad_ + "  ";
     std::string code = pad_ + "for (int i = 0; i < " + std::to_string(offset) +
                        "; ++i) {\n";
-    for (int n = 0; n < graph_.node_count(); ++n) {
-      const DfgNode& node = graph_.node(n);
-      code += body_pad + std::string(c_name(node.out_type)) + " " +
-              node_scalar_var(n) + " = " + scalar_expr(n) + ";\n";
-    }
-    for (int out : graph_.outputs()) {
-      code += body_pad + buffer_name_(graph_.node(out).actor, 0) +
-              "[i] = " + node_scalar_var(out) + ";\n";
-    }
+    for (const cgir::Stmt& line : body) code += body_pad + line.text + "\n";
     code += pad_ + "}\n";
     return code;
   }

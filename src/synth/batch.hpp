@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cgir/cgir.hpp"
 #include "graph/regions.hpp"
 #include "isa/instruction.hpp"
 #include "model/model.hpp"
@@ -32,12 +33,19 @@ struct BatchSynthResult {
   /// or the §4.3 threshold).
   bool used_simd = false;
   /// The emitted C snippet (remainder + main loop), `indent`-prefixed lines.
+  /// Rendered from `remainder_body` + `vector_body`, so the string and the
+  /// structured form always agree.
   std::string code;
   /// Instruction names selected, in emission order — white-box test surface.
   std::vector<std::string> instructions_used;
   int batch_size = 0;
   int batch_count = 0;
   int offset = 0;
+  /// Structured body lines (annotated with defines/loads/stores/accesses)
+  /// for the cgir lowering: the main vector loop and the scalar remainder.
+  /// Empty when used_simd is false.
+  std::vector<cgir::Stmt> vector_body;
+  std::vector<cgir::Stmt> remainder_body;
 };
 
 /// Synthesizes one batch region against an instruction table.  `buffer_name`

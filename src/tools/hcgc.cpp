@@ -2,7 +2,8 @@
 //
 //   hcgc generate <model.xml> [--tool hcg|simulink|dfsynth] [--isa NAME|FILE]
 //                 [--out FILE] [--history FILE] [--threshold N] [--scattered]
-//                 [--report FILE] [--trace FILE] [--jobs N]
+//                 [--report FILE] [--trace FILE] [--jobs N] [-O0|-O1]
+//                 [--dump-cgir]
 //   hcgc inspect  <model.xml> [--isa NAME|FILE]
 //   hcgc verify   <model.xml> [--tool ...] [--isa ...] [--seed N]
 //   hcgc bench    <model.xml> [--isa NAME|FILE] [--seed N]
@@ -27,6 +28,14 @@
 // Parallelism (docs/PARALLELISM.md):
 //   --jobs N        synthesis worker threads (1 = fully serial).  Defaults
 //                   to HCG_JOBS, else the hardware concurrency.
+//
+// Optimization (docs/CODEGEN_IR.md):
+//   -O0 | -O1       cgir pass pipeline level.  -O1 (the hcg default) fuses
+//                   batch-region loops, forwards loads into stores, and
+//                   rebinds intermediate buffers into a shared arena; -O0
+//                   (the baseline tools' default) prints the plain lowering.
+//   --dump-cgir     print the "cgir-v1" serialization of the optimized IR
+//                   instead of C source.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,6 +74,7 @@ int usage() {
                "                [--isa NAME|FILE] [--out FILE]\n"
                "                [--history FILE] [--threshold N] [--scattered]\n"
                "                [--report FILE] [--trace FILE] [--jobs N]\n"
+               "                [-O0|-O1] [--dump-cgir]\n"
                "  hcgc inspect  <model.xml> [--isa NAME|FILE]\n"
                "  hcgc verify   <model.xml> [--tool ...] [--isa ...] [--seed N]\n"
                "  hcgc bench    <model.xml> [--isa NAME|FILE] [--seed N]\n"
@@ -87,6 +97,8 @@ struct Options {
   bool trace_from_env = false;
   int threshold = 0;
   int jobs = 0;  // 0 = HCG_JOBS env, else hardware concurrency
+  int opt_level = -1;  // -1 = the tool's default (hcg: 1, baselines: 0)
+  bool dump_cgir = false;
   bool scattered = false;
   std::uint64_t seed = 42;
 };
@@ -141,6 +153,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.trace_from_env = false;
     } else if (arg == "--scattered") {
       opt.scattered = true;
+    } else if (arg == "-O0") {
+      opt.opt_level = 0;
+    } else if (arg == "-O1") {
+      opt.opt_level = 1;
+    } else if (arg == "--dump-cgir") {
+      opt.dump_cgir = true;
     } else if (!arg.empty() && arg[0] == '-') {
       throw Error("unknown option " + arg);
     } else if (position++ == 0) {
@@ -168,12 +186,15 @@ std::unique_ptr<codegen::Generator> make_tool(const Options& opt,
   if (opt.tool == "hcg") {
     synth::BatchOptions batch;
     batch.min_nodes_for_simd = opt.threshold;
-    return codegen::make_hcg_generator(table, history, batch);
+    return codegen::make_hcg_generator(table, history, batch,
+                                       opt.opt_level < 0 ? 1 : opt.opt_level);
   }
+  const int level = opt.opt_level < 0 ? 0 : opt.opt_level;
   if (opt.tool == "simulink") {
-    return codegen::make_simulink_generator(opt.scattered ? &table : nullptr);
+    return codegen::make_simulink_generator(opt.scattered ? &table : nullptr,
+                                            level);
   }
-  if (opt.tool == "dfsynth") return codegen::make_dfsynth_generator();
+  if (opt.tool == "dfsynth") return codegen::make_dfsynth_generator(level);
   throw Error("unknown tool '" + opt.tool + "' (hcg|simulink|dfsynth)");
 }
 
@@ -210,12 +231,13 @@ int cmd_generate(const Options& opt) {
 
   if (!opt.history_path.empty()) history.save(opt.history_path);
 
+  const std::string& payload = opt.dump_cgir ? code.cgir_dump : code.source;
   if (opt.out_path.empty()) {
-    std::fputs(code.source.c_str(), stdout);
+    std::fputs(payload.c_str(), stdout);
   } else {
-    write_file(opt.out_path, code.source);
+    write_file(opt.out_path, payload);
     std::fprintf(stderr, "wrote %s (%zu bytes)\n", opt.out_path.c_str(),
-                 code.source.size());
+                 payload.size());
   }
   if (!code.simd_instructions.empty()) {
     std::fprintf(stderr, "SIMD instructions:");

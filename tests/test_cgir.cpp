@@ -1,0 +1,402 @@
+// Unit tests for the cgir code-generation IR: the deterministic printer, the
+// cgir-v1 dump/parse round-trip, and the optimization passes (region loop
+// fusion, copy forwarding, dead-buffer elimination, arena reuse) on
+// hand-built translation units.
+#include <gtest/gtest.h>
+
+#include "cgir/cgir.hpp"
+#include "cgir/passes.hpp"
+#include "support/error.hpp"
+
+namespace hcg::cgir {
+namespace {
+
+Stmt load(const std::string& var, const std::string& buffer) {
+  Stmt s = Stmt::text_line("float32x4_t " + var + " = vld1q_f32(&" + buffer +
+                           "[i]);");
+  s.defines = var;
+  s.is_load = true;
+  s.accesses.push_back({buffer, false, true});
+  return s;
+}
+
+Stmt calc(const std::string& var, const std::string& expr) {
+  Stmt s = Stmt::text_line("float32x4_t " + var + " = " + expr + ";");
+  s.defines = var;
+  return s;
+}
+
+Stmt store(const std::string& buffer, const std::string& var) {
+  Stmt s = Stmt::text_line("vst1q_f32(&" + buffer + "[i], " + var + ");");
+  s.stores_var = var;
+  s.is_store = true;
+  s.accesses.push_back({buffer, true, true});
+  return s;
+}
+
+Stmt vloop(int begin, int end, int step, std::vector<Stmt> body) {
+  Stmt s;
+  s.kind = Stmt::Kind::kLoop;
+  s.begin = begin;
+  s.end = end;
+  s.step = step;
+  s.vector_loop = true;
+  s.fusible = true;
+  s.body = std::move(body);
+  return s;
+}
+
+BufferDecl f32_buffer(const std::string& name, int components,
+                      bool eligible = true) {
+  BufferDecl decl;
+  decl.name = name;
+  decl.ctype = "float";
+  decl.components = components;
+  decl.elem_bytes = 4;
+  decl.arena_eligible = eligible;
+  return decl;
+}
+
+TranslationUnit unit_with_step(std::vector<Stmt> body,
+                               std::vector<BufferDecl> buffers = {}) {
+  TranslationUnit tu;
+  tu.header_lines = {"/* test */", ""};
+  tu.buffers = std::move(buffers);
+  tu.init.opener = "void m_init(void) {";
+  tu.step.opener = "void m_step(const void* const* inputs, void* const* "
+                   "outputs) {";
+  tu.step.body = std::move(body);
+  return tu;
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+TEST(CgirPrint, TextLoopsAndBlankLines) {
+  TranslationUnit tu = unit_with_step({});
+  tu.step.body.push_back(Stmt::text_line("int x = 0;"));
+  tu.step.body.push_back(Stmt::text_line(""));
+  Stmt loop;
+  loop.kind = Stmt::Kind::kLoop;
+  loop.begin = 0;
+  loop.end = 8;
+  loop.step = 1;
+  loop.body.push_back(Stmt::text_line("y[i] = x;"));
+  tu.step.body.push_back(loop);
+
+  const std::string source = print(tu);
+  EXPECT_NE(source.find("  int x = 0;\n\n"), std::string::npos)
+      << "blank separator lines must not be indented";
+  EXPECT_NE(source.find("  for (int i = 0; i < 8; ++i) {\n"
+                        "    y[i] = x;\n"
+                        "  }\n"),
+            std::string::npos);
+  EXPECT_NE(source.find("/* ---- signal buffers ---- */\n"), std::string::npos);
+  EXPECT_EQ(source.find("kernel library"), std::string::npos)
+      << "kernel banner must be omitted when no kernels are embedded";
+  EXPECT_TRUE(source.ends_with("}\n"));
+}
+
+TEST(CgirPrint, VectorAndSingleIterationLoops) {
+  Stmt vec = vloop(3, 259, 4, {Stmt::text_line("body();")});
+  vec.banner_actors = 2;
+  vec.banner_isa = "neon";
+  Stmt single = vloop(0, 4, 4, {Stmt::text_line("once();")});
+  single.single_iteration = true;
+  TranslationUnit tu = unit_with_step({vec, single});
+
+  const std::string source = print(tu);
+  EXPECT_NE(source.find("  /* batch region (2 actors) -> neon SIMD */\n"
+                        "  for (int i = 3; i < 259; i += 4) {\n"),
+            std::string::npos);
+  EXPECT_NE(source.find("  {\n    const int i = 0;\n    once();\n  }\n"),
+            std::string::npos);
+}
+
+TEST(CgirPrint, BufferDeclarations) {
+  BufferDecl plain = f32_buffer("sig_a", 8);
+  BufferDecl constant;
+  constant.name = "taps";
+  constant.ctype = "float";
+  constant.components = 2;
+  constant.elem_bytes = 4;
+  constant.is_const = true;
+  constant.init_values = "0.250000f, 0.500000f";
+  EXPECT_EQ(print_decl(plain), "static float sig_a[8];");
+  EXPECT_EQ(print_decl(constant),
+            "static const float taps[2] = {0.250000f, 0.500000f};");
+  EXPECT_EQ(plain.bytes(), 32u);
+}
+
+// ---------------------------------------------------------------------------
+// Dump round-trip
+// ---------------------------------------------------------------------------
+
+TEST(CgirDump, RoundTripsThroughParse) {
+  Stmt rem;
+  rem.kind = Stmt::Kind::kLoop;
+  rem.begin = 0;
+  rem.end = 3;
+  rem.step = 1;
+  rem.fusible = true;
+  rem.banner_actors = 2;
+  rem.banner_isa = "neon_sim";
+  Stmt line = Stmt::text_line("float a_s = in_a[i] + 1.0f;");
+  line.defines = "a_s";
+  line.accesses.push_back({"in_a", false, true});
+  rem.body.push_back(line);
+
+  TranslationUnit tu = unit_with_step(
+      {Stmt::text_line("const float* in_a = (const float*)inputs[0];"), rem,
+       vloop(3, 7, 4, {load("a_b", "in_a"), store("out_y", "a_b")})},
+      {f32_buffer("sig_t", 7)});
+  tu.kernel_sources.push_back("void helper(void) {}\n");
+
+  const std::string serialized = dump(tu);
+  EXPECT_EQ(serialized.rfind("cgir-v1\n", 0), 0u);
+  TranslationUnit reparsed = parse_dump(serialized);
+  EXPECT_EQ(print(reparsed), print(tu));
+  EXPECT_EQ(dump(reparsed), serialized);
+  ASSERT_EQ(reparsed.buffers.size(), 1u);
+  EXPECT_TRUE(reparsed.buffers[0].arena_eligible);
+  ASSERT_EQ(reparsed.step.body.size(), 3u);
+  EXPECT_TRUE(reparsed.step.body[2].body[0].is_load);
+  ASSERT_EQ(reparsed.step.body[1].body[0].accesses.size(), 1u);
+  EXPECT_TRUE(reparsed.step.body[1].body[0].accesses[0].elementwise);
+}
+
+TEST(CgirDump, RejectsMalformedInput) {
+  EXPECT_THROW(parse_dump("not-cgir\n"), ParseError);
+  EXPECT_THROW(parse_dump("cgir-v1\nfunc bogus opener=\"x\"\n"), ParseError);
+  EXPECT_THROW(parse_dump("cgir-v1\ntext t=\"orphan\"\n"), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Loop fusion
+// ---------------------------------------------------------------------------
+
+TEST(CgirFusion, MergesSameShapeLoops) {
+  TranslationUnit tu = unit_with_step(
+      {vloop(0, 64, 4, {load("a_b", "in_a"), store("out_p", "a_b")}),
+       vloop(0, 64, 4, {load("b_b", "in_b"), store("out_q", "b_b")})});
+  PassStats stats = run_passes(tu, {});
+  EXPECT_EQ(stats.loops_fused, 1);
+  ASSERT_EQ(tu.step.body.size(), 1u);
+  EXPECT_EQ(tu.step.body[0].body.size(), 4u);
+}
+
+TEST(CgirFusion, RespectsShapeAndFusibility) {
+  TranslationUnit tu = unit_with_step(
+      {vloop(0, 64, 4, {store("out_p", "a_b")}),
+       vloop(0, 32, 4, {store("out_q", "b_b")})});  // different domain
+  tu.step.body.push_back(vloop(0, 64, 4, {store("out_r", "c_b")}));
+  tu.step.body[2].fusible = false;  // opted out
+  PassStats stats = run_passes(tu, {});
+  EXPECT_EQ(stats.loops_fused, 0);
+  EXPECT_EQ(tu.step.body.size(), 3u);
+}
+
+TEST(CgirFusion, HoistsConflictingInterveningStatement) {
+  // The kernel call between the loops writes the buffer the second loop
+  // reads, so it must move above the first loop for the fusion to be legal.
+  Stmt kernel = Stmt::text_line("kernel(in_x, sig_k);");
+  kernel.accesses.push_back({"sig_k", true, false});
+  kernel.accesses.push_back({"in_x", false, false});
+  TranslationUnit tu = unit_with_step(
+      {vloop(0, 64, 4, {load("a_b", "in_a"), store("out_p", "a_b")}), kernel,
+       vloop(0, 64, 4, {load("k_b", "sig_k"), store("out_q", "k_b")})});
+  PassStats stats = run_passes(tu, {});
+  EXPECT_EQ(stats.loops_fused, 1);
+  ASSERT_EQ(tu.step.body.size(), 2u);
+  EXPECT_EQ(tu.step.body[0].kind, Stmt::Kind::kText);  // hoisted kernel call
+  EXPECT_EQ(tu.step.body[1].kind, Stmt::Kind::kLoop);
+}
+
+TEST(CgirFusion, IndependentInterveningStatementStaysBehind) {
+  Stmt other = Stmt::text_line("memcpy(out_z, sig_z, 16);");
+  other.accesses.push_back({"out_z", true, false});
+  other.accesses.push_back({"sig_z", false, false});
+  TranslationUnit tu = unit_with_step(
+      {vloop(0, 64, 4, {store("out_p", "a_b")}), other,
+       vloop(0, 64, 4, {store("out_q", "b_b")})});
+  PassStats stats = run_passes(tu, {});
+  EXPECT_EQ(stats.loops_fused, 1);
+  ASSERT_EQ(tu.step.body.size(), 2u);
+  EXPECT_EQ(tu.step.body[0].kind, Stmt::Kind::kLoop);
+  EXPECT_EQ(tu.step.body[1].text, "memcpy(out_z, sig_z, 16);");
+}
+
+TEST(CgirFusion, AbortsWhenInterveningStatementConflictsBothWays) {
+  // Reads what the first loop stores AND writes what the second reads:
+  // it can neither stay nor hoist, so the loops must not merge.
+  Stmt bridge = Stmt::text_line("transform(out_p, sig_k);");
+  bridge.accesses.push_back({"out_p", false, false});
+  bridge.accesses.push_back({"sig_k", true, false});
+  TranslationUnit tu = unit_with_step(
+      {vloop(0, 64, 4, {store("out_p", "a_b")}), bridge,
+       vloop(0, 64, 4, {load("k_b", "sig_k"), store("out_q", "k_b")})});
+  PassStats stats = run_passes(tu, {});
+  EXPECT_EQ(stats.loops_fused, 0);
+  EXPECT_EQ(tu.step.body.size(), 3u);
+}
+
+TEST(CgirFusion, AbortsOnNonElementwiseSharedBuffer) {
+  Stmt whole = Stmt::text_line("prefix_sum(sig_s);");
+  whole.accesses.push_back({"sig_s", true, false});  // whole-buffer write
+  TranslationUnit tu = unit_with_step(
+      {vloop(0, 64, 4, {store("sig_s", "a_b")}),
+       vloop(0, 64, 4, {whole})});
+  PassStats stats = run_passes(tu, {});
+  EXPECT_EQ(stats.loops_fused, 0);
+}
+
+TEST(CgirFusion, SharedLoadIsDeduplicated) {
+  // Both regions load in_w into w_b; after the merge one load suffices.
+  TranslationUnit tu = unit_with_step(
+      {vloop(0, 64, 4,
+             {load("w_b", "in_w"), load("a_b", "in_a"),
+              calc("p_b", "vaddq_f32(a_b, w_b)"), store("out_p", "p_b")}),
+       vloop(0, 64, 4,
+             {load("w_b", "in_w"), load("b_b", "in_b"),
+              calc("q_b", "vmulq_f32(b_b, w_b)"), store("out_q", "q_b")})});
+  PassStats stats = run_passes(tu, {});
+  EXPECT_EQ(stats.loops_fused, 1);
+  EXPECT_GE(stats.copies_elided, 1);
+  ASSERT_EQ(tu.step.body.size(), 1u);
+  int loads_of_w = 0;
+  for (const Stmt& line : tu.step.body[0].body) {
+    if (line.is_load && line.text.find("in_w") != std::string::npos) {
+      ++loads_of_w;
+    }
+  }
+  EXPECT_EQ(loads_of_w, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Copy forwarding
+// ---------------------------------------------------------------------------
+
+TEST(CgirForward, VectorLoadOfStoredBufferIsForwarded) {
+  // Region A stores sig_t; region B (fused behind it) reloads it.  The load
+  // disappears and B's uses read A's register directly.
+  TranslationUnit tu = unit_with_step(
+      {vloop(0, 64, 4,
+             {load("a_b", "in_a"), store("sig_t", "a_b"), load("t_b", "sig_t"),
+              calc("q_b", "vaddq_f32(t_b, t_b)"), store("out_q", "q_b")})},
+      {f32_buffer("sig_t", 64)});
+  PassStats stats = run_passes(tu, {});
+  EXPECT_GE(stats.copies_elided, 1);
+  const Stmt& loop = tu.step.body[0];
+  for (const Stmt& line : loop.body) {
+    EXPECT_EQ(line.text.find("t_b"), std::string::npos)
+        << "forwarded variable must be renamed away in: " << line.text;
+  }
+  // The store to sig_t is now dead (nothing reads the buffer) and the
+  // declaration goes with it.
+  EXPECT_EQ(stats.buffers_eliminated, 1);
+  EXPECT_TRUE(tu.buffers.empty());
+  for (const Stmt& line : tu.step.body[0].body) {
+    EXPECT_EQ(line.text.find("sig_t"), std::string::npos);
+  }
+}
+
+TEST(CgirForward, ScalarRemainderReadIsForwarded) {
+  Stmt st = Stmt::text_line("sig_t[i] = a_s;");
+  st.stores_var = "a_s";
+  st.is_store = true;
+  st.accesses.push_back({"sig_t", true, true});
+  Stmt rd = Stmt::text_line("out_q[i] = sig_t[i] * 2.0f;");
+  rd.is_store = true;
+  rd.stores_var = "q_s";
+  rd.accesses.push_back({"out_q", true, true});
+  rd.accesses.push_back({"sig_t", false, true});
+  Stmt loop;
+  loop.kind = Stmt::Kind::kLoop;
+  loop.begin = 0;
+  loop.end = 3;
+  loop.step = 1;
+  loop.fusible = true;
+  loop.body = {st, rd};
+  TranslationUnit tu = unit_with_step({loop}, {f32_buffer("sig_t", 64)});
+  PassStats stats = run_passes(tu, {});
+  EXPECT_EQ(tu.step.body[0].body.back().text, "out_q[i] = a_s * 2.0f;");
+  EXPECT_EQ(stats.buffers_eliminated, 1);  // sig_t no longer read
+}
+
+// ---------------------------------------------------------------------------
+// Arena reuse
+// ---------------------------------------------------------------------------
+
+TEST(CgirArena, RebindsDisjointLiveRanges) {
+  // sig_a is dead before sig_b's first write, so both share one slot sized
+  // for the larger of the two.
+  Stmt w_a = Stmt::text_line("kernel_a(in_x, sig_a);");
+  w_a.accesses.push_back({"sig_a", true, false});
+  Stmt r_a = Stmt::text_line("consume_a(sig_a, out_p);");
+  r_a.accesses.push_back({"sig_a", false, false});
+  r_a.accesses.push_back({"out_p", true, false});
+  Stmt w_b = Stmt::text_line("kernel_b(in_y, sig_b);");
+  w_b.accesses.push_back({"sig_b", true, false});
+  Stmt r_b = Stmt::text_line("consume_b(sig_b, out_q);");
+  r_b.accesses.push_back({"sig_b", false, false});
+  r_b.accesses.push_back({"out_q", true, false});
+
+  TranslationUnit tu = unit_with_step(
+      {w_a, r_a, w_b, r_b},
+      {f32_buffer("sig_a", 8), f32_buffer("sig_b", 16)});
+  PassOptions options;
+  options.reuse_arena = true;
+  PassStats stats = run_passes(tu, options);
+
+  ASSERT_EQ(tu.buffers.size(), 1u);
+  EXPECT_EQ(tu.buffers[0].name, "buf0");
+  EXPECT_EQ(tu.buffers[0].components, 16);
+  EXPECT_EQ(stats.buffers_rebound, 2);
+  EXPECT_EQ(stats.arena_bytes_saved, (8u + 16u) * 4u - 16u * 4u);
+  EXPECT_EQ(tu.step.body[0].text, "kernel_a(in_x, buf0);");
+  EXPECT_EQ(tu.step.body[2].text, "kernel_b(in_y, buf0);");
+}
+
+TEST(CgirArena, OverlappingRangesKeepSeparateSlots) {
+  Stmt w_a = Stmt::text_line("kernel_a(in_x, sig_a);");
+  w_a.accesses.push_back({"sig_a", true, false});
+  Stmt w_b = Stmt::text_line("kernel_b(in_y, sig_b);");
+  w_b.accesses.push_back({"sig_b", true, false});
+  Stmt r_both = Stmt::text_line("combine(sig_a, sig_b, out_p);");
+  r_both.accesses.push_back({"sig_a", false, false});
+  r_both.accesses.push_back({"sig_b", false, false});
+  r_both.accesses.push_back({"out_p", true, false});
+
+  TranslationUnit tu = unit_with_step(
+      {w_a, w_b, r_both}, {f32_buffer("sig_a", 8), f32_buffer("sig_b", 8)});
+  PassOptions options;
+  options.reuse_arena = true;
+  PassStats stats = run_passes(tu, options);
+  EXPECT_EQ(tu.buffers.size(), 2u);
+  EXPECT_EQ(stats.arena_bytes_saved, 0u);
+}
+
+TEST(CgirArena, IneligibleAndConstBuffersAreUntouched) {
+  Stmt w = Stmt::text_line("dly_state[0] = in_x[0];");
+  w.accesses.push_back({"dly_state", true, false});
+  BufferDecl state = f32_buffer("dly_state", 4, /*eligible=*/false);
+  BufferDecl taps;
+  taps.name = "taps";
+  taps.ctype = "float";
+  taps.components = 4;
+  taps.elem_bytes = 4;
+  taps.is_const = true;
+  taps.arena_eligible = true;  // const wins over eligibility
+  taps.init_values = "1.0f, 2.0f, 3.0f, 4.0f";
+  TranslationUnit tu = unit_with_step({w}, {state, taps});
+  PassOptions options;
+  options.reuse_arena = true;
+  run_passes(tu, options);
+  ASSERT_EQ(tu.buffers.size(), 2u);
+  EXPECT_EQ(tu.buffers[0].name, "dly_state");
+  EXPECT_EQ(tu.buffers[1].name, "taps");
+}
+
+}  // namespace
+}  // namespace hcg::cgir

@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 
+#include "cgir/cgir.hpp"
 #include "obs/json.hpp"
 #include "support/error.hpp"
 #include "support/fileio.hpp"
@@ -234,6 +235,44 @@ TEST_F(CliFixture, GenerateWritesReportAndTrace) {
   }
   EXPECT_TRUE(saw_emit);
 #endif
+}
+
+TEST_F(CliFixture, DumpCgirRoundTripsThroughParse) {
+  const std::string dump_path = (dir_.path() / "unit.cgir").string();
+  CliResult r = run_cli("generate " + model_path_ +
+                        " --isa neon_sim --dump-cgir --out " + dump_path);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const std::string dumped = read_file(dump_path);
+  EXPECT_EQ(dumped.rfind("cgir-v1", 0), 0u) << dumped.substr(0, 80);
+
+  // The dump is the emitter's own serialization: parsing it back and
+  // re-printing must reproduce exactly what `generate` without the flag
+  // writes.
+  const std::string c_path = (dir_.path() / "unit.c").string();
+  CliResult plain = run_cli("generate " + model_path_ +
+                            " --isa neon_sim --out " + c_path);
+  ASSERT_EQ(plain.exit_code, 0) << plain.output;
+  const cgir::TranslationUnit tu = cgir::parse_dump(dumped);
+  EXPECT_EQ(cgir::print(tu), read_file(c_path));
+  EXPECT_EQ(cgir::dump(tu), dumped);
+}
+
+TEST_F(CliFixture, OptLevelFlagsAreAcceptedAndEquivalentHere) {
+  // cli_fir is a single fused region with no intermediate buffers, so -O1
+  // has nothing to optimize and the output must match -O0 byte for byte.
+  const std::string o0 = (dir_.path() / "o0.c").string();
+  const std::string o1 = (dir_.path() / "o1.c").string();
+  CliResult r0 = run_cli("generate " + model_path_ +
+                         " --isa neon_sim -O0 --out " + o0);
+  CliResult r1 = run_cli("generate " + model_path_ +
+                         " --isa neon_sim -O1 --out " + o1);
+  ASSERT_EQ(r0.exit_code, 0) << r0.output;
+  ASSERT_EQ(r1.exit_code, 0) << r1.output;
+  EXPECT_EQ(read_file(o0), read_file(o1));
+
+  CliResult bad = run_cli("generate " + model_path_ + " -O7");
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.output.find("unknown option"), std::string::npos);
 }
 
 TEST_F(CliFixture, TraceSummaryGoesToStderr) {

@@ -1,0 +1,201 @@
+// Integration tests for the cgir optimization pipeline (-O1): generated code
+// is compiled and executed against the interpreter oracle across the scalar
+// remainder widths, fusion and arena effects are asserted on the intensive
+// farm benchmark, and -O1 output stays byte-identical across --jobs counts.
+#include <gtest/gtest.h>
+
+#include "actors/resolve.hpp"
+#include "benchmodels/benchmodels.hpp"
+#include "cgir/cgir.hpp"
+#include "codegen/generator.hpp"
+#include "isa/builtin.hpp"
+#include "model/builder.hpp"
+#include "obs/json.hpp"
+#include "toolchain/compiled_model.hpp"
+#include "vm/interpreter.hpp"
+
+namespace hcg {
+namespace {
+
+codegen::EmitConfig hcg_config(int opt_level, int jobs = 1) {
+  codegen::EmitConfig config;
+  config.tool_name = "hcg";
+  config.batch_mode = codegen::BatchMode::kRegions;
+  config.isa = &isa::builtin("neon_sim");
+  config.fold_scalar_expressions = true;
+  config.reuse_buffers = true;
+  config.opt_level = opt_level;
+  config.jobs = jobs;
+  return config;
+}
+
+/// Two independent Add/Mul chains over f32[n]: two batch regions whose
+/// loops have identical domains, so -O1 can fuse across regions.
+Model two_chain_model(int n) {
+  ModelBuilder b("chains" + std::to_string(n));
+  for (int chain = 0; chain < 2; ++chain) {
+    const std::string tag = std::to_string(chain);
+    PortRef x = b.inport("x" + tag, DataType::kFloat32, Shape{n});
+    PortRef w = b.inport("w" + tag, DataType::kFloat32, Shape{n});
+    PortRef a = b.actor("add" + tag, "Add", {x, w});
+    PortRef m = b.actor("mul" + tag, "Mul", {a, w});
+    b.outport("y" + tag, m);
+  }
+  return b.take();
+}
+
+bool have_cc() {
+  static const bool ok = toolchain::compiler_available();
+  return ok;
+}
+
+double compare_to_oracle(const Model& model, const codegen::GeneratedCode& code,
+                         std::uint64_t seed = 42) {
+  const std::vector<Tensor> inputs = benchmodels::workload(model, seed);
+  Interpreter oracle(model);
+  oracle.init();
+  const std::vector<Tensor> expected = oracle.step(inputs);
+
+  toolchain::CompiledModel compiled(code);
+  compiled.init();
+  const std::vector<Tensor> got = compiled.step_tensors(model, inputs);
+
+  EXPECT_EQ(got.size(), expected.size());
+  double worst = 0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    worst = std::max(worst, got[i].max_abs_difference(expected[i]));
+  }
+  return worst;
+}
+
+// ---------------------------------------------------------------------------
+// Exec oracle across the scalar remainder widths (vector width is 4 lanes
+// for f32 on neon_sim): below width, exact width, width+1, 2*width-1.
+// ---------------------------------------------------------------------------
+
+class RemainderWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(RemainderWidths, MatchesOracleAtO0AndO1) {
+  if (!have_cc()) GTEST_SKIP() << "no C compiler available";
+  const int n = GetParam();
+  const Model model = resolved(two_chain_model(n));
+
+  codegen::GeneratedCode at_o0 = codegen::emit_model(model, hcg_config(0));
+  codegen::GeneratedCode at_o1 = codegen::emit_model(model, hcg_config(1));
+  EXPECT_LT(compare_to_oracle(model, at_o0), 1e-6) << "-O0, n=" << n;
+  EXPECT_LT(compare_to_oracle(model, at_o1), 1e-6) << "-O1, n=" << n;
+
+  EXPECT_EQ(at_o0.report.opt_level, 0);
+  EXPECT_EQ(at_o0.report.loops_fused, 0);
+  EXPECT_EQ(at_o1.report.opt_level, 1);
+  if (n >= 4) {
+    // Both regions vectorize with identical loop shapes, so at least the
+    // two main loops (and the two remainder loops when n % 4 != 0) fuse.
+    EXPECT_GE(at_o1.report.loops_fused, 1) << "n=" << n;
+    if (n % 4 != 0) EXPECT_GE(at_o1.report.loops_fused, 2) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RemainderWidths,
+                         ::testing::Values(3, 4, 5, 7));
+
+// ---------------------------------------------------------------------------
+// Scattered per-actor loops fuse into one loop with forwarded handoffs
+// ---------------------------------------------------------------------------
+
+TEST(OptPasses, ScatteredChainFusesAndForwards) {
+  if (!have_cc()) GTEST_SKIP() << "no C compiler available";
+  const Model model = resolved(benchmodels::batch_chain_model(3, 64));
+  auto at_o0 = codegen::make_simulink_generator(&isa::builtin("neon_sim"), 0);
+  auto at_o1 = codegen::make_simulink_generator(&isa::builtin("neon_sim"), 1);
+
+  codegen::GeneratedCode base = at_o0->generate(model);
+  codegen::GeneratedCode opt = at_o1->generate(model);
+  EXPECT_LT(compare_to_oracle(model, base), 1e-6);
+  EXPECT_LT(compare_to_oracle(model, opt), 1e-6);
+
+  // Three per-actor loops collapse into one; the handoff buffers between
+  // them become register forwards, so the optimized unit stores fewer
+  // intermediate buffers and elides their load/store pairs.
+  EXPECT_GE(opt.report.loops_fused, 2);
+  EXPECT_GE(opt.report.copies_elided, 2);
+  EXPECT_LT(opt.static_buffer_bytes, base.static_buffer_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// The intensive farm: fusion count and arena savings land in the report
+// ---------------------------------------------------------------------------
+
+TEST(OptPasses, FarmReportsFusionAndArenaSavings) {
+  if (!have_cc()) GTEST_SKIP() << "no C compiler available";
+  const Model model = resolved(benchmodels::intensive_farm_model(20, false));
+  synth::SelectionHistory history;
+  auto tool = codegen::make_hcg_generator(isa::builtin("neon_sim"), &history,
+                                          {}, /*opt_level=*/1);
+  codegen::GeneratedCode code = tool->generate(model);
+
+  EXPECT_GE(code.report.loops_fused, 2);
+  EXPECT_GT(code.report.arena_bytes_saved, 0u);
+  EXPECT_EQ(code.report.opt_level, 1);
+
+  // Both pass counters must surface in the hcg-report-v1 JSON.
+  const obs::JsonValue doc =
+      obs::json_parse(code.report.to_json(/*include_metrics=*/false));
+  const obs::JsonValue& cg = doc.at("codegen");
+  EXPECT_EQ(cg.at("opt_level").number, 1);
+  EXPECT_GE(cg.at("fusion").at("loops_fused").number, 2);
+  EXPECT_GT(cg.at("arena").at("bytes_saved").number, 0);
+
+  EXPECT_LT(compare_to_oracle(model, code), 2e-2);
+}
+
+TEST(OptPasses, ArenaRebindingShrinksStaticBuffers) {
+  if (!have_cc()) GTEST_SKIP() << "no C compiler available";
+  const Model model = resolved(benchmodels::intensive_farm_model(20, false));
+  codegen::EmitConfig with_arena = hcg_config(1);
+  codegen::EmitConfig no_arena = hcg_config(1);
+  no_arena.reuse_buffers = false;
+  codegen::GeneratedCode shared = codegen::emit_model(model, with_arena);
+  codegen::GeneratedCode isolated = codegen::emit_model(model, no_arena);
+
+  // The arena pass accounts for exactly the bytes it folded away.
+  EXPECT_LT(shared.static_buffer_bytes, isolated.static_buffer_bytes);
+  EXPECT_EQ(shared.static_buffer_bytes + shared.report.arena_bytes_saved,
+            isolated.static_buffer_bytes);
+  EXPECT_EQ(isolated.report.arena_bytes_saved, 0u);
+  EXPECT_LT(compare_to_oracle(model, shared), 2e-2);
+}
+
+// ---------------------------------------------------------------------------
+// PR 2 invariant holds at -O1: byte-identical output across --jobs counts
+// ---------------------------------------------------------------------------
+
+TEST(OptPasses, O1ByteIdenticalAcrossJobCounts) {
+  const Model model = resolved(two_chain_model(7));
+  codegen::GeneratedCode serial =
+      codegen::emit_model(model, hcg_config(1, /*jobs=*/1));
+  codegen::GeneratedCode parallel =
+      codegen::emit_model(model, hcg_config(1, /*jobs=*/8));
+  EXPECT_EQ(serial.source, parallel.source);
+  EXPECT_EQ(serial.cgir_dump, parallel.cgir_dump);
+  EXPECT_EQ(serial.report.loops_fused, parallel.report.loops_fused);
+  EXPECT_EQ(serial.report.arena_bytes_saved, parallel.report.arena_bytes_saved);
+}
+
+// ---------------------------------------------------------------------------
+// The cgir dump surface round-trips the exact emitted program
+// ---------------------------------------------------------------------------
+
+TEST(OptPasses, EmittedDumpRoundTripsToSource) {
+  const Model model = resolved(two_chain_model(7));
+  for (int level : {0, 1}) {
+    codegen::GeneratedCode code =
+        codegen::emit_model(model, hcg_config(level));
+    ASSERT_FALSE(code.cgir_dump.empty());
+    cgir::TranslationUnit reparsed = cgir::parse_dump(code.cgir_dump);
+    EXPECT_EQ(cgir::print(reparsed), code.source) << "-O" << level;
+  }
+}
+
+}  // namespace
+}  // namespace hcg
