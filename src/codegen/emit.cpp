@@ -234,6 +234,19 @@ class Emitter {
         for (const auto& [id, seconds] : selection.measured_costs) {
           entry.candidates.push_back({id, seconds * 1e3});
         }
+        if (!selection.failures.empty()) {
+          // Degraded mode: the run survived candidate failures — record
+          // every one so report readers can see the output is lossy.
+          obs::ReportFallback fallback;
+          fallback.actor = actor.name();
+          fallback.stage = "precalc";
+          fallback.impl = impl->id;
+          fallback.reference_fallback = selection.degraded;
+          for (const synth::CandidateFailure& failure : selection.failures) {
+            fallback.failures.push_back({failure.impl, failure.reason});
+          }
+          out_.report.degraded.push_back(std::move(fallback));
+        }
       } else {
         impl = &library.general_implementation(actor.type(), dtype);
       }

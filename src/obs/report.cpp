@@ -87,6 +87,25 @@ std::string Report::to_json(bool include_metrics) const {
   w.end_object();
   w.end_object();
 
+  w.key("degraded").begin_array();
+  for (const ReportFallback& fallback : degraded) {
+    w.begin_object();
+    w.key("actor").value(fallback.actor);
+    w.key("stage").value(fallback.stage);
+    w.key("impl").value(fallback.impl);
+    w.key("reference_fallback").value(fallback.reference_fallback);
+    w.key("failures").begin_array();
+    for (const ReportFailedCandidate& failure : fallback.failures) {
+      w.begin_object();
+      w.key("impl").value(failure.impl);
+      w.key("reason").value(failure.reason);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
   w.key("history").begin_object();
   w.key("hits").value(history_hits);
   w.key("misses").value(history_misses);

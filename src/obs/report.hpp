@@ -47,6 +47,23 @@ struct ReportRegion {
   std::vector<std::string> instructions;  // SIMD instructions, emission order
 };
 
+/// One candidate dropped by degraded-mode pre-calculation.
+struct ReportFailedCandidate {
+  std::string impl;
+  std::string reason;  // "compile" | "crash" | "timeout" | "exception"
+};
+
+/// One lossy Algorithm 1 decision: candidates failed, the run carried on.
+/// `reference_fallback` marks the worst case — nothing was measured and the
+/// general implementation was taken on faith.
+struct ReportFallback {
+  std::string actor;
+  std::string stage;  // currently always "precalc"
+  std::string impl;   // the implementation the run proceeded with
+  bool reference_fallback = false;
+  std::vector<ReportFailedCandidate> failures;
+};
+
 struct Report {
   std::string model;
   std::string tool;
@@ -56,6 +73,11 @@ struct Report {
   std::vector<ReportPhase> phases;
   std::vector<ReportIntensive> intensive;
   std::vector<ReportRegion> regions;
+
+  /// Degraded-mode record (docs/ROBUSTNESS.md): every actor whose
+  /// pre-calculation lost candidates.  Empty on a clean run; non-empty means
+  /// the output is valid but some selections were lossy.
+  std::vector<ReportFallback> degraded;
 
   // Codegen totals.
   std::size_t emit_bytes = 0;

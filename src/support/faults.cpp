@@ -1,0 +1,131 @@
+#include "support/faults.hpp"
+
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace hcg::faults {
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative matcher with single-star backtracking: classic and linear for
+  // the short patterns a fault spec contains.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+namespace {
+
+Action parse_action(std::string_view name, std::string_view entry) {
+  if (name == "fail") return Action::kFail;
+  if (name == "throw") return Action::kThrow;
+  if (name == "torn") return Action::kTorn;
+  if (name == "timeout") return Action::kTimeout;
+  throw ParseError("HCG_FAULTS: unknown action '" + std::string(name) +
+                   "' in '" + std::string(entry) +
+                   "' (fail|throw|torn|timeout)");
+}
+
+}  // namespace
+
+void Registry::configure(std::string_view spec) {
+  std::vector<std::unique_ptr<Rule>> parsed;
+  for (const std::string& raw : split(spec, ',')) {
+    const std::string_view entry = trim(raw);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw ParseError("HCG_FAULTS: expected site=action in '" +
+                       std::string(entry) + "'");
+    }
+    auto rule = std::make_unique<Rule>();
+
+    std::string_view selector = trim(entry.substr(0, eq));
+    const std::size_t colon = selector.find(':');
+    if (colon != std::string_view::npos) {
+      rule->key_glob = std::string(trim(selector.substr(colon + 1)));
+      selector = trim(selector.substr(0, colon));
+    }
+    if (selector.empty()) {
+      throw ParseError("HCG_FAULTS: empty site in '" + std::string(entry) +
+                       "'");
+    }
+    rule->site_glob = std::string(selector);
+
+    std::string_view action = trim(entry.substr(eq + 1));
+    const std::size_t at = action.find('@');
+    if (at != std::string_view::npos) {
+      std::string_view occurrence = trim(action.substr(at + 1));
+      if (!occurrence.empty() && occurrence.back() == '+') {
+        rule->sticky = true;
+        occurrence.remove_suffix(1);
+      }
+      const long long n = parse_int(occurrence);
+      if (n < 1) {
+        throw ParseError("HCG_FAULTS: occurrence must be >= 1 in '" +
+                         std::string(entry) + "'");
+      }
+      rule->at = static_cast<std::uint64_t>(n);
+      action = trim(action.substr(0, at));
+    }
+    rule->action = parse_action(action, entry);
+    parsed.push_back(std::move(rule));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_ = std::move(parsed);
+  injected_.store(0, std::memory_order_relaxed);
+  active_.store(!rules_.empty(), std::memory_order_relaxed);
+}
+
+void Registry::configure_from_env() {
+  const char* env = std::getenv("HCG_FAULTS");
+  configure(env == nullptr ? std::string_view{} : std::string_view{env});
+}
+
+void Registry::clear() { configure({}); }
+
+Action Registry::consult(std::string_view site, std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Action fired = Action::kNone;
+  for (const std::unique_ptr<Rule>& rule : rules_) {
+    if (!glob_match(rule->site_glob, site)) continue;
+    if (!rule->key_glob.empty() && !glob_match(rule->key_glob, key)) continue;
+    // Every matching rule counts the hit so nth-occurrence selectors stay
+    // accurate even when an earlier rule already fired.
+    const std::uint64_t hit =
+        rule->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (fired != Action::kNone) continue;
+    const bool due = rule->at == 0 ||
+                     (rule->sticky ? hit >= rule->at : hit == rule->at);
+    if (!due) continue;
+    fired = rule->action;
+  }
+  if (fired != Action::kNone) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fired;
+}
+
+}  // namespace hcg::faults

@@ -1,14 +1,41 @@
 #include "support/fileio.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/faults.hpp"
 
 namespace hcg {
+
+namespace {
+
+/// Fault hook shared by both writers ("fileio.write", keyed by the logical
+/// destination path).  kTorn emulates a crash mid-write: half the content is
+/// flushed through `write_half`, then the writer dies.
+void check_write_fault(const std::filesystem::path& path,
+                       std::string_view content,
+                       const std::function<void(std::string_view)>& write_half) {
+  switch (faults::probe("fileio.write", path.string())) {
+    case faults::Action::kNone:
+      return;
+    case faults::Action::kTorn:
+      write_half(content.substr(0, content.size() / 2));
+      throw Error("injected torn write: " + path.string());
+    case faults::Action::kThrow:
+      throw faults::FaultInjected("injected fault at fileio.write [" +
+                                  path.string() + "]");
+    default:
+      throw Error("injected write failure: " + path.string());
+  }
+}
+
+}  // namespace
 
 std::string read_file(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
@@ -24,12 +51,75 @@ void write_file(const std::filesystem::path& path, std::string_view content) {
   }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw Error("cannot open file for writing: " + path.string());
+  check_write_fault(path, content, [&](std::string_view half) {
+    out.write(half.data(), static_cast<std::streamsize>(half.size()));
+    out.flush();
+  });
   out.write(content.data(), static_cast<std::streamsize>(content.size()));
   if (!out) throw Error("short write to file: " + path.string());
 }
 
 namespace {
 std::atomic<unsigned> g_tempdir_counter{0};
+std::atomic<unsigned> g_tempfile_counter{0};
+
+/// Writes content to an open fd completely; returns false on any error.
+bool write_all(int fd, std::string_view content) {
+  std::size_t done = 0;
+  while (done < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + done, content.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+}  // namespace
+
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view content) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  // Unique per process *and* per call, so concurrent savers of the same
+  // target never share a temp file; the loser's rename simply wins later.
+  const unsigned serial = g_tempfile_counter.fetch_add(1);
+  std::filesystem::path temp = path;
+  temp += ".tmp-" + std::to_string(::getpid()) + "-" + std::to_string(serial);
+
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw Error("cannot open temp file for atomic write: " + temp.string());
+  }
+  try {
+    check_write_fault(path, content, [&](std::string_view half) {
+      write_all(fd, half);
+    });
+    if (!write_all(fd, content)) {
+      throw Error("short write to temp file: " + temp.string());
+    }
+    // Durability before visibility: the rename must never publish a file
+    // whose blocks are still in flight.
+    if (::fsync(fd) != 0) {
+      throw Error("fsync failed for temp file: " + temp.string());
+    }
+  } catch (...) {
+    ::close(fd);
+    std::error_code ec;
+    std::filesystem::remove(temp, ec);
+    throw;
+  }
+  ::close(fd);
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::error_code cleanup;
+    std::filesystem::remove(temp, cleanup);
+    throw Error("atomic rename failed: " + temp.string() + " -> " +
+                path.string() + " (" + ec.message() + ")");
+  }
 }
 
 TempDir::TempDir(std::string_view prefix) {

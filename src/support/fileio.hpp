@@ -14,6 +14,13 @@ std::string read_file(const std::filesystem::path& path);
 /// Writes a whole file (creating parent directories); throws on failure.
 void write_file(const std::filesystem::path& path, std::string_view content);
 
+/// Crash-safe whole-file write: the content lands in a unique temp file in
+/// the target's directory (fsynced), then rename()s over `path`, so readers
+/// only ever observe the old or the new complete file — never a partial one.
+/// Throws on failure; the temp file is removed on every error path.
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view content);
+
 /// Creates a unique directory under the system temp dir and removes it (and
 /// everything inside) on destruction.
 class TempDir {

@@ -1,0 +1,234 @@
+#include "support/subprocess.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.hpp"
+#include "support/faults.hpp"
+#include "support/stopwatch.hpp"
+
+namespace hcg {
+
+namespace {
+
+void sleep_seconds(double seconds) {
+  if (seconds <= 0) return;
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(seconds);
+  ts.tv_nsec = static_cast<long>((seconds - std::floor(seconds)) * 1e9);
+  ::nanosleep(&ts, nullptr);
+}
+
+/// One fork/exec attempt.  Returns true when the attempt produced a final
+/// result (the child ran, or the failure is permanent); false when the spawn
+/// failed transiently and the caller may retry.
+bool spawn_once(const std::vector<std::string>& argv,
+                const SubprocessOptions& options, SubprocessResult& result) {
+  // Injected transient spawn failures exercise the retry path.
+  const faults::Action injected = faults::probe("subprocess.spawn", argv[0]);
+  if (injected == faults::Action::kThrow) {
+    throw faults::FaultInjected("injected fault at subprocess.spawn [" +
+                                argv[0] + "]");
+  }
+  if (injected != faults::Action::kNone) {
+    result.kind = ExitKind::kSpawnFailed;
+    result.error = "injected transient spawn failure";
+    return false;
+  }
+
+  int out_pipe[2];  // child stdout+stderr -> parent
+  if (::pipe(out_pipe) != 0) {
+    result.kind = ExitKind::kSpawnFailed;
+    result.error = std::string("pipe: ") + ::strerror(errno);
+    return false;
+  }
+  int exec_pipe[2];  // CLOEXEC channel reporting exec failure errno
+  if (::pipe2(exec_pipe, O_CLOEXEC) != 0) {
+    const int saved = errno;
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    result.kind = ExitKind::kSpawnFailed;
+    result.error = std::string("pipe2: ") + ::strerror(saved);
+    return false;
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int saved = errno;
+    for (int fd : {out_pipe[0], out_pipe[1], exec_pipe[0], exec_pipe[1]}) {
+      ::close(fd);
+    }
+    result.kind = ExitKind::kSpawnFailed;
+    result.error = std::string("fork: ") + ::strerror(saved);
+    return saved != EAGAIN && saved != ENOMEM;  // those two are transient
+  }
+
+  if (pid == 0) {
+    // Child.  Own process group so a timeout can kill cc *and* anything it
+    // spawned (cc1, as, ld) in one sweep.
+    ::setpgid(0, 0);
+    const int devnull = ::open("/dev/null", O_RDONLY);
+    if (devnull >= 0) ::dup2(devnull, STDIN_FILENO);
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::dup2(out_pipe[1], STDERR_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::close(exec_pipe[0]);
+    if (devnull > STDERR_FILENO) ::close(devnull);
+
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& arg : argv) {
+      cargv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    const int exec_errno = errno;
+    (void)!::write(exec_pipe[1], &exec_errno, sizeof(exec_errno));
+    ::_exit(127);
+  }
+
+  // Parent.  Mirror the child's setpgid to close the fork/exec race; one of
+  // the two calls wins, failure of the loser is expected.
+  ::setpgid(pid, pid);
+  ::close(out_pipe[1]);
+  ::close(exec_pipe[1]);
+
+  int exec_errno = 0;
+  ssize_t exec_read;
+  do {
+    exec_read = ::read(exec_pipe[0], &exec_errno, sizeof(exec_errno));
+  } while (exec_read < 0 && errno == EINTR);
+  ::close(exec_pipe[0]);
+  if (exec_read == static_cast<ssize_t>(sizeof(exec_errno))) {
+    // exec never happened; reap the stub child and report.
+    ::close(out_pipe[0]);
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    result.kind = ExitKind::kSpawnFailed;
+    result.error =
+        "exec '" + argv[0] + "' failed: " + ::strerror(exec_errno);
+    return exec_errno != EAGAIN && exec_errno != ETXTBSY;
+  }
+
+  // Drain the output pipe under the deadline.
+  Stopwatch timer;
+  bool timed_out = false;
+  bool truncated = false;
+  char buffer[4096];
+  for (;;) {
+    int poll_ms = -1;
+    if (options.timeout_seconds > 0) {
+      const double remaining =
+          options.timeout_seconds - timer.elapsed_seconds();
+      if (remaining <= 0) {
+        timed_out = true;
+        break;
+      }
+      poll_ms = static_cast<int>(remaining * 1e3) + 1;
+    }
+    pollfd pfd{out_pipe[0], POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, poll_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;  // deadline re-checked at loop top
+    const ssize_t n = ::read(out_pipe[0], buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF: every write end is closed
+    if (result.output.size() < options.max_capture_bytes) {
+      const std::size_t room = options.max_capture_bytes - result.output.size();
+      result.output.append(buffer,
+                           std::min(static_cast<std::size_t>(n), room));
+      if (static_cast<std::size_t>(n) > room) truncated = true;
+    } else {
+      truncated = true;  // keep draining so the child never blocks
+    }
+  }
+  ::close(out_pipe[0]);
+  if (truncated) result.output += "\n...[output truncated]";
+
+  if (timed_out) {
+    // Kill the whole group; fall back to the child alone if the group is
+    // already gone.
+    if (::kill(-pid, SIGKILL) != 0) ::kill(pid, SIGKILL);
+  }
+
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  result.wall_seconds = timer.elapsed_seconds();
+
+  if (timed_out) {
+    result.kind = ExitKind::kTimedOut;
+    result.term_signal = SIGKILL;
+  } else if (WIFEXITED(status)) {
+    result.kind = ExitKind::kExited;
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.kind = ExitKind::kSignaled;
+    result.term_signal = WTERMSIG(status);
+  } else {
+    result.kind = ExitKind::kSpawnFailed;
+    result.error = "unrecognized wait status " + std::to_string(status);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SubprocessResult::describe() const {
+  char text[160];
+  switch (kind) {
+    case ExitKind::kExited:
+      std::snprintf(text, sizeof(text), "exited with code %d", exit_code);
+      return text;
+    case ExitKind::kSignaled: {
+      const char* name = ::strsignal(term_signal);
+      std::snprintf(text, sizeof(text), "killed by signal %d (%s)",
+                    term_signal, name != nullptr ? name : "?");
+      return text;
+    }
+    case ExitKind::kTimedOut:
+      std::snprintf(text, sizeof(text), "timed out after %.1fs (killed)",
+                    wall_seconds);
+      return text;
+    case ExitKind::kSpawnFailed:
+      return "spawn failed: " + error;
+  }
+  return "unknown status";
+}
+
+SubprocessResult run_subprocess(const std::vector<std::string>& argv,
+                                const SubprocessOptions& options) {
+  require(!argv.empty(), "run_subprocess: empty argv");
+  SubprocessResult result;
+  double backoff = options.retry_backoff_seconds;
+  const int attempts = std::max(0, options.spawn_retries) + 1;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    result = SubprocessResult{};
+    result.attempts = attempt;
+    if (spawn_once(argv, options, result)) return result;
+    if (attempt < attempts) {
+      sleep_seconds(backoff);
+      backoff *= 2;
+    }
+  }
+  return result;
+}
+
+}  // namespace hcg

@@ -1,0 +1,59 @@
+// Hardened subprocess runner: fork/exec with decoded exit status, a
+// wall-clock timeout enforced by killing the child's whole process group,
+// captured output, and bounded retry with exponential backoff for transient
+// spawn failures.  Replaces raw std::system() in the toolchain harness so a
+// crashed or hung compiler degrades one candidate instead of the process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hcg {
+
+struct SubprocessOptions {
+  /// Wall-clock limit in seconds; <= 0 disables.  On expiry the child's
+  /// process group is SIGKILLed and the result reports kTimedOut.
+  double timeout_seconds = 0.0;
+  /// Extra attempts when the child cannot be *spawned* (fork failure or an
+  /// injected transient fault).  A process that ran and failed is never
+  /// retried — only failures to start it are.
+  int spawn_retries = 0;
+  /// Sleep before the first retry; doubles on each further retry.
+  double retry_backoff_seconds = 0.05;
+  /// Captured output is truncated (with a marker) beyond this size; the
+  /// pipe keeps draining so the child never blocks on a full pipe.
+  std::size_t max_capture_bytes = 1 << 20;
+};
+
+enum class ExitKind : std::uint8_t {
+  kExited,       // normal termination; exit_code is valid
+  kSignaled,     // killed by a signal; term_signal is valid
+  kTimedOut,     // exceeded timeout_seconds and was killed
+  kSpawnFailed,  // never started; error has the reason
+};
+
+struct SubprocessResult {
+  ExitKind kind = ExitKind::kSpawnFailed;
+  int exit_code = -1;       // valid when kind == kExited
+  int term_signal = 0;      // valid when kind == kSignaled
+  std::string output;       // child stdout+stderr, possibly truncated
+  std::string error;        // spawn-failure detail
+  double wall_seconds = 0.0;
+  int attempts = 0;         // spawn attempts consumed (>= 1 unless injected)
+
+  bool ok() const { return kind == ExitKind::kExited && exit_code == 0; }
+
+  /// "exited with code 1", "killed by signal 11 (Segmentation fault)",
+  /// "timed out after 2.0s (killed)", "spawn failed: ..."
+  std::string describe() const;
+};
+
+/// Runs `argv` (resolved through PATH) with stdin from /dev/null and
+/// stdout+stderr captured.  Never throws on child failure — every outcome is
+/// in the result; throws hcg::Error only on caller bugs (empty argv) and
+/// faults::FaultInjected under an armed `subprocess.spawn=throw` probe.
+SubprocessResult run_subprocess(const std::vector<std::string>& argv,
+                                const SubprocessOptions& options = {});
+
+}  // namespace hcg

@@ -27,6 +27,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "support/faults.hpp"
+
 namespace hcg {
 
 class ThreadPool {
@@ -56,8 +58,15 @@ class ThreadPool {
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
     // shared_ptr because std::function requires a copyable target and
-    // packaged_task is move-only.
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    // packaged_task is move-only.  The fault probe runs *inside* the task so
+    // an injected pool.task failure surfaces exactly like a task that threw
+    // on a worker: through the future, at whatever point the task actually
+    // executes.
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<Fn>(fn)]() mutable -> R {
+          faults::raise_if_armed("pool.task");
+          return fn();
+        });
     std::future<R> future = task->get_future();
     submitted_.fetch_add(1, std::memory_order_relaxed);
     if (size_ == 1) {

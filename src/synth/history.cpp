@@ -5,6 +5,7 @@
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/fileio.hpp"
+#include "support/logging.hpp"
 #include "support/strings.hpp"
 
 namespace hcg::synth {
@@ -123,12 +124,46 @@ SelectionHistory SelectionHistory::deserialize(std::string_view text) {
   return history;
 }
 
-void SelectionHistory::save(const std::filesystem::path& path) const {
-  write_file(path, serialize());
+SelectionHistory SelectionHistory::deserialize_tolerant(std::string_view text,
+                                                        LoadStats* stats) {
+  static obs::Counter& dropped_metric =
+      obs::Registry::instance().counter("synth.history.dropped_lines");
+  SelectionHistory history;
+  LoadStats local;
+  for (std::string line : split(text, '\n')) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF file
+    if (line.empty() || line[0] == '#') continue;
+    const size_t arrow = line.find(" -> ");
+    std::string key =
+        arrow == std::string::npos ? std::string() : line.substr(0, arrow);
+    std::string value =
+        arrow == std::string::npos ? std::string() : line.substr(arrow + 4);
+    if (key.empty() || value.empty()) {
+      // Corrupt or truncated entry (a torn legacy write, stray bytes, a
+      // half-flushed final line): skip it, keep the rest of the cache.
+      ++local.dropped;
+      dropped_metric.add();
+      continue;
+    }
+    Shard& shard = history.shards_[shard_index(key)];
+    shard.entries[std::move(key)] = std::move(value);
+    ++local.loaded;
+  }
+  if (local.dropped > 0) {
+    log_warn("synth") << "selection history: dropped " << local.dropped
+                      << " unparseable line(s), kept " << local.loaded;
+  }
+  if (stats != nullptr) *stats = local;
+  return history;
 }
 
-SelectionHistory SelectionHistory::load(const std::filesystem::path& path) {
-  return deserialize(read_file(path));
+void SelectionHistory::save(const std::filesystem::path& path) const {
+  write_file_atomic(path, "# hcg-history-v1\n" + serialize());
+}
+
+SelectionHistory SelectionHistory::load(const std::filesystem::path& path,
+                                        LoadStats* stats) {
+  return deserialize_tolerant(read_file(path), stats);
 }
 
 }  // namespace hcg::synth

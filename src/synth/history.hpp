@@ -64,8 +64,28 @@ class SelectionHistory {
   std::string serialize() const;
   static SelectionHistory deserialize(std::string_view text);
 
+  /// What a tolerant load saw: entries kept, lines dropped as unparseable
+  /// (also counted by the synth.history.dropped_lines metric).
+  struct LoadStats {
+    std::size_t loaded = 0;
+    std::size_t dropped = 0;
+  };
+
+  /// Like deserialize() but never throws on a bad line: corrupt, truncated
+  /// or alien lines are skipped and counted, CRLF endings are accepted, so
+  /// one torn entry cannot cost a whole warm cache.
+  static SelectionHistory deserialize_tolerant(std::string_view text,
+                                               LoadStats* stats = nullptr);
+
+  /// Atomic save: temp file + rename with a "# hcg-history-v1" header.  A
+  /// crash mid-save leaves the previous complete file, never a partial one;
+  /// concurrent savers leave one well-formed winner.
   void save(const std::filesystem::path& path) const;
-  static SelectionHistory load(const std::filesystem::path& path);
+
+  /// Tolerant load (see deserialize_tolerant); throws only when the file
+  /// cannot be read at all.
+  static SelectionHistory load(const std::filesystem::path& path,
+                               LoadStats* stats = nullptr);
 
  private:
   static constexpr std::size_t kShards = 8;

@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
+#include "support/faults.hpp"
 #include "support/logging.hpp"
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
@@ -44,6 +45,23 @@ void fill_random(Tensor& t, Rng& rng, bool diagonally_dominant) {
       }
     }
   }
+}
+
+/// Degraded-mode bookkeeping for one dropped candidate: warning log, the
+/// per-reason failure metrics, and the failure record on the selection.
+void drop_candidate(IntensiveSelection& result, const Actor& actor,
+                    const std::string& impl_id, const char* reason,
+                    const std::string& detail) {
+  static obs::Counter& failures_metric =
+      obs::Registry::instance().counter("synth.precalc.candidate_failures");
+  failures_metric.add();
+  obs::Registry::instance()
+      .counter(std::string("synth.precalc.candidate_failures.") + reason)
+      .add();
+  log_warn("synth") << "Algorithm 1: dropping candidate " << impl_id
+                    << " for " << actor.type() << " '" << actor.name()
+                    << "' (" << reason << "): " << detail;
+  result.failures.push_back({impl_id, reason, detail});
 }
 
 /// Serializes the stopwatch windows of concurrent pre-calculations: no two
@@ -121,15 +139,34 @@ IntensiveSelection select_implementation(const Actor& actor,
   for (const Tensor& t : inputs) input_ptrs.push_back(&t);
   Tensor output = make_tensor(actor.output(0));
 
-  // Lines 11-17: filter, measure, keep the cheapest.
+  // Lines 11-17: filter, measure, keep the cheapest.  A candidate that
+  // fails — for real or through an armed precalc.measure fault — is dropped
+  // with a warning instead of aborting the run (degraded mode).
   double min_cost = std::numeric_limits<double>::infinity();
   for (const kernels::KernelImpl* impl : impls) {
     if (!impl->can_handle(dtype, shapes)) continue;  // lines 12-13
-    // Warm-up run (also validates the kernel doesn't blow up on this size).
-    // Runs outside the measurement mutex: concurrent warm-ups are fine.
-    kernels::run_kernel(*impl, input_ptrs, &output);
+    switch (faults::probe("precalc.measure", impl->id)) {
+      case faults::Action::kNone:
+        break;
+      case faults::Action::kFail:
+        drop_candidate(result, actor, impl->id, "compile",
+                       "injected candidate compile failure");
+        continue;
+      case faults::Action::kTimeout:
+        drop_candidate(result, actor, impl->id, "timeout",
+                       "injected measurement timeout");
+        continue;
+      default:  // kThrow / kTorn: a simulated candidate crash
+        drop_candidate(result, actor, impl->id, "crash",
+                       "injected candidate crash");
+        continue;
+    }
     double best = std::numeric_limits<double>::infinity();
-    {
+    try {
+      // Warm-up run (also validates the kernel doesn't blow up on this
+      // size).  Runs outside the measurement mutex: concurrent warm-ups are
+      // fine.
+      kernels::run_kernel(*impl, input_ptrs, &output);
       std::lock_guard<std::mutex> lock(measurement_mutex());
       Stopwatch budget;
       for (int rep = 0; rep < options.repetitions; ++rep) {
@@ -141,6 +178,9 @@ IntensiveSelection select_implementation(const Actor& actor,
           break;  // slow kernel: one long run is already noise-robust
         }
       }
+    } catch (const std::exception& e) {
+      drop_candidate(result, actor, impl->id, "exception", e.what());
+      continue;
     }
     result.measured_costs[impl->id] = best;
     candidate_metric.add();
@@ -151,8 +191,23 @@ IntensiveSelection select_implementation(const Actor& actor,
     }
   }
 
-  // Line 18: storeSelection.
-  if (options.use_history) {
+  if (result.measured_costs.empty() && !result.failures.empty()) {
+    // Every candidate that could handle the size failed: the general
+    // implementation (already in result.impl since line 8) carries the run.
+    static obs::Counter& fallback_metric =
+        obs::Registry::instance().counter("synth.precalc.fallbacks");
+    fallback_metric.add();
+    result.degraded = true;
+    log_warn("synth") << "Algorithm 1: all " << result.failures.size()
+                      << " candidate(s) for " << actor.type() << " '"
+                      << actor.name() << "' failed; falling back to reference "
+                      << result.impl->id;
+  }
+
+  // Line 18: storeSelection.  A degraded fallback is deliberately not
+  // memoized — the failure may be transient, and a poisoned warm cache
+  // would silently pin the slow reference implementation forever.
+  if (options.use_history && !result.degraded) {
     history.store(actor.type(), dtype, shapes, result.impl->id);
   }
   log_debug("synth") << "Algorithm 1: " << actor.type() << "/"

@@ -40,6 +40,16 @@ struct IntensiveOptions {
   std::uint64_t seed = 0x4c4f54;
 };
 
+/// One candidate dropped by degraded-mode pre-calculation.  `reason` is one
+/// of "compile" | "crash" | "timeout" | "exception" (docs/ROBUSTNESS.md);
+/// the same strings key the synth.precalc.candidate_failures.* metrics and
+/// the report's degraded section.
+struct CandidateFailure {
+  std::string impl;
+  std::string reason;
+  std::string detail;
+};
+
 struct IntensiveSelection {
   const kernels::KernelImpl* impl = nullptr;
   bool from_history = false;
@@ -48,6 +58,13 @@ struct IntensiveSelection {
   bool deduped = false;
   /// impl id -> measured seconds (empty on a history hit).
   std::map<std::string, double> measured_costs;
+  /// Candidates dropped instead of measured (degraded mode).  Non-empty
+  /// means the run was lossy; the selection is still usable.
+  std::vector<CandidateFailure> failures;
+  /// True when *no* candidate survived measurement and the selection fell
+  /// back to the reference (general) implementation.  Degraded selections
+  /// are not stored into the history, so a healthy later run re-measures.
+  bool degraded = false;
 };
 
 /// Generates the random test input tensors for an actor's input specs
@@ -58,6 +75,12 @@ std::vector<Tensor> generate_test_inputs(const Actor& actor,
 
 /// Runs Algorithm 1 for a resolved intensive actor.  Throws
 /// hcg::SynthesisError if the actor type has no implementations.
+///
+/// Degraded mode: a candidate that throws during warm-up/measurement — or
+/// is forced down by an armed `precalc.measure` fault — is dropped with a
+/// warning and recorded in IntensiveSelection::failures instead of aborting
+/// the generation; the general implementation is the guaranteed fallback
+/// when every candidate fails.
 IntensiveSelection select_implementation(const Actor& actor,
                                          SelectionHistory& history,
                                          const IntensiveOptions& options = {});

@@ -2,38 +2,90 @@
 
 #include <dlfcn.h>
 
-#include <cstdlib>
-
 #include "actors/exec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
+#include "support/faults.hpp"
 #include "support/logging.hpp"
 #include "support/stopwatch.hpp"
+#include "support/strings.hpp"
+#include "support/subprocess.hpp"
 
 namespace hcg::toolchain {
 
 namespace {
 
-/// Shell-quotes a path/flag (conservative: single quotes).
-std::string quote(const std::string& text) {
-  std::string out = "'";
-  for (char c : text) {
-    if (c == '\'') {
-      out += "'\\''";
-    } else {
-      out += c;
+/// Last `max_lines` lines (at most `max_bytes`) of a compiler log, for
+/// embedding into a ToolchainError without flooding it.
+std::string log_tail(const std::string& log, int max_lines = 30,
+                     std::size_t max_bytes = 4096) {
+  std::size_t start = log.size();
+  int lines = 0;
+  while (start > 0 && lines < max_lines && log.size() - start < max_bytes) {
+    --start;
+    if (log[start] == '\n' && start + 1 < log.size()) ++lines;
+  }
+  if (start == 0) return log;
+  return "...\n" + log.substr(start + 1);
+}
+
+/// Runs the compiler through the hardened runner, honoring an armed
+/// toolchain.compile fault (fail: nonzero exit, timeout: killed run,
+/// throw: FaultInjected) without ever spawning a process for it.
+SubprocessResult run_compiler(const std::vector<std::string>& argv,
+                              const CompileOptions& options,
+                              const std::string& fault_key) {
+  static obs::Counter& timeout_metric =
+      obs::Registry::instance().counter("toolchain.compile_timeouts");
+  static obs::Counter& retry_metric =
+      obs::Registry::instance().counter("toolchain.spawn_retries");
+  switch (faults::probe("toolchain.compile", fault_key)) {
+    case faults::Action::kNone:
+      break;
+    case faults::Action::kThrow:
+      throw faults::FaultInjected("injected fault at toolchain.compile [" +
+                                  fault_key + "]");
+    case faults::Action::kTimeout: {
+      SubprocessResult injected;
+      injected.kind = ExitKind::kTimedOut;
+      injected.wall_seconds = options.timeout_seconds;
+      injected.attempts = 1;
+      injected.output = "(injected fault: compiler run timed out)";
+      timeout_metric.add();
+      return injected;
+    }
+    default: {  // kFail / kTorn: the compiler ran and reported an error
+      SubprocessResult injected;
+      injected.kind = ExitKind::kExited;
+      injected.exit_code = 1;
+      injected.attempts = 1;
+      injected.output = "(injected fault: compiler exited with an error)";
+      return injected;
     }
   }
-  out += "'";
-  return out;
+
+  SubprocessOptions sub;
+  sub.timeout_seconds = options.timeout_seconds;
+  sub.spawn_retries = options.spawn_retries;
+  SubprocessResult result = run_subprocess(argv, sub);
+  if (result.kind == ExitKind::kTimedOut) timeout_metric.add();
+  if (result.attempts > 1) retry_metric.add(result.attempts - 1);
+  return result;
 }
 
 }  // namespace
 
 bool compiler_available(const std::string& cc) {
-  const std::string cmd = cc + " --version > /dev/null 2>&1";
-  return std::system(cmd.c_str()) == 0;
+  SubprocessOptions sub;
+  sub.timeout_seconds = 20.0;
+  const SubprocessResult result = run_subprocess({cc, "--version"}, sub);
+  if (!result.ok()) {
+    // Distinguish "not installed" from "installed but dying": a compiler
+    // killed by a signal or hanging on --version is a real finding.
+    log_debug("toolchain") << cc << " unavailable: " << result.describe();
+  }
+  return result.ok();
 }
 
 CompiledModel::CompiledModel(const codegen::GeneratedCode& code,
@@ -54,30 +106,49 @@ CompiledModel::CompiledModel(const codegen::GeneratedCode& code,
 
   // -fwrapv: generated element-wise code assumes two's-complement wrap on
   // integer overflow, matching the oracle and every SIMD lowering.
-  std::string cmd = options.cc + " -shared -fPIC " + options.opt_flags +
-                    " -fno-math-errno -fwrapv";
-  if (!code.compile_flags.empty()) cmd += " " + code.compile_flags;
-  if (code.needs_neon_sim) cmd += " -I " + quote(HCG_DATA_DIR);
-  for (const std::string& flag : options.extra_flags) cmd += " " + flag;
-  cmd += " " + quote(source_path_.string()) + " -o " + quote(so_path.string());
-  cmd += " -lm 2> " + quote(log_path.string());
-  command_ = cmd;
+  std::vector<std::string> argv = {options.cc, "-shared", "-fPIC"};
+  for (const std::string& flag : split_whitespace(options.opt_flags)) {
+    argv.push_back(flag);
+  }
+  argv.push_back("-fno-math-errno");
+  argv.push_back("-fwrapv");
+  for (const std::string& flag : split_whitespace(code.compile_flags)) {
+    argv.push_back(flag);
+  }
+  if (code.needs_neon_sim) {
+    argv.push_back("-I");
+    argv.push_back(HCG_DATA_DIR);
+  }
+  for (const std::string& flag : options.extra_flags) {
+    for (const std::string& piece : split_whitespace(flag)) {
+      argv.push_back(piece);
+    }
+  }
+  argv.push_back(source_path_.string());
+  argv.push_back("-o");
+  argv.push_back(so_path.string());
+  argv.push_back("-lm");
+  command_ = join(argv, " ");
 
   Stopwatch timer;
-  const int rc = std::system(cmd.c_str());
+  const SubprocessResult compile = run_compiler(
+      argv, options, code.model_name + "/" + code.tool_name);
   compile_seconds_ = timer.elapsed_seconds();
   compiles_metric.add();
   compile_ms_metric.observe(compile_seconds_ * 1e3);
-  if (rc != 0) {
-    std::string log;
-    try {
-      log = read_file(log_path);
-    } catch (const Error&) {
-      log = "(no compiler output captured)";
-    }
+  // The captured diagnostics become cc.log whatever happens next, so a kept
+  // temp dir always has the evidence beside the source.
+  try {
+    write_file(log_path, compile.output);
+  } catch (const Error&) {
+    // cc.log is best-effort; the diagnostics still ride in the exception.
+  }
+  if (!compile.ok()) {
     dir_.keep();  // leave evidence behind
-    throw ToolchainError("compilation failed (" + cmd + "):\n" + log +
-                         "\nsource kept at " + source_path_.string());
+    throw ToolchainError(
+        "compilation failed: compiler " + compile.describe() + "\n  command: " +
+        command_ + "\n" + log_tail(compile.output) + "\nsource kept at " +
+        source_path_.string());
   }
 
   handle_ = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);

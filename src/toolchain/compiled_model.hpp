@@ -24,9 +24,18 @@ struct CompileOptions {
   std::vector<std::string> extra_flags;
   /// Keep the temp directory with source/object for inspection.
   bool keep_artifacts = false;
+  /// Wall-clock limit for one compiler invocation (`hcgc --cc-timeout`);
+  /// <= 0 disables.  A hung cc is killed — whole process group — and
+  /// reported as a ToolchainError, not waited on forever.
+  double timeout_seconds = 300.0;
+  /// Extra attempts when the compiler *process* cannot be spawned
+  /// (`hcgc --cc-retries`); compile errors are never retried.
+  int spawn_retries = 2;
 };
 
-/// True when a usable C compiler is present (tests skip otherwise).
+/// True when a usable C compiler is present (tests skip otherwise).  A
+/// compiler that crashes or hangs on --version counts as unavailable; the
+/// decoded status is logged rather than swallowed.
 bool compiler_available(const std::string& cc = "gcc");
 
 class CompiledModel {

@@ -6,6 +6,7 @@
 //                 [--dump-cgir]
 //   hcgc inspect  <model.xml> [--isa NAME|FILE]
 //   hcgc verify   <model.xml> [--tool ...] [--isa ...] [--seed N]
+//                 [--cc-timeout SEC] [--cc-retries N]
 //   hcgc bench    <model.xml> [--isa NAME|FILE] [--seed N]
 //   hcgc isa      [NAME]
 //
@@ -36,6 +37,16 @@
 //                   (the baseline tools' default) prints the plain lowering.
 //   --dump-cgir     print the "cgir-v1" serialization of the optimized IR
 //                   instead of C source.
+//
+// Robustness (docs/ROBUSTNESS.md):
+//   --cc-timeout S  wall-clock limit per compiler invocation (verify/bench);
+//                   a hung cc is killed, whole process group.
+//   --cc-retries N  spawn retries when the compiler process cannot start.
+//   HCG_FAULTS      deterministic fault injection spec (testing only).
+//
+// Exit codes: 0 ok, 1 verify mismatch/other error, 2 usage, 3 parse error,
+// 4 invalid model, 5 synthesis failure, 6 codegen failure, 7 toolchain
+// failure, 70 internal error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -77,11 +88,15 @@ int usage() {
                "                [-O0|-O1] [--dump-cgir]\n"
                "  hcgc inspect  <model.xml> [--isa NAME|FILE]\n"
                "  hcgc verify   <model.xml> [--tool ...] [--isa ...] [--seed N]\n"
+               "                [--cc-timeout SEC] [--cc-retries N]\n"
                "  hcgc bench    <model.xml> [--isa NAME|FILE] [--seed N]\n"
                "  hcgc isa      [NAME]\n"
                "(the generate subcommand may be omitted)\n"
                "env: HCG_LOG=debug|info|warn|error|off   HCG_TRACE=FILE|summary\n"
-               "     HCG_JOBS=N synthesis worker threads (--jobs overrides)\n");
+               "     HCG_JOBS=N synthesis worker threads (--jobs overrides)\n"
+               "exit codes: 0 ok, 1 error/mismatch, 2 usage, 3 parse,\n"
+               "            4 model, 5 synthesis, 6 codegen, 7 toolchain,\n"
+               "            70 internal\n");
   return 2;
 }
 
@@ -101,6 +116,8 @@ struct Options {
   bool dump_cgir = false;
   bool scattered = false;
   std::uint64_t seed = 42;
+  double cc_timeout = -1.0;  // < 0 = CompileOptions default
+  int cc_retries = -1;       // < 0 = CompileOptions default
 };
 
 bool known_command(const std::string& name) {
@@ -146,6 +163,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (opt.jobs < 1) throw Error("--jobs needs a positive thread count");
     } else if (arg == "--seed") {
       opt.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (arg == "--cc-timeout") {
+      opt.cc_timeout = std::atof(value());
+    } else if (arg == "--cc-retries") {
+      opt.cc_retries = std::atoi(value());
+      if (opt.cc_retries < 0) throw Error("--cc-retries needs a count >= 0");
     } else if (arg == "--report") {
       opt.report_path = value();
     } else if (arg == "--trace") {
@@ -198,6 +220,24 @@ std::unique_ptr<codegen::Generator> make_tool(const Options& opt,
   throw Error("unknown tool '" + opt.tool + "' (hcg|simulink|dfsynth)");
 }
 
+toolchain::CompileOptions compile_options(const Options& opt) {
+  toolchain::CompileOptions cc;
+  if (opt.cc_timeout >= 0) cc.timeout_seconds = opt.cc_timeout;
+  if (opt.cc_retries >= 0) cc.spawn_retries = opt.cc_retries;
+  return cc;
+}
+
+/// One stderr line per degraded Algorithm 1 decision, so a terminal user
+/// sees lossy runs without opening the report JSON.
+void warn_degraded(const codegen::GeneratedCode& code) {
+  for (const auto& fallback : code.report.degraded) {
+    std::fprintf(stderr, "degraded: %s lost %zu candidate(s)%s -> %s\n",
+                 fallback.actor.c_str(), fallback.failures.size(),
+                 fallback.reference_fallback ? ", using reference" : "",
+                 fallback.impl.c_str());
+  }
+}
+
 /// Fills the CLI-level report fields (load phase, history stats) and writes
 /// the report JSON when requested.
 void finish_report(const Options& opt, codegen::GeneratedCode& code,
@@ -223,11 +263,17 @@ int cmd_generate(const Options& opt) {
   synth::SelectionHistory history;
   if (!opt.history_path.empty() &&
       std::filesystem::exists(opt.history_path)) {
-    history = synth::SelectionHistory::load(opt.history_path);
+    synth::SelectionHistory::LoadStats stats;
+    history = synth::SelectionHistory::load(opt.history_path, &stats);
+    if (stats.dropped > 0) {
+      std::fprintf(stderr, "history: dropped %zu corrupt line(s) from %s\n",
+                   stats.dropped, opt.history_path.c_str());
+    }
   }
 
   auto tool = make_tool(opt, table, &history);
   codegen::GeneratedCode code = tool->generate(model);
+  warn_degraded(code);
 
   if (!opt.history_path.empty()) history.save(opt.history_path);
 
@@ -301,8 +347,9 @@ int cmd_verify(const Options& opt) {
   synth::SelectionHistory history;
   auto tool = make_tool(opt, table, &history);
   codegen::GeneratedCode code = tool->generate(model);
+  warn_degraded(code);
 
-  toolchain::CompiledModel compiled(code);
+  toolchain::CompiledModel compiled(code, compile_options(opt));
   code.report.compile_ms = compiled.compile_seconds() * 1e3;
   code.report.compile_command = compiled.compile_command();
   finish_report(opt, code, load_ms, history);
@@ -359,7 +406,7 @@ int cmd_bench(const Options& opt) {
   double baseline = 0;
   for (Row& row : rows) {
     codegen::GeneratedCode code = row.tool->generate(model);
-    toolchain::CompiledModel compiled(code);
+    toolchain::CompiledModel compiled(code, compile_options(opt));
     compiled.init();
     compiled.step(in_ptrs, out_ptrs);  // warm-up
     Stopwatch probe;
@@ -436,6 +483,12 @@ int main(int argc, char** argv) {
   Options opt;
   try {
     if (!parse_args(argc, argv, opt)) return usage();
+  } catch (const Error& e) {
+    // Bad flags and missing values are usage errors, not pipeline failures.
+    std::fprintf(stderr, "hcgc: %s\n", e.what());
+    return usage();
+  }
+  try {
     if (opt.jobs > 0) ThreadPool::set_default_parallelism(opt.jobs);
     const bool tracing = setup_tracing(opt);
     int rc = 2;
@@ -456,8 +509,36 @@ int main(int argc, char** argv) {
     }
     if (tracing) write_trace(opt);
     return rc;
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "hcgc: parse error: %s\n", e.what());
+    return 3;
+  } catch (const ModelError& e) {
+    std::fprintf(stderr, "hcgc: invalid model: %s\n", e.what());
+    return 4;
+  } catch (const SynthesisError& e) {
+    std::fprintf(stderr, "hcgc: synthesis failed: %s\n", e.what());
+    return 5;
+  } catch (const CodegenError& e) {
+    std::fprintf(stderr, "hcgc: codegen failed: %s\n", e.what());
+    return 6;
+  } catch (const ToolchainError& e) {
+    std::fprintf(stderr, "hcgc: toolchain failed: %s\n", e.what());
+    return 7;
+  } catch (const InternalError& e) {
+    std::fprintf(stderr, "hcgc: internal error: %s\n", e.what());
+    return 70;
   } catch (const Error& e) {
     std::fprintf(stderr, "hcgc: %s\n", e.what());
     return 1;
+  } catch (const std::bad_alloc&) {
+    // Keep the message static: formatting could allocate again.
+    std::fputs("hcgc: internal error: out of memory\n", stderr);
+    return 70;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hcgc: internal error: %s\n", e.what());
+    return 70;
+  } catch (...) {
+    std::fputs("hcgc: internal error: unknown exception\n", stderr);
+    return 70;
   }
 }

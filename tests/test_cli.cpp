@@ -270,8 +270,9 @@ TEST_F(CliFixture, OptLevelFlagsAreAcceptedAndEquivalentHere) {
   ASSERT_EQ(r1.exit_code, 0) << r1.output;
   EXPECT_EQ(read_file(o0), read_file(o1));
 
+  // Bad flags are usage errors (exit 2, docs/ROBUSTNESS.md exit-code table).
   CliResult bad = run_cli("generate " + model_path_ + " -O7");
-  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_EQ(bad.exit_code, 2);
   EXPECT_NE(bad.output.find("unknown option"), std::string::npos);
 }
 
