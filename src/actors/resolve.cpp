@@ -156,6 +156,107 @@ std::vector<PortSpec> infer_outputs(const Actor& actor,
   fail(actor, "no inference rule (unknown actor type?)");
 }
 
+/// Shared resolution loop.  With `on_failure == nullptr` (strict mode) the
+/// first ModelError propagates; with a callback (tolerant mode, the linter)
+/// each directly-failing actor is reported once and actors downstream of a
+/// failure are skipped silently.  Returns true when every actor resolved.
+bool resolve_actors(Model& model, const ResolveFailureFn* on_failure) {
+  const std::vector<ActorId> order = schedule(model);
+  bool all_ok = true;
+
+  // Catches ModelError (bad structure/types) and ParseError (malformed
+  // dtype/shape parameter values); InternalError is a bug and always
+  // propagates, as does everything in strict mode.
+  auto tolerate = [&](const Actor& actor, const Error& error) {
+    if (on_failure == nullptr ||
+        dynamic_cast<const InternalError*>(&error) != nullptr) {
+      throw;  // rethrows the in-flight exception; only called from a catch
+    }
+    all_ok = false;
+    (*on_failure)(actor, error.what());
+  };
+
+  // Delays self-declare their spec, so resolve them first: a consumer on a
+  // feedback loop may legally fire before the delay in the schedule.
+  for (Actor& actor : model.actors()) {
+    if (actor.type() != "UnitDelay") continue;
+    try {
+      actor.set_ports({spec_from_params(actor)}, {spec_from_params(actor)});
+    } catch (const Error& error) {
+      tolerate(actor, error);
+    }
+  }
+
+  for (ActorId id : order) {
+    Actor& actor = model.actor(id);
+    if (actor.type() == "UnitDelay") continue;
+    try {
+      const ActorTypeInfo& info = actor_type_info(actor.type());
+
+      std::vector<PortSpec> in_specs;
+      in_specs.reserve(static_cast<size_t>(info.input_count));
+      bool skip_downstream = false;
+      for (int port = 0; port < info.input_count; ++port) {
+        auto conn = model.incoming(id, port);
+        if (!conn) {
+          fail(actor, "input port " + std::to_string(port) + " is unconnected");
+        }
+        const Actor& src = model.actor(conn->src);
+        if (!src.is_resolved()) {
+          // Strict mode: only possible for feedback through a delay, which
+          // declares itself.  Tolerant mode: the schedule puts every non-delay
+          // source first, so an unresolved source means it already failed —
+          // this actor is collateral, not independently broken.
+          if (on_failure != nullptr) {
+            skip_downstream = true;
+            break;
+          }
+          fail(actor, "source '" + src.name() + "' is unresolved (feedback "
+                      "loops must pass through a UnitDelay)");
+        }
+        if (conn->src_port >= src.output_count()) {
+          fail(actor, "source '" + src.name() + "' has no output port " +
+                          std::to_string(conn->src_port));
+        }
+        in_specs.push_back(src.output(conn->src_port));
+      }
+      if (skip_downstream) {
+        all_ok = false;
+        continue;
+      }
+
+      std::vector<PortSpec> out_specs = infer_outputs(actor, in_specs);
+      actor.set_ports(std::move(in_specs), std::move(out_specs));
+    } catch (const Error& error) {
+      tolerate(actor, error);
+    }
+  }
+
+  // Post-pass: a UnitDelay declares its spec; verify the wire feeding it
+  // agrees (skipped when the feed is itself a casualty of an earlier
+  // failure).
+  for (Actor& actor : model.actors()) {
+    if (actor.type() != "UnitDelay" || !actor.is_resolved()) continue;
+    auto conn = model.incoming(actor.id(), 0);
+    require(conn.has_value(), "resolved UnitDelay lost its input");
+    const Actor& src = model.actor(conn->src);
+    if (!src.is_resolved() || conn->src_port >= src.output_count()) {
+      all_ok = false;
+      continue;
+    }
+    const PortSpec& fed = src.output(conn->src_port);
+    if (!(fed == actor.output(0))) {
+      const std::string message =
+          "actor '" + actor.name() + "' (UnitDelay): declared " +
+          actor.output(0).to_string() + " but is fed " + fed.to_string();
+      if (on_failure == nullptr) throw ModelError(message);
+      all_ok = false;
+      (*on_failure)(actor, message);
+    }
+  }
+  return all_ok;
+}
+
 }  // namespace
 
 void resolve_model(Model& model) {
@@ -163,59 +264,11 @@ void resolve_model(Model& model) {
   static obs::Counter& resolved_metric =
       obs::Registry::instance().counter("resolve.actors");
   resolved_metric.add(static_cast<std::uint64_t>(model.actor_count()));
-  const std::vector<ActorId> order = schedule(model);
 
-  // Delays self-declare their spec, so resolve them first: a consumer on a
-  // feedback loop may legally fire before the delay in the schedule.
-  for (Actor& actor : model.actors()) {
-    if (actor.type() == "UnitDelay") {
-      actor.set_ports({spec_from_params(actor)}, {spec_from_params(actor)});
-    }
-  }
+  resolve_actors(model, nullptr);
 
-  for (ActorId id : order) {
-    Actor& actor = model.actor(id);
-    if (actor.type() == "UnitDelay") continue;
-    const ActorTypeInfo& info = actor_type_info(actor.type());
-
-    std::vector<PortSpec> in_specs;
-    in_specs.reserve(static_cast<size_t>(info.input_count));
-    for (int port = 0; port < info.input_count; ++port) {
-      auto conn = model.incoming(id, port);
-      if (!conn) {
-        fail(actor, "input port " + std::to_string(port) + " is unconnected");
-      }
-      const Actor& src = model.actor(conn->src);
-      if (!src.is_resolved()) {
-        // Only possible for feedback through a delay, which declares itself.
-        fail(actor, "source '" + src.name() + "' is unresolved (feedback "
-                    "loops must pass through a UnitDelay)");
-      }
-      if (conn->src_port >= src.output_count()) {
-        fail(actor, "source '" + src.name() + "' has no output port " +
-                        std::to_string(conn->src_port));
-      }
-      in_specs.push_back(src.output(conn->src_port));
-    }
-
-    std::vector<PortSpec> out_specs = infer_outputs(actor, in_specs);
-    actor.set_ports(std::move(in_specs), std::move(out_specs));
-  }
-
-  // Post-pass: a UnitDelay declares its spec; verify the wire feeding it
-  // agrees, and reject dangling non-sink outputs feeding nothing is fine
-  // (dead outputs are legal), but every connection must reference live ports.
-  for (const Actor& actor : model.actors()) {
-    if (actor.type() != "UnitDelay") continue;
-    auto conn = model.incoming(actor.id(), 0);
-    require(conn.has_value(), "resolved UnitDelay lost its input");
-    const PortSpec& fed = model.actor(conn->src).output(conn->src_port);
-    if (!(fed == actor.output(0))) {
-      throw ModelError("actor '" + actor.name() + "' (UnitDelay): declared " +
-                       actor.output(0).to_string() + " but is fed " +
-                       fed.to_string());
-    }
-  }
+  // Every connection must reference live ports, even on dead branches the
+  // resolution loop never pulled from.
   for (const Connection& c : model.connections()) {
     const Actor& src = model.actor(c.src);
     const Actor& dst = model.actor(c.dst);
@@ -235,6 +288,12 @@ void resolve_model(Model& model) {
 Model resolved(Model model) {
   resolve_model(model);
   return model;
+}
+
+bool resolve_model_tolerant(Model& model, const ResolveFailureFn& on_failure) {
+  require(static_cast<bool>(on_failure),
+          "resolve_model_tolerant needs a failure callback");
+  return resolve_actors(model, &on_failure);
 }
 
 }  // namespace hcg

@@ -6,6 +6,9 @@
 // ops applied to unsupported element types).
 #pragma once
 
+#include <functional>
+#include <string>
+
 #include "model/model.hpp"
 
 namespace hcg {
@@ -16,5 +19,19 @@ void resolve_model(Model& model);
 
 /// Convenience: resolves a copy and returns it.
 Model resolved(Model model);
+
+/// Called once per actor whose resolution failed; `message` is the
+/// ModelError text (which embeds the actor name and type).
+using ResolveFailureFn =
+    std::function<void(const Actor& actor, const std::string& message)>;
+
+/// Tolerant variant for the linter: resolves every actor it can, invoking
+/// `on_failure` once per directly-failing actor and skipping the actors
+/// downstream of a failure silently (they are not independently broken).
+/// Actors left unresolved keep is_resolved() == false.  Returns true when
+/// every actor resolved — equivalent to resolve_model() not throwing.
+/// Throws hcg::ModelError only when no firing order exists at all
+/// (a delay-free cycle).
+bool resolve_model_tolerant(Model& model, const ResolveFailureFn& on_failure);
 
 }  // namespace hcg

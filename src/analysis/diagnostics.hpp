@@ -1,0 +1,87 @@
+// The shared diagnostic engine of the static-analysis layer.
+//
+// Every finding the model/graph linter or the CGIR verifier produces is a
+// Diagnostic with a stable code, a severity, a human message, and a source
+// location (an actor path for model findings, a cgir node description for
+// verifier findings).  Codes are grouped by subsystem:
+//
+//   HCG1xx  model structure   (lint: ports, dead actors, cycles)
+//   HCG2xx  graph / types     (lint: resolution, width & dtype mismatches)
+//   HCG3xx  cgir verifier     (invariant violations inside the codegen IR)
+//   HCG4xx  optimization remarks (why Algorithm 2 did / did not vectorize)
+//
+// The code table is the contract: docs/ANALYSIS.md documents every code, the
+// SARIF exporter publishes them as rules, and tests pin one triggering input
+// per code.  Codes are never reused for a different meaning.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hcg::analysis {
+
+enum class Severity : std::uint8_t { kNote, kRemark, kWarning, kError };
+
+/// "note" | "remark" | "warning" | "error".
+std::string_view severity_name(Severity severity);
+
+/// One finding.
+struct Diagnostic {
+  std::string code;      // "HCG102"
+  Severity severity = Severity::kWarning;
+  std::string message;
+  /// Where: "actor 'm'" for model findings, "step: loop [0,1024)" for cgir
+  /// findings, empty for whole-model findings.
+  std::string location;
+};
+
+/// One entry of the stable code table.
+struct DiagnosticRule {
+  std::string_view code;     // "HCG102"
+  std::string_view name;     // kebab-case slug: "unconnected-input"
+  std::string_view summary;  // one-line description for docs and SARIF
+  Severity default_severity = Severity::kWarning;
+};
+
+/// The full code table, ascending by code.
+const std::vector<DiagnosticRule>& diagnostic_rules();
+
+/// Looks up a code; nullptr when unknown.
+const DiagnosticRule* find_rule(std::string_view code);
+
+/// Collects diagnostics.  With `werror` set, warnings are promoted to errors
+/// at add() time (notes and remarks are informational and never promoted).
+class DiagnosticEngine {
+ public:
+  explicit DiagnosticEngine(bool werror = false) : werror_(werror) {}
+
+  void add(Diagnostic diag);
+
+  /// Convenience constructors; `code` must be in diagnostic_rules() (checked
+  /// with hcg::require — an unknown code is a bug, not an input error).
+  void note(std::string_view code, std::string location, std::string message);
+  void remark(std::string_view code, std::string location, std::string message);
+  void warning(std::string_view code, std::string location, std::string message);
+  void error(std::string_view code, std::string location, std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  int count(Severity severity) const;
+  bool has_errors() const { return count(Severity::kError) > 0; }
+  bool werror() const { return werror_; }
+
+  /// Pretty terminal rendering: one "<subject>: <severity> <code>: <message>"
+  /// line per finding plus a trailing summary line (omitted when clean).
+  /// `subject` prefixes each line, typically the model file path.
+  std::string render(std::string_view subject) const;
+
+  /// "2 errors, 1 warning, 3 remarks" ("no findings" when empty).
+  std::string summary() const;
+
+ private:
+  bool werror_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace hcg::analysis

@@ -1,0 +1,54 @@
+// Model/graph linter: structural checks, tolerant type resolution, and
+// vectorization-blocker remarks ("why didn't Algorithm 2 vectorize this?").
+//
+// Unlike resolve_model(), which throws at the first invalid actor, the
+// linter keeps going and reports every finding it can reach, so `hcgc lint`
+// shows all problems in one run:
+//
+//   HCG1xx  structure  (lint_structure: catalog, ports, cycles, dead actors)
+//   HCG2xx  types      (lint_resolve: per-actor resolution failures)
+//   HCG4xx  remarks    (lint_vectorization: per-region SIMD outcome, and a
+//                       per-actor explanation for every batch actor the
+//                       region builder had to leave out)
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "isa/instruction.hpp"
+#include "model/model.hpp"
+
+namespace hcg::analysis {
+
+struct LintOptions {
+  /// ISA for the vectorization remarks; nullptr skips HCG4xx entirely.
+  const isa::VectorIsa* isa = nullptr;
+  /// Algorithm 2's node-count floor (the --threshold flag, paper §4.3).
+  int min_nodes_for_simd = 0;
+  /// Master switch for HCG4xx remarks (lint --no-remarks clears it).
+  bool remarks = true;
+};
+
+/// HCG1xx structural checks.  Works on an unresolved model; never throws on
+/// model defects (they become diagnostics).
+void lint_structure(const Model& model, DiagnosticEngine& diags);
+
+/// HCG2xx: resolves the model tolerantly, reporting each actor whose port
+/// types could not be inferred.  Failures already covered by lint_structure
+/// (unknown type, unconnected input, bad port, cycle) are not re-reported.
+/// Returns true when every actor resolved (the model is usable downstream).
+bool lint_resolve(Model& model, DiagnosticEngine& diags);
+
+/// HCG4xx: explains Algorithm 2's region matching over a *resolved* model —
+/// one note per viable region, one remark per region that fails the plan
+/// (too short, below threshold, lane disagreement) and per batch actor that
+/// never made it into a region (mixed widths, scale change, no SIMD op),
+/// plus a remark per non-batch actor splitting two batch neighbours.
+void lint_vectorization(const Model& model, const isa::VectorIsa& isa,
+                        int min_nodes_for_simd, DiagnosticEngine& diags);
+
+/// Runs the full sequence: structure, then tolerant resolution, then (when
+/// options.isa is set, remarks are on, and resolution succeeded)
+/// vectorization remarks.  `model` is resolved in place on success.
+void lint_model(Model& model, const LintOptions& options,
+                DiagnosticEngine& diags);
+
+}  // namespace hcg::analysis

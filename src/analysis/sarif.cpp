@@ -1,0 +1,104 @@
+#include "analysis/sarif.hpp"
+
+#include <cstdint>
+
+#include "obs/json.hpp"
+
+namespace hcg::analysis {
+
+std::string_view sarif_level(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+    case Severity::kRemark:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "error";
+}
+
+std::string to_sarif(const std::vector<Diagnostic>& diags,
+                     std::string_view artifact_uri) {
+  const std::vector<DiagnosticRule>& rules = diagnostic_rules();
+  auto rule_index = [&rules](std::string_view code) -> std::int64_t {
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (rules[i].code == code) return static_cast<std::int64_t>(i);
+    }
+    return -1;
+  };
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("$schema").value(
+      "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+      "sarif-schema-2.1.0.json");
+  w.key("version").value("2.1.0");
+  w.key("runs").begin_array();
+  w.begin_object();
+
+  // ---- tool.driver + the stable rule table -------------------------------
+  w.key("tool").begin_object();
+  w.key("driver").begin_object();
+  w.key("name").value("hcgc");
+  w.key("informationUri").value("docs/ANALYSIS.md");
+  w.key("rules").begin_array();
+  for (const DiagnosticRule& rule : rules) {
+    w.begin_object();
+    w.key("id").value(rule.code);
+    w.key("name").value(rule.name);
+    w.key("shortDescription").begin_object();
+    w.key("text").value(rule.summary);
+    w.end_object();
+    w.key("defaultConfiguration").begin_object();
+    w.key("level").value(sarif_level(rule.default_severity));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();  // rules
+  w.end_object();  // driver
+  w.end_object();  // tool
+
+  // ---- results ------------------------------------------------------------
+  w.key("results").begin_array();
+  for (const Diagnostic& diag : diags) {
+    w.begin_object();
+    w.key("ruleId").value(diag.code);
+    const std::int64_t index = rule_index(diag.code);
+    if (index >= 0) w.key("ruleIndex").value(index);
+    w.key("level").value(sarif_level(diag.severity));
+    w.key("message").begin_object();
+    w.key("text").value(diag.message);
+    w.end_object();
+    if (!artifact_uri.empty() || !diag.location.empty()) {
+      w.key("locations").begin_array();
+      w.begin_object();
+      if (!artifact_uri.empty()) {
+        w.key("physicalLocation").begin_object();
+        w.key("artifactLocation").begin_object();
+        w.key("uri").value(artifact_uri);
+        w.end_object();
+        w.end_object();
+      }
+      if (!diag.location.empty()) {
+        w.key("logicalLocations").begin_array();
+        w.begin_object();
+        w.key("fullyQualifiedName").value(diag.location);
+        w.end_object();
+        w.end_array();
+      }
+      w.end_object();
+      w.end_array();  // locations
+    }
+    w.end_object();
+  }
+  w.end_array();  // results
+
+  w.end_object();  // run
+  w.end_array();   // runs
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace hcg::analysis

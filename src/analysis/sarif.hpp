@@ -1,0 +1,30 @@
+// SARIF 2.1.0 export of analysis diagnostics.
+//
+// One run, one driver ("hcgc"), the full stable rule table from
+// diagnostic_rules() under tool.driver.rules, and one result per Diagnostic
+// with ruleId/ruleIndex, the SARIF level, the message, and a location
+// combining the physical artifact (the model file) with the logical
+// location (the actor / region / cgir node the finding is about).
+//
+// The output is plain JSON (obs::JsonWriter), valid against the SARIF
+// 2.1.0 schema, and consumed by CI code-scanning upload as-is.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace hcg::analysis {
+
+/// SARIF result level for a severity: "note" (notes and remarks),
+/// "warning", or "error".
+std::string_view sarif_level(Severity severity);
+
+/// Serializes `diags` as a complete SARIF 2.1.0 document.  `artifact_uri`
+/// is the analyzed model file (empty = no physical location attached).
+std::string to_sarif(const std::vector<Diagnostic>& diags,
+                     std::string_view artifact_uri);
+
+}  // namespace hcg::analysis

@@ -1,0 +1,271 @@
+#include "analysis/verifier.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hcg::analysis {
+namespace {
+
+std::string loop_desc(const cgir::Stmt& loop) {
+  std::string out = "loop [" + std::to_string(loop.begin) + "," +
+                    std::to_string(loop.end) + ")";
+  if (loop.step != 1) out += " step " + std::to_string(loop.step);
+  if (loop.vector_loop) out += " vector";
+  return out;
+}
+
+std::string stmt_desc(const cgir::Stmt& stmt) {
+  if (stmt.kind == cgir::Stmt::Kind::kLoop) return loop_desc(stmt);
+  return "'" + stmt.text + "'";
+}
+
+/// Walks one function body, tracking lexical scope.  A scope frame holds the
+/// locals defined so far in that brace level; names from enclosing frames
+/// stay visible (the IR never shadows, and HCG302 flags same-frame dupes).
+class FunctionChecker {
+ public:
+  FunctionChecker(const cgir::TranslationUnit& tu, std::string func,
+                  std::vector<Diagnostic>& out)
+      : func_(std::move(func)), out_(out) {
+    for (const cgir::BufferDecl& decl : tu.buffers) {
+      if (!decls_.emplace(decl.name, &decl).second) {
+        error("HCG307", "buffer '" + decl.name + "'",
+              "buffer '" + decl.name + "' is declared more than once");
+      }
+    }
+  }
+
+  void run(const std::vector<cgir::Stmt>& body) {
+    scopes_.push_back({});
+    written_.push_back({});
+    walk(body, /*loop=*/nullptr);
+    written_.pop_back();
+    scopes_.pop_back();
+  }
+
+ private:
+  void error(std::string_view code, const std::string& where,
+             std::string message) {
+    Diagnostic diag;
+    diag.code = std::string(code);
+    diag.severity = Severity::kError;
+    diag.location = func_ + ": " + where;
+    diag.message = std::move(message);
+    out_.push_back(std::move(diag));
+  }
+
+  bool visible(const std::string& name) const {
+    for (const auto& frame : scopes_) {
+      if (frame.count(name)) return true;
+    }
+    return false;
+  }
+
+  bool written_in_scope(const std::string& buffer) const {
+    for (const auto& frame : written_) {
+      if (frame.count(buffer)) return true;
+    }
+    return false;
+  }
+
+  /// Loop fusion leaves a *pending handoff*: a pure load of a buffer an
+  /// earlier statement in the fused body stored, reusing the producer's
+  /// register name.  Copy forwarding erases exactly these loads next, so a
+  /// redefinition of this one shape is legal between the two passes (and
+  /// cannot survive forwarding — HCG302 still catches real duplicates).
+  bool is_pending_handoff(const cgir::Stmt& stmt) const {
+    if (!stmt.is_load) return false;
+    for (const cgir::BufferAccess& access : stmt.accesses) {
+      if (!access.write && written_in_scope(access.buffer)) return true;
+    }
+    return false;
+  }
+
+  void check_text(const cgir::Stmt& stmt, const cgir::Stmt* loop) {
+    const std::string where = stmt_desc(stmt);
+    const bool handoff = is_pending_handoff(stmt);
+    for (const cgir::BufferAccess& access : stmt.accesses) {
+      auto it = decls_.find(access.buffer);
+      if (it == decls_.end()) {
+        // Not a static buffer: must be a local (an I/O pointer alias or a
+        // vector register) defined by an earlier statement in scope.
+        if (!visible(access.buffer)) {
+          error("HCG305", where,
+                "access to '" + access.buffer +
+                    "' which is neither a declared buffer nor a local "
+                    "defined earlier in scope");
+        }
+        continue;
+      }
+      const cgir::BufferDecl& decl = *it->second;
+      if (access.write && decl.is_const) {
+        error("HCG306", where,
+              "write to buffer '" + decl.name + "' which is declared const");
+      }
+      if (access.elementwise && loop != nullptr &&
+          loop->end > decl.components) {
+        error("HCG301", where,
+              "elementwise access to '" + decl.name + "' in " +
+                  loop_desc(*loop) + " exceeds its extent of " +
+                  std::to_string(decl.components) + " elements");
+      }
+    }
+    if (stmt.is_store && !stmt.stores_var.empty() &&
+        !visible(stmt.stores_var)) {
+      error("HCG304", where,
+            "store of '" + stmt.stores_var +
+                "' which no earlier statement in scope defines");
+    }
+    if (!stmt.defines.empty()) {
+      if (!scopes_.back().insert(stmt.defines).second && !handoff) {
+        error("HCG302", where,
+              "local '" + stmt.defines +
+                  "' is defined twice in the same scope");
+      }
+    }
+    for (const cgir::BufferAccess& access : stmt.accesses) {
+      if (access.write) written_.back().insert(access.buffer);
+    }
+  }
+
+  void check_loop_shape(const cgir::Stmt& loop,
+                        const std::vector<cgir::Stmt>& siblings,
+                        std::size_t index) {
+    const std::string where = loop_desc(loop);
+    if (loop.step < 1 || loop.begin < 0 || loop.end < loop.begin) {
+      error("HCG303", where, "malformed iteration domain");
+      return;
+    }
+    if (loop.single_iteration && loop.end != loop.begin + loop.step) {
+      error("HCG303", where,
+            "single-iteration loop spans more than one step");
+    }
+    if (loop.vector_loop && (loop.end - loop.begin) % loop.step != 0) {
+      error("HCG303", where,
+            "vector loop trip (" + std::to_string(loop.end - loop.begin) +
+                " elements) is not a multiple of its stride " +
+                std::to_string(loop.step) +
+                "; the final iteration would read past the region");
+    }
+    if (loop.vector_loop && loop.begin > 0) {
+      // The scalar remainder loop must precede its vector main loop and
+      // cover [0, begin) exactly, so the pair covers the region width.
+      bool covered = false;
+      for (std::size_t j = 0; j < index; ++j) {
+        const cgir::Stmt& prev = siblings[j];
+        if (prev.kind != cgir::Stmt::Kind::kLoop || prev.vector_loop) continue;
+        if (prev.begin == 0 && prev.end == loop.begin) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        error("HCG303", where,
+              "vector loop starts at " + std::to_string(loop.begin) +
+                  " but no earlier scalar loop covers [0," +
+                  std::to_string(loop.begin) + ")");
+      }
+    }
+  }
+
+  void walk(const std::vector<cgir::Stmt>& body, const cgir::Stmt* loop) {
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      const cgir::Stmt& stmt = body[i];
+      if (stmt.kind == cgir::Stmt::Kind::kText) {
+        check_text(stmt, loop);
+        continue;
+      }
+      check_loop_shape(stmt, body, i);
+      scopes_.push_back({});
+      written_.push_back({});
+      walk(stmt.body, &stmt);
+      written_.pop_back();
+      scopes_.pop_back();
+    }
+  }
+
+  std::string func_;
+  std::vector<Diagnostic>& out_;
+  std::unordered_map<std::string, const cgir::BufferDecl*> decls_;
+  std::vector<std::unordered_set<std::string>> scopes_;
+  /// Buffers written so far, per open scope (for handoff detection).
+  std::vector<std::unordered_set<std::string>> written_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> verify_unit(const cgir::TranslationUnit& tu) {
+  std::vector<Diagnostic> out;
+  FunctionChecker init(tu, "init", out);
+  init.run(tu.init.body);
+  // HCG307 is a unit-level property; report it once (the init checker
+  // already did), so drop duplicates the step checker would re-find.
+  std::vector<Diagnostic> step_out;
+  FunctionChecker step(tu, "step", step_out);
+  step.run(tu.step.body);
+  for (Diagnostic& diag : step_out) {
+    if (diag.code == "HCG307") continue;
+    out.push_back(std::move(diag));
+  }
+  return out;
+}
+
+std::vector<Diagnostic> verify_arena_bindings(
+    const std::vector<cgir::ArenaBinding>& bindings) {
+  std::vector<Diagnostic> out;
+  std::unordered_map<std::string, std::vector<const cgir::ArenaBinding*>>
+      by_slot;
+  for (const cgir::ArenaBinding& binding : bindings) {
+    by_slot[binding.slot].push_back(&binding);
+  }
+  // Deterministic report order: iterate the original vector, compare each
+  // member against earlier members of its slot.
+  for (const cgir::ArenaBinding& binding : bindings) {
+    for (const cgir::ArenaBinding* other : by_slot[binding.slot]) {
+      if (other == &binding) break;
+      const bool disjoint = other->last_access < binding.first_write ||
+                            binding.last_access < other->first_write;
+      if (disjoint) continue;
+      Diagnostic diag;
+      diag.code = "HCG308";
+      diag.severity = Severity::kError;
+      diag.location = "arena slot '" + binding.slot + "'";
+      diag.message =
+          "buffers '" + other->buffer + "' [" +
+          std::to_string(other->first_write) + "," +
+          std::to_string(other->last_access) + "] and '" + binding.buffer +
+          "' [" + std::to_string(binding.first_write) + "," +
+          std::to_string(binding.last_access) +
+          "] share the slot but their live ranges overlap";
+      out.push_back(std::move(diag));
+    }
+  }
+  return out;
+}
+
+std::size_t require_valid_unit(const cgir::TranslationUnit& tu,
+                               const cgir::PassStats& stats,
+                               std::string_view stage) {
+  std::vector<Diagnostic> diags = verify_unit(tu);
+  std::vector<Diagnostic> arena = verify_arena_bindings(stats.arena_bindings);
+  diags.insert(diags.end(), std::make_move_iterator(arena.begin()),
+               std::make_move_iterator(arena.end()));
+  if (!diags.empty()) {
+    const Diagnostic& first = diags.front();
+    throw CodegenError("cgir verifier: invariant broken after pass '" +
+                       std::string(stage) + "': " + first.code + " at " +
+                       first.location + ": " + first.message +
+                       (diags.size() > 1
+                            ? " (+" + std::to_string(diags.size() - 1) +
+                                  " more)"
+                            : ""));
+  }
+  return 2;  // unit + arena checks both ran clean
+}
+
+}  // namespace hcg::analysis

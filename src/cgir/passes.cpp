@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/faults.hpp"
 #include "support/strings.hpp"
 
 namespace hcg::cgir {
@@ -524,15 +525,47 @@ void reuse_arena(TranslationUnit& tu, PassStats& stats) {
   if (before_bytes > after_bytes) {
     stats.arena_bytes_saved = before_bytes - after_bytes;
   }
+
+  // Record each rebinding with the live range that justified it, so the
+  // verifier can re-check slot disjointness (invisible in the renamed IR).
+  for (const auto& [name, slot] : slot_of) {
+    const LiveRange& range = ranges.at(name);
+    stats.arena_bindings.push_back(ArenaBinding{
+        slot_names[slot], name, range.first_write, range.last_access});
+  }
+}
+
+/// "cgir.pass" fault action: deliberately breaks the IR so the after-pass
+/// verifier (when installed) must catch it — the broken-pass drill of
+/// docs/ROBUSTNESS.md.  Two guaranteed-detectable mutations: the first step
+/// loop over-runs its domain by one, and a statement referencing an
+/// undeclared buffer appears.
+void corrupt_unit(TranslationUnit& tu) {
+  Stmt broken = Stmt::text_line("hcg_injected[0] = 1;");
+  broken.accesses.push_back(BufferAccess{"hcg_injected", true, false});
+  for (Stmt& stmt : tu.step.body) {
+    if (stmt.kind == Stmt::Kind::kLoop) {
+      stmt.end += 1;
+      break;
+    }
+  }
+  tu.step.body.push_back(std::move(broken));
 }
 
 }  // namespace
 
 PassStats run_passes(TranslationUnit& tu, const PassOptions& options) {
   PassStats stats;
+  auto checkpoint = [&](std::string_view pass) {
+    if (faults::probe("cgir.pass", pass) != faults::Action::kNone) {
+      corrupt_unit(tu);
+    }
+    if (options.after_pass) options.after_pass(pass, tu, stats);
+  };
   if (options.fuse_loops) {
     while (try_fuse_once(tu.step.body, stats)) {
     }
+    checkpoint("fuse_loops");
     for (Stmt& stmt : tu.step.body) {
       if (stmt.kind != Stmt::Kind::kLoop) continue;
       if (stmt.vector_loop || stmt.single_iteration) {
@@ -541,10 +574,13 @@ PassStats run_passes(TranslationUnit& tu, const PassOptions& options) {
         forward_scalar(stmt);
       }
     }
+    checkpoint("forward_copies");
     eliminate_dead_buffers(tu, stats);
+    checkpoint("eliminate_dead_buffers");
   }
   if (options.reuse_arena) {
     reuse_arena(tu, stats);
+    checkpoint("reuse_arena");
   }
   return stats;
 }

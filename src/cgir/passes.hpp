@@ -23,14 +23,40 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "cgir/cgir.hpp"
 
 namespace hcg::cgir {
 
+struct PassStats;
+
+/// Called after each pass with the pass's name and the rewritten unit.
+/// codegen installs the cgir verifier here (analysis/verifier.hpp), so a
+/// pass that breaks an invariant is caught naming the pass that broke it.
+/// The hook may throw; run_passes lets the exception propagate.
+using PassHook =
+    std::function<void(std::string_view pass, const TranslationUnit& tu,
+                       const PassStats& stats)>;
+
 struct PassOptions {
   bool fuse_loops = true;    // pass 1 + the forwarding it exposes (pass 2)
   bool reuse_arena = true;   // pass 3
+  PassHook after_pass;       // optional per-pass checkpoint (verifier)
+};
+
+/// One buffer the arena-reuse pass renamed onto a shared slot, with the live
+/// range (statement indices over the flattened step body) that justified the
+/// rebinding.  Kept in PassStats so the verifier can re-check disjointness:
+/// after renaming, overlaps are invisible in the IR itself.
+struct ArenaBinding {
+  std::string slot;    // arena slot buffer name the member was renamed to
+  std::string buffer;  // original buffer name
+  int first_write = -1;
+  int last_access = -1;
 };
 
 /// What the pipeline did, for the obs report and metrics.
@@ -40,6 +66,7 @@ struct PassStats {
   int buffers_eliminated = 0;   // handoff buffers deleted outright
   int buffers_rebound = 0;      // buffers renamed onto arena slots
   std::size_t arena_bytes_saved = 0;
+  std::vector<ArenaBinding> arena_bindings;  // one entry per rebound buffer
 };
 
 /// Runs the enabled passes over `tu` in place and reports their effect.

@@ -4,11 +4,13 @@
 // the result.  At -O0 the printed output is byte-identical to the historical
 // string-concatenation emitter.
 #include <algorithm>
+#include <cstdlib>
 #include <future>
 #include <set>
 
 #include "actors/catalog.hpp"
 #include "actors/exec.hpp"
+#include "analysis/verifier.hpp"
 #include "cgir/cgir.hpp"
 #include "cgir/passes.hpp"
 #include "codegen/generator.hpp"
@@ -562,18 +564,25 @@ class Emitter {
     for (size_t i = 0; i < ins.size(); ++i) {
       const Actor& port = model_.actor(ins[i]);
       const std::string ctype(c_name(port.output(0).type));
-      push(cgir::Stmt::text_line(
-          "const " + ctype + "* " + buffer_name_.at({ins[i], 0}) +
-          " = (const " + ctype + "*)inputs[" + std::to_string(i) + "];"));
+      const std::string& name = buffer_name_.at({ins[i], 0});
+      cgir::Stmt stmt = cgir::Stmt::text_line(
+          "const " + ctype + "* " + name + " = (const " + ctype + "*)inputs[" +
+          std::to_string(i) + "];");
+      // The pointer local is a definition the verifier tracks: later accesses
+      // to `name` resolve against this line, not a buffer declaration.
+      stmt.defines = name;
+      push(std::move(stmt));
     }
     const std::vector<ActorId> outs = model_.outports();
     for (size_t i = 0; i < outs.size(); ++i) {
       const Actor& port = model_.actor(outs[i]);
       const std::string ctype(c_name(port.input(0).type));
-      push(cgir::Stmt::text_line(ctype + "* out_" +
-                                 sanitize_identifier(port.name()) + " = (" +
-                                 ctype + "*)outputs[" + std::to_string(i) +
-                                 "];"));
+      const std::string name = "out_" + sanitize_identifier(port.name());
+      cgir::Stmt stmt = cgir::Stmt::text_line(ctype + "* " + name + " = (" +
+                                              ctype + "*)outputs[" +
+                                              std::to_string(i) + "];");
+      stmt.defines = name;
+      push(std::move(stmt));
     }
     push(cgir::Stmt::text_line(""));
 
@@ -837,12 +846,31 @@ class Emitter {
   // Passes + printing
   // ------------------------------------------------------------------
 
+  static bool verify_env_enabled() {
+    const char* env = std::getenv("HCG_VERIFY");
+    return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+  }
+
   void run_pass_pipeline() {
+    const bool verify = config_.verify_cgir || verify_env_enabled();
     cgir::PassStats stats;
+    if (verify) {
+      // Checkpoint "lower": the freshly lowered unit, before any pass.
+      analysis::require_valid_unit(tu_, stats, "lower");
+      out_.report.verified_passes.emplace_back("lower");
+    }
     if (config_.opt_level >= 1) {
       cgir::PassOptions options;
       options.fuse_loops = true;
       options.reuse_arena = config_.reuse_buffers;
+      if (verify) {
+        options.after_pass = [this](std::string_view pass,
+                                    const cgir::TranslationUnit& tu,
+                                    const cgir::PassStats& pass_stats) {
+          analysis::require_valid_unit(tu, pass_stats, pass);
+          out_.report.verified_passes.emplace_back(pass);
+        };
+      }
       stats = cgir::run_passes(tu_, options);
     }
     source_ = cgir::print(tu_);

@@ -56,6 +56,12 @@ struct EmitConfig {
   /// and — when reuse_buffers is set — arena rebinding of intermediate
   /// buffers (which replaces the legacy slot-reuse naming at -O1).
   int opt_level = 0;
+  /// Run the cgir verifier (analysis/verifier.hpp) over the lowered unit and
+  /// again after every -O1 pass; an invariant violation throws CodegenError
+  /// naming the pass that broke it.  Also enabled process-wide by the
+  /// HCG_VERIFY environment variable (any value except "" / "0"), which is
+  /// how the test suite keeps it always-on.
+  bool verify_cgir = false;
   /// Algorithm 1 implementation selection; false = generic implementations.
   bool select_intensive = false;
   synth::SelectionHistory* history = nullptr;  // used when select_intensive

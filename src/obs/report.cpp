@@ -85,7 +85,23 @@ std::string Report::to_json(bool include_metrics) const {
   w.key("arena").begin_object();
   w.key("bytes_saved").value(arena_bytes_saved);
   w.end_object();
+  w.key("verified_passes").begin_array();
+  for (const std::string& pass : verified_passes) w.value(pass);
+  w.end_array();
   w.end_object();
+
+  if (!diagnostics.empty()) {
+    w.key("diagnostics").begin_array();
+    for (const ReportDiagnostic& diag : diagnostics) {
+      w.begin_object();
+      w.key("code").value(diag.code);
+      w.key("severity").value(diag.severity);
+      w.key("location").value(diag.location);
+      w.key("message").value(diag.message);
+      w.end_object();
+    }
+    w.end_array();
+  }
 
   w.key("degraded").begin_array();
   for (const ReportFallback& fallback : degraded) {

@@ -64,6 +64,16 @@ struct ReportFallback {
   std::vector<ReportFailedCandidate> failures;
 };
 
+/// One diagnostic from the static-analysis layer (lint findings attached by
+/// hcgc, or verifier findings surfaced in degraded runs), mirrored here so
+/// the report is a complete machine-readable record of the run.
+struct ReportDiagnostic {
+  std::string code;      // stable "HCGnnn" code (docs/ANALYSIS.md)
+  std::string severity;  // "note" | "remark" | "warning" | "error"
+  std::string location;
+  std::string message;
+};
+
 struct Report {
   std::string model;
   std::string tool;
@@ -90,6 +100,13 @@ struct Report {
   int loops_fused = 0;                 // codegen.fusion.loops_fused
   int copies_elided = 0;               // codegen.fusion.copies_elided
   std::size_t arena_bytes_saved = 0;   // codegen.arena.bytes_saved
+
+  /// cgir verifier checkpoints that ran clean, in order ("lower" plus one
+  /// entry per -O1 pass).  Empty when verification was off for the run.
+  std::vector<std::string> verified_passes;
+
+  /// Static-analysis findings attached to this run (hcgc lint).
+  std::vector<ReportDiagnostic> diagnostics;
 
   // Selection-history statistics (filled by the driver when a history is in
   // play; hits+misses == 0 means no history was consulted).

@@ -5,6 +5,8 @@
 //                 [--report FILE] [--trace FILE] [--jobs N] [-O0|-O1]
 //                 [--dump-cgir]
 //   hcgc inspect  <model.xml> [--isa NAME|FILE]
+//   hcgc lint     <model.xml> [--isa NAME|FILE] [--threshold N]
+//                 [--Werror] [--no-remarks] [--sarif FILE] [--report FILE]
 //   hcgc verify   <model.xml> [--tool ...] [--isa ...] [--seed N]
 //                 [--cc-timeout SEC] [--cc-retries N]
 //   hcgc bench    <model.xml> [--isa NAME|FILE] [--seed N]
@@ -14,6 +16,12 @@
 //           The subcommand may be omitted: `hcgc model.xml [flags]` and
 //           `hcgc --flag ... model.xml` run generate.
 // inspect : print actors, classification, batch regions and their graphs.
+// lint    : static analysis (docs/ANALYSIS.md) — structural checks, type
+//           resolution, and vectorization-blocker remarks explaining per
+//           region why Algorithm 2 did or did not vectorize it.  Findings
+//           print to stdout; --sarif exports SARIF 2.1.0 for code scanning.
+//           Exit 0 when only warnings/remarks, 8 when errors were found
+//           (--Werror promotes warnings to errors first).
 // verify  : generate, compile with the host cc, run one step on random
 //           input, and compare against the built-in simulator.
 // bench   : compile all three tools' output and time steps side by side.
@@ -44,9 +52,14 @@
 //   --cc-retries N  spawn retries when the compiler process cannot start.
 //   HCG_FAULTS      deterministic fault injection spec (testing only).
 //
+// Static analysis (docs/ANALYSIS.md):
+//   --verify-cgir   run the cgir verifier after lowering and after every
+//                   -O1 pass (generate/verify/bench); equivalent to
+//                   HCG_VERIFY=1.
+//
 // Exit codes: 0 ok, 1 verify mismatch/other error, 2 usage, 3 parse error,
 // 4 invalid model, 5 synthesis failure, 6 codegen failure, 7 toolchain
-// failure, 70 internal error.
+// failure, 8 lint errors, 70 internal error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +70,9 @@
 
 #include "actors/catalog.hpp"
 #include "actors/resolve.hpp"
+#include "analysis/diagnostics.hpp"
+#include "analysis/linter.hpp"
+#include "analysis/sarif.hpp"
 #include "benchmodels/benchmodels.hpp"
 #include "codegen/generator.hpp"
 #include "graph/regions.hpp"
@@ -87,6 +103,9 @@ int usage() {
                "                [--report FILE] [--trace FILE] [--jobs N]\n"
                "                [-O0|-O1] [--dump-cgir]\n"
                "  hcgc inspect  <model.xml> [--isa NAME|FILE]\n"
+               "  hcgc lint     <model.xml> [--isa NAME|FILE] [--threshold N]\n"
+               "                [--Werror] [--no-remarks] [--sarif FILE]\n"
+               "                [--report FILE]\n"
                "  hcgc verify   <model.xml> [--tool ...] [--isa ...] [--seed N]\n"
                "                [--cc-timeout SEC] [--cc-retries N]\n"
                "  hcgc bench    <model.xml> [--isa NAME|FILE] [--seed N]\n"
@@ -94,9 +113,10 @@ int usage() {
                "(the generate subcommand may be omitted)\n"
                "env: HCG_LOG=debug|info|warn|error|off   HCG_TRACE=FILE|summary\n"
                "     HCG_JOBS=N synthesis worker threads (--jobs overrides)\n"
+               "     HCG_VERIFY=1 cgir verifier on (--verify-cgir equivalent)\n"
                "exit codes: 0 ok, 1 error/mismatch, 2 usage, 3 parse,\n"
                "            4 model, 5 synthesis, 6 codegen, 7 toolchain,\n"
-               "            70 internal\n");
+               "            8 lint errors, 70 internal\n");
   return 2;
 }
 
@@ -115,14 +135,18 @@ struct Options {
   int opt_level = -1;  // -1 = the tool's default (hcg: 1, baselines: 0)
   bool dump_cgir = false;
   bool scattered = false;
+  bool verify_cgir = false;
+  bool werror = false;       // lint: promote warnings to errors
+  bool no_remarks = false;   // lint: suppress HCG4xx remarks
+  std::string sarif_path;    // lint: SARIF 2.1.0 output file
   std::uint64_t seed = 42;
   double cc_timeout = -1.0;  // < 0 = CompileOptions default
   int cc_retries = -1;       // < 0 = CompileOptions default
 };
 
 bool known_command(const std::string& name) {
-  return name == "generate" || name == "inspect" || name == "verify" ||
-         name == "bench" || name == "isa";
+  return name == "generate" || name == "inspect" || name == "lint" ||
+         name == "verify" || name == "bench" || name == "isa";
 }
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -181,6 +205,14 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.opt_level = 1;
     } else if (arg == "--dump-cgir") {
       opt.dump_cgir = true;
+    } else if (arg == "--verify-cgir") {
+      opt.verify_cgir = true;
+    } else if (arg == "--Werror") {
+      opt.werror = true;
+    } else if (arg == "--no-remarks") {
+      opt.no_remarks = true;
+    } else if (arg == "--sarif") {
+      opt.sarif_path = value();
     } else if (!arg.empty() && arg[0] == '-') {
       throw Error("unknown option " + arg);
     } else if (position++ == 0) {
@@ -337,6 +369,43 @@ int cmd_inspect(const Options& opt) {
   return 0;
 }
 
+int cmd_lint(const Options& opt) {
+  Model model = load_model_file(opt.model_path);
+  isa::VectorIsa file_isa;
+  const isa::VectorIsa& table = resolve_isa(opt.isa_name, file_isa);
+
+  analysis::LintOptions lint;
+  lint.isa = &table;
+  lint.min_nodes_for_simd = opt.threshold;
+  lint.remarks = !opt.no_remarks;
+  analysis::DiagnosticEngine diags(opt.werror);
+  analysis::lint_model(model, lint, diags);
+
+  std::fputs(diags.render(opt.model_path).c_str(), stdout);
+  if (!opt.sarif_path.empty()) {
+    write_file(opt.sarif_path,
+               analysis::to_sarif(diags.diagnostics(), opt.model_path));
+    std::fprintf(stderr, "wrote sarif %s\n", opt.sarif_path.c_str());
+  }
+  if (!opt.report_path.empty()) {
+    obs::Report report;
+    report.model = model.name();
+    report.tool = "lint";
+    report.isa = table.name;
+    report.actor_count = model.actor_count();
+    for (const analysis::Diagnostic& diag : diags.diagnostics()) {
+      report.diagnostics.push_back(
+          {diag.code, std::string(analysis::severity_name(diag.severity)),
+           diag.location, diag.message});
+    }
+    write_file(opt.report_path, report.to_json());
+    std::fprintf(stderr, "wrote report %s\n", opt.report_path.c_str());
+  }
+  // Contract (docs/ANALYSIS.md): warnings and remarks exit 0, errors — or
+  // warnings under --Werror, which the engine already promoted — exit 8.
+  return diags.has_errors() ? 8 : 0;
+}
+
 int cmd_verify(const Options& opt) {
   Stopwatch load_timer;
   Model model = resolved(load_model_file(opt.model_path));
@@ -490,6 +559,8 @@ int main(int argc, char** argv) {
   }
   try {
     if (opt.jobs > 0) ThreadPool::set_default_parallelism(opt.jobs);
+    // The generator factories read HCG_VERIFY; the flag is its CLI spelling.
+    if (opt.verify_cgir) setenv("HCG_VERIFY", "1", /*overwrite=*/1);
     const bool tracing = setup_tracing(opt);
     int rc = 2;
     if (opt.command == "isa") {
@@ -500,6 +571,8 @@ int main(int argc, char** argv) {
       rc = cmd_generate(opt);
     } else if (opt.command == "inspect") {
       rc = cmd_inspect(opt);
+    } else if (opt.command == "lint") {
+      rc = cmd_lint(opt);
     } else if (opt.command == "verify") {
       rc = cmd_verify(opt);
     } else if (opt.command == "bench") {

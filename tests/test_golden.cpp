@@ -7,7 +7,7 @@
 // that the history really does make generation reproducible.
 //
 // Regenerate after an intentional emitter change with:
-//   HCG_UPDATE_GOLDEN=1 ./build/tests/hcg_integration_tests \
+//   HCG_UPDATE_GOLDEN=1 ./build/tests/hcg_integration_tests
 //       --gtest_filter='Golden/*'
 #include <gtest/gtest.h>
 

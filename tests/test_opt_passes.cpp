@@ -92,7 +92,9 @@ TEST_P(RemainderWidths, MatchesOracleAtO0AndO1) {
     // Both regions vectorize with identical loop shapes, so at least the
     // two main loops (and the two remainder loops when n % 4 != 0) fuse.
     EXPECT_GE(at_o1.report.loops_fused, 1) << "n=" << n;
-    if (n % 4 != 0) EXPECT_GE(at_o1.report.loops_fused, 2) << "n=" << n;
+    if (n % 4 != 0) {
+      EXPECT_GE(at_o1.report.loops_fused, 2) << "n=" << n;
+    }
   }
 }
 

@@ -286,7 +286,11 @@ TEST(ToolchainRobust, InjectedCompileTimeoutReportsTimeout) {
   } catch (const ToolchainError& e) {
     EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
   }
+#ifndef HCG_DISABLE_TRACING
   EXPECT_EQ(counter_value("toolchain.compile_timeouts"), timeouts_before + 1);
+#else
+  (void)timeouts_before;  // counters are no-ops without tracing
+#endif
 }
 
 TEST(ToolchainRobust, SecondCompileSucceedsAfterNthOccurrenceFault) {
