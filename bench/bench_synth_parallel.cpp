@@ -3,13 +3,10 @@
 // emission) of a 64-intensive-actor model at --jobs 1/2/4/8, plus the
 // single-flight dedup effect on a model whose actors share selection keys.
 //
-// Writes BENCH_synth_parallel.json (override the path with argv[1]) so the
-// perf trajectory has machine-readable data points:
-//
-//   { "bench": "synth_parallel", "actors": 64, "hardware_concurrency": N,
-//     "runs": [ {"jobs": 1, "best_seconds": ..., "speedup": 1.0}, ... ],
-//     "dedup": { "distinct_keys": 16, "precalc_runs": 16,
-//                "dedup_hits": 48, ... } }
+// Writes BENCH_synth_parallel.json (into argv[1], a directory, default ".")
+// in the shared hcg-bench-v1 schema (bench_util.hpp) so the perf trajectory
+// has machine-readable data points: per-jobs best emission time and speedup,
+// plus the single-flight dedup counters.
 //
 // Speedups scale with real cores: on a single-core container the jobs sweep
 // is flat (the pool cannot beat the hardware) while the dedup section still
@@ -17,10 +14,7 @@
 #include "bench_util.hpp"
 
 #include "isa/builtin.hpp"
-#include "obs/json.hpp"
 #include "synth/intensive.hpp"
-
-#include <thread>
 
 namespace {
 
@@ -59,8 +53,7 @@ double time_codegen(const Model& model, int jobs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path =
-      argc > 1 ? argv[1] : "BENCH_synth_parallel.json";
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
   const unsigned hw = std::thread::hardware_concurrency();
 
   const Model distinct = benchmodels::intensive_farm_model(kActors, true);
@@ -99,31 +92,26 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(dedup_hits),
               bench::format_seconds(dup_seconds).c_str());
 
-  // ---- machine-readable record -------------------------------------------
-  obs::JsonWriter json;
-  json.begin_object();
-  json.key("bench").value("synth_parallel");
-  json.key("model").value(distinct.name());
-  json.key("actors").value(kActors);
-  json.key("hardware_concurrency").value(static_cast<std::uint64_t>(hw));
-  json.key("runs").begin_array();
+  // ---- machine-readable record (hcg-bench-v1, shared writer) --------------
+  std::vector<bench::BenchMetric> metrics;
+  metrics.push_back(bench::count_metric("farm.actors", kActors));
   for (size_t i = 0; i < seconds.size(); ++i) {
-    json.begin_object();
-    json.key("jobs").value(kJobs[i]);
-    json.key("best_seconds").value(seconds[i]);
-    json.key("speedup").value(seconds[0] / seconds[i]);
-    json.end_object();
+    const std::string jobs = "jobs" + std::to_string(kJobs[i]);
+    metrics.push_back(bench::time_metric(
+        jobs + ".best_seconds",
+        bench::measured(jobs + ".best_seconds", seconds[i])));
+    metrics.push_back(
+        bench::ratio_metric(jobs + ".speedup", seconds[0] / seconds[i]));
   }
-  json.end_array();
-  json.key("dedup").begin_object();
-  json.key("model").value(duplicated.name());
-  json.key("actors").value(kActors);
-  json.key("precalc_runs").value(precalc_runs);
-  json.key("dedup_hits").value(dedup_hits);
-  json.key("best_seconds").value(dup_seconds);
-  json.end_object();
-  json.end_object();
-  write_file(out_path, json.take());
+  metrics.push_back(bench::count_metric("dedup.precalc_runs",
+                                        static_cast<double>(precalc_runs)));
+  metrics.push_back(bench::count_metric("dedup.dedup_hits",
+                                        static_cast<double>(dedup_hits)));
+  metrics.push_back(bench::time_metric(
+      "dedup.best_seconds",
+      bench::measured("dedup.best_seconds", dup_seconds)));
+  const std::string out_path = bench::write_bench_json(
+      out_dir, "synth_parallel", bench::bench_env(), metrics);
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -1,20 +1,27 @@
 // Shared benchmark harness helpers: compile-and-time generated models,
-// calibrated repetition counts, and aligned table printing.
+// calibrated repetition counts, aligned table printing, and the one
+// "hcg-bench-v1" writer every BENCH_*.json goes through (one escaper, one
+// formatter, one environment fingerprint — docs/PROFILING.md).
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "actors/resolve.hpp"
 #include "benchmodels/benchmodels.hpp"
 #include "codegen/generator.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "support/faults.hpp"
 #include "support/fileio.hpp"
 #include "support/logging.hpp"
 #include "support/stopwatch.hpp"
+#include "support/subprocess.hpp"
 #include "toolchain/compiled_model.hpp"
 #include "vm/interpreter.hpp"
 
@@ -169,6 +176,127 @@ inline std::string format_percent(double fraction) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
   return buf;
+}
+
+// ---- hcg-bench-v1: the one schema every BENCH_*.json uses -----------------
+//
+//   { "schema": "hcg-bench-v1", "suite": "codegen",
+//     "env": { "cpus": 8, "flags": "release", "git_rev": "ec5f69f" },
+//     "metrics": [ { "name": "fir.emit_seconds", "kind": "time",
+//                    "value": 0.0042, "unit": "s", "higher_better": false },
+//                  ... ] }
+//
+// `kind` decides how the regression gate (bench_runner --check) treats the
+// metric: "count" metrics are deterministic and compare exactly; "time" and
+// "ratio" metrics are noisy and compare against a threshold, and only when
+// the environment fingerprint matches the baseline's.
+
+struct BenchMetric {
+  std::string name;
+  std::string kind;  // "count" | "time" | "ratio"
+  double value = 0.0;
+  std::string unit;  // "s", "x", "" for plain counts
+  bool higher_better = false;
+};
+
+inline BenchMetric count_metric(std::string name, double value,
+                                std::string unit = "") {
+  return BenchMetric{std::move(name), "count", value, std::move(unit), false};
+}
+
+inline BenchMetric time_metric(std::string name, double seconds) {
+  return BenchMetric{std::move(name), "time", seconds, "s", false};
+}
+
+inline BenchMetric ratio_metric(std::string name, double value,
+                                bool higher_better = true) {
+  return BenchMetric{std::move(name), "ratio", value, "x", higher_better};
+}
+
+/// Environment fingerprint recorded with every bench run; --check refuses to
+/// gate noisy metrics when the current fingerprint disagrees with the
+/// baseline's (a 2-cpu CI runner must not fail a 32-cpu workstation's
+/// numbers).
+struct BenchEnv {
+  unsigned cpus = 0;
+  std::string flags;    // "release" | "debug"
+  std::string git_rev;  // short rev, "unknown" when git is unavailable
+};
+
+inline BenchEnv bench_env() {
+  BenchEnv env;
+  env.cpus = std::thread::hardware_concurrency();
+#ifdef NDEBUG
+  env.flags = "release";
+#else
+  env.flags = "debug";
+#endif
+  env.git_rev = "unknown";
+  try {
+    // HCG_DATA_DIR lives inside the source tree, so -C works from there.
+    SubprocessOptions options;
+    options.timeout_seconds = 10.0;
+    SubprocessResult git = run_subprocess(
+        {"git", "-C", HCG_DATA_DIR, "rev-parse", "--short", "HEAD"}, options);
+    if (git.ok()) {
+      std::string rev = git.output;
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+        rev.pop_back();
+      }
+      if (!rev.empty()) env.git_rev = rev;
+    }
+  } catch (...) {
+    // Fingerprint stays "unknown"; never fail a bench over missing git.
+  }
+  return env;
+}
+
+/// Wraps a measured duration in the "bench.measure" fault probe: any armed
+/// action inflates the reading 16x, which is how tests (and the CI smoke
+/// job) prove the regression gate actually fires.  All timing metrics must
+/// pass through here before being recorded.
+inline double measured(std::string_view metric_name, double seconds) {
+  if (faults::probe("bench.measure", metric_name) != faults::Action::kNone) {
+    return seconds * 16.0;
+  }
+  return seconds;
+}
+
+/// Serializes one suite's result as an hcg-bench-v1 document.
+inline std::string bench_json(const std::string& suite, const BenchEnv& env,
+                              const std::vector<BenchMetric>& metrics) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("hcg-bench-v1");
+  json.key("suite").value(suite);
+  json.key("env").begin_object();
+  json.key("cpus").value(static_cast<std::uint64_t>(env.cpus));
+  json.key("flags").value(env.flags);
+  json.key("git_rev").value(env.git_rev);
+  json.end_object();
+  json.key("metrics").begin_array();
+  for (const BenchMetric& m : metrics) {
+    json.begin_object();
+    json.key("name").value(m.name);
+    json.key("kind").value(m.kind);
+    json.key("value").value(m.value);
+    json.key("unit").value(m.unit);
+    json.key("higher_better").value(m.higher_better);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.take();
+}
+
+/// Writes BENCH_<suite>.json (hcg-bench-v1) into `dir` and returns the path.
+inline std::string write_bench_json(const std::string& dir,
+                                    const std::string& suite,
+                                    const BenchEnv& env,
+                                    const std::vector<BenchMetric>& metrics) {
+  const std::string path = dir + "/BENCH_" + suite + ".json";
+  write_file(path, bench_json(suite, env, metrics));
+  return path;
 }
 
 }  // namespace hcg::bench

@@ -91,6 +91,16 @@ const std::vector<DiagnosticRule>& diagnostic_rules() {
       {"HCG407", "no-simd-op",
        "the ISA has no single-instruction implementation for this op/type",
        Severity::kRemark},
+
+      // ---- HCG5xx: runtime profiling (docs/PROFILING.md) ----------------
+      {"HCG501", "costmodel-mispredict",
+       "measured runtime of a profiled site deviates from Algorithm 1's "
+       "selection-time cost beyond the error threshold",
+       Severity::kRemark},
+      {"HCG502", "profile-degraded",
+       "runtime profiling could not run; the report has no runtime_profile "
+       "section",
+       Severity::kWarning},
   };
   return rules;
 }

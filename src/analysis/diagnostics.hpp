@@ -9,6 +9,7 @@
 //   HCG2xx  graph / types     (lint: resolution, width & dtype mismatches)
 //   HCG3xx  cgir verifier     (invariant violations inside the codegen IR)
 //   HCG4xx  optimization remarks (why Algorithm 2 did / did not vectorize)
+//   HCG5xx  runtime profiling   (cost-model feedback from `hcgc profile`)
 //
 // The code table is the contract: docs/ANALYSIS.md documents every code, the
 // SARIF exporter publishes them as rules, and tests pin one triggering input

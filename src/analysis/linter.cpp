@@ -10,6 +10,7 @@
 #include "actors/resolve.hpp"
 #include "graph/regions.hpp"
 #include "model/schedule.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace hcg::analysis {
@@ -339,6 +340,7 @@ void lint_vectorization(const Model& model, const isa::VectorIsa& isa,
 
 void lint_model(Model& model, const LintOptions& options,
                 DiagnosticEngine& diags) {
+  HCG_TRACE_SCOPE("analysis.lint");
   lint_structure(model, diags);
   const bool resolved = lint_resolve(model, diags);
   if (resolved && options.isa != nullptr && options.remarks) {

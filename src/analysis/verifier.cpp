@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace hcg::analysis {
@@ -251,6 +252,7 @@ std::vector<Diagnostic> verify_arena_bindings(
 std::size_t require_valid_unit(const cgir::TranslationUnit& tu,
                                const cgir::PassStats& stats,
                                std::string_view stage) {
+  HCG_TRACE_SCOPE("cgir.verify");
   std::vector<Diagnostic> diags = verify_unit(tu);
   std::vector<Diagnostic> arena = verify_arena_bindings(stats.arena_bindings);
   diags.insert(diags.end(), std::make_move_iterator(arena.begin()),

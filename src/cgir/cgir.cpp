@@ -114,6 +114,7 @@ void dump_stmt(const Stmt& stmt, int depth, std::string& out) {
     if (stmt.is_load) out += " load=1";
     if (stmt.is_store) out += " store=1";
     if (!stmt.accesses.empty()) out += " acc=" + access_list(stmt.accesses);
+    if (!stmt.prof_tag.empty()) out += " prof=" + quoted(stmt.prof_tag);
     out += "\n";
     return;
   }
@@ -319,6 +320,7 @@ TranslationUnit parse_dump(const std::string& text) {
         stmt.is_load = field(fields, "load") == "1";
         stmt.is_store = field(fields, "store") == "1";
         stmt.accesses = parse_access_list(field(fields, "acc"));
+        stmt.prof_tag = field(fields, "prof");
         bodies.back()->push_back(std::move(stmt));
       } else {
         stmt.kind = Stmt::Kind::kLoop;

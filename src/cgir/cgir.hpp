@@ -43,6 +43,10 @@ struct Stmt {
   bool is_load = false;    // pure elementwise load into `defines`
   bool is_store = false;   // pure elementwise store of `stores_var`
   std::vector<BufferAccess> accesses;
+  /// Profiling site tag ("intensive:<actor>:<impl>") set by the emitter on
+  /// statements the --profile-gen instrumentation pass should wrap.  Empty
+  /// for everything else; carried losslessly through dump()/parse_dump().
+  std::string prof_tag;
 
   // ---- kLoop ---------------------------------------------------------
   int begin = 0;

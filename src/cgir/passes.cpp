@@ -585,4 +585,179 @@ PassStats run_passes(TranslationUnit& tu, const PassOptions& options) {
   return stats;
 }
 
+// ---------------------------------------------------------------------------
+// Profiling instrumentation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Labels end up inside C string literals and JSON; rather than escaping,
+/// restrict them to a charset that needs none in either context.
+std::string prof_sanitize(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_' || c == ':' || c == '-' ||
+                c == '.' || c == ',' || c == ' ' || c == '(' || c == ')' ||
+                c == '[' || c == '+' || c == '*' || c == '/';
+    out.push_back(safe ? c : '_');
+  }
+  return out;
+}
+
+long long loop_trips(const Stmt& loop) {
+  if (loop.single_iteration) return 1;
+  if (loop.step <= 0 || loop.end <= loop.begin) return 0;
+  return (static_cast<long long>(loop.end) - loop.begin + loop.step - 1) /
+         loop.step;
+}
+
+std::string loop_label(const Stmt& loop) {
+  if (loop.banner_actors > 0) {
+    std::string label = "batch_region(" + std::to_string(loop.banner_actors) +
+                        " actors";
+    if (!loop.banner_isa.empty()) label += ", " + loop.banner_isa;
+    return prof_sanitize(label + ")");
+  }
+  return "loop(" + std::to_string(loop.begin) + ".." +
+         std::to_string(loop.end) + " step " + std::to_string(loop.step) + ")";
+}
+
+constexpr std::string_view kIntensiveTagPrefix = "intensive:";
+
+}  // namespace
+
+std::vector<ProfileSite> instrument_profiling(TranslationUnit& tu,
+                                              const ProfileOptions& options) {
+  std::vector<ProfileSite> sites;
+  std::vector<Stmt> rebuilt;
+  rebuilt.reserve(tu.step.body.size());
+  int loop_count = 0;
+  int call_count = 0;
+  for (Stmt& stmt : tu.step.body) {
+    const bool is_loop = stmt.kind == Stmt::Kind::kLoop;
+    const bool is_call =
+        stmt.kind == Stmt::Kind::kText &&
+        stmt.prof_tag.compare(0, kIntensiveTagPrefix.size(),
+                              kIntensiveTagPrefix) == 0;
+    if (!is_loop && !is_call) {
+      rebuilt.push_back(std::move(stmt));
+      continue;
+    }
+    ProfileSite site;
+    if (is_loop) {
+      site.id = "L" + std::to_string(loop_count++);
+      site.kind = (stmt.vector_loop || stmt.single_iteration) ? "vector"
+                                                              : "scalar";
+      site.label = loop_label(stmt);
+      site.iters_per_call = loop_trips(stmt);
+    } else {
+      site.id = "I" + std::to_string(call_count++);
+      site.kind = "intensive";
+      site.label =
+          prof_sanitize(stmt.prof_tag.substr(kIntensiveTagPrefix.size()));
+      site.iters_per_call = 1;
+    }
+    const std::string idx = std::to_string(sites.size());
+    rebuilt.push_back(Stmt::text_line("HCG_PROF_ENTER(" + idx + ");"));
+    rebuilt.push_back(std::move(stmt));
+    rebuilt.push_back(Stmt::text_line(
+        "HCG_PROF_LEAVE(" + idx + ", " +
+        std::to_string(site.iters_per_call) + ");"));
+    sites.push_back(std::move(site));
+  }
+  tu.step.body = std::move(rebuilt);
+
+  // The counter arrays must have at least one element even for a site-less
+  // unit (zero-length arrays are not standard C); the dump loop still runs
+  // HCG_PROF_SITES times, so a pad entry is never reported.
+  const std::size_t array_len = sites.empty() ? 1 : sites.size();
+  std::string ids;
+  std::string kinds;
+  std::string labels;
+  for (const ProfileSite& site : sites) {
+    if (!ids.empty()) {
+      ids += ", ";
+      kinds += ", ";
+      labels += ", ";
+    }
+    ids += "\"" + site.id + "\"";
+    kinds += "\"" + site.kind + "\"";
+    labels += "\"" + site.label + "\"";
+  }
+  if (sites.empty()) {
+    ids = kinds = labels = "\"\"";
+  }
+
+  auto add = [&](std::string line) {
+    tu.header_lines.push_back(std::move(line));
+  };
+  const std::string len = std::to_string(array_len);
+  add("");
+  add("#ifdef HCG_PROF");
+  add("#include <stdint.h>");
+  add("#include <stdio.h>");
+  add("#include <time.h>");
+  add("#define HCG_PROF_SITES " + std::to_string(sites.size()));
+  add("static uint64_t hcg_prof_ns[" + len + "];");
+  add("static uint64_t hcg_prof_calls[" + len + "];");
+  add("static uint64_t hcg_prof_iters[" + len + "];");
+  add("static const char* const hcg_prof_site_id[" + len + "] = {" + ids +
+      "};");
+  add("static const char* const hcg_prof_site_kind[" + len + "] = {" + kinds +
+      "};");
+  add("static const char* const hcg_prof_site_label[" + len + "] = {" +
+      labels + "};");
+  add("#if defined(HCG_PROF_RDTSC) && (defined(__x86_64__) || defined(__i386__))");
+  add("#define HCG_PROF_CLOCK \"rdtsc\"");
+  add("static inline uint64_t hcg_prof_now_ns(void) {");
+  add("  uint32_t hcg_prof_lo, hcg_prof_hi;");
+  add("  __asm__ __volatile__(\"rdtsc\" : \"=a\"(hcg_prof_lo), \"=d\"(hcg_prof_hi));");
+  add("  return ((uint64_t)hcg_prof_hi << 32) | hcg_prof_lo;");
+  add("}");
+  add("#else");
+  add("#define HCG_PROF_CLOCK \"monotonic_ns\"");
+  add("static inline uint64_t hcg_prof_now_ns(void) {");
+  add("  struct timespec hcg_prof_ts;");
+  add("  clock_gettime(CLOCK_MONOTONIC, &hcg_prof_ts);");
+  add("  return (uint64_t)hcg_prof_ts.tv_sec * 1000000000u +");
+  add("         (uint64_t)hcg_prof_ts.tv_nsec;");
+  add("}");
+  add("#endif");
+  add("#define HCG_PROF_ENTER(idx) const uint64_t hcg_prof_t##idx = hcg_prof_now_ns()");
+  add("#define HCG_PROF_LEAVE(idx, n) do { \\");
+  add("    hcg_prof_ns[idx] += hcg_prof_now_ns() - hcg_prof_t##idx; \\");
+  add("    hcg_prof_calls[idx] += 1u; \\");
+  add("    hcg_prof_iters[idx] += (uint64_t)(n); \\");
+  add("  } while (0)");
+  add("int hcg_prof_dump(const char* path) {");
+  add("  FILE* hcg_prof_file = fopen(path, \"w\");");
+  add("  if (!hcg_prof_file) return -1;");
+  add(R"(  fprintf(hcg_prof_file, "{\n");)");
+  add(R"(  fprintf(hcg_prof_file, "  \"schema\": \"hcg-profile-v1\",\n");)");
+  add(R"(  fprintf(hcg_prof_file, "  \"model\": \")" +
+      prof_sanitize(options.model_name) + R"(\",\n");)");
+  add(R"(  fprintf(hcg_prof_file, "  \"clock\": \"" HCG_PROF_CLOCK "\",\n");)");
+  add(R"(  fprintf(hcg_prof_file, "  \"sites\": [");)");
+  add("  for (int hcg_prof_s = 0; hcg_prof_s < HCG_PROF_SITES; ++hcg_prof_s) {");
+  add(R"(    fprintf(hcg_prof_file, "%s\n    {\"id\": \"%s\", \"kind\": \"%s\", \"label\": \"%s\",",)");
+  add("            hcg_prof_s ? \",\" : \"\", hcg_prof_site_id[hcg_prof_s],");
+  add("            hcg_prof_site_kind[hcg_prof_s], hcg_prof_site_label[hcg_prof_s]);");
+  add(R"(    fprintf(hcg_prof_file, " \"ns\": %llu, \"calls\": %llu, \"iters\": %llu}",)");
+  add("            (unsigned long long)hcg_prof_ns[hcg_prof_s],");
+  add("            (unsigned long long)hcg_prof_calls[hcg_prof_s],");
+  add("            (unsigned long long)hcg_prof_iters[hcg_prof_s]);");
+  add("  }");
+  add(R"(  fprintf(hcg_prof_file, "\n  ]\n}\n");)");
+  add("  return fclose(hcg_prof_file) == 0 ? 0 : -1;");
+  add("}");
+  add("#else");
+  add("#define HCG_PROF_ENTER(idx)");
+  add("#define HCG_PROF_LEAVE(idx, n)");
+  add("#endif");
+
+  return sites;
+}
+
 }  // namespace hcg::cgir

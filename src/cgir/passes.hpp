@@ -72,4 +72,34 @@ struct PassStats {
 /// Runs the enabled passes over `tu` in place and reports their effect.
 PassStats run_passes(TranslationUnit& tu, const PassOptions& options);
 
+// ---------------------------------------------------------------------------
+// Profiling instrumentation (hcgc --profile-gen, docs/PROFILING.md)
+// ---------------------------------------------------------------------------
+
+/// One instrumented site of the step function: a region loop (vector body,
+/// scalar remainder, or a fused loop) or an intensive kernel call.
+struct ProfileSite {
+  std::string id;     // "L0", "L1", ... for loops; "I0", ... for calls
+  std::string kind;   // "vector" | "scalar" | "intensive"
+  std::string label;  // "batch_region(5 actors, neon)" or "actor:impl"
+  long long iters_per_call = 1;  // loop trips per step() call (1 for calls)
+};
+
+struct ProfileOptions {
+  std::string model_name;  // embedded into the hcg-profile-v1 dump
+};
+
+/// Wraps every top-level loop of the step body and every statement carrying
+/// an "intensive:" prof_tag in per-site nanosecond counters, and appends the
+/// profiling runtime (counter arrays, hcg_prof_now_ns(), hcg_prof_dump())
+/// to the unit's header.  Everything is guarded by the HCG_PROF preprocessor
+/// macro: compiled without -DHCG_PROF the instrumented source is behaviorally
+/// identical to the un-instrumented one (the macros expand to nothing).
+/// hcg_prof_dump(path) writes an "hcg-profile-v1" JSON file keyed by site id.
+/// Returns the site table in emission order.  Run this AFTER run_passes —
+/// it instruments the final loop structure, and the verifier checkpoints
+/// never see the injected statements.
+std::vector<ProfileSite> instrument_profiling(TranslationUnit& tu,
+                                              const ProfileOptions& options);
+
 }  // namespace hcg::cgir

@@ -839,6 +839,9 @@ class Emitter {
     stmt.accesses.push_back({out, true, false});
     stmt.accesses.push_back({in0, false, false});
     if (!in1.empty()) stmt.accesses.push_back({in1, false, false});
+    if (config_.profile_gen) {
+      stmt.prof_tag = "intensive:" + actor.name() + ":" + impl.id;
+    }
     push(std::move(stmt));
   }
 
@@ -872,6 +875,14 @@ class Emitter {
         };
       }
       stats = cgir::run_passes(tu_, options);
+    }
+    if (config_.profile_gen) {
+      // After the passes (the instrumented loops are the final ones) and
+      // after the last verifier checkpoint (the injected HCG_PROF_* text
+      // statements are not part of the verified dataflow).
+      cgir::ProfileOptions profile_options;
+      profile_options.model_name = model_.name();
+      out_.profile_sites = cgir::instrument_profiling(tu_, profile_options);
     }
     source_ = cgir::print(tu_);
     out_.cgir_dump = cgir::dump(tu_);

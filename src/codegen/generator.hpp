@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cgir/passes.hpp"
 #include "isa/instruction.hpp"
 #include "model/model.hpp"
 #include "obs/report.hpp"
@@ -62,6 +63,14 @@ struct EmitConfig {
   /// HCG_VERIFY environment variable (any value except "" / "0"), which is
   /// how the test suite keeps it always-on.
   bool verify_cgir = false;
+  /// Instrument the final unit with per-region profiling counters (the
+  /// `hcgc --profile-gen` surface; see docs/PROFILING.md).  The counters are
+  /// guarded by the HCG_PROF preprocessor macro, so without -DHCG_PROF the
+  /// compiled behavior is unchanged — but the emitted *text* differs, which
+  /// is why this is off by default (byte-identity with the historical
+  /// emitter).  Instrumentation runs after the -O1 passes and after the last
+  /// verifier checkpoint.
+  bool profile_gen = false;
   /// Algorithm 1 implementation selection; false = generic implementations.
   bool select_intensive = false;
   synth::SelectionHistory* history = nullptr;  // used when select_intensive
@@ -92,6 +101,10 @@ struct GeneratedCode {
   /// "cgir-v1" serialization of the translation unit after passes (the
   /// `hcgc --dump-cgir` surface; cgir::parse_dump() round-trips it).
   std::string cgir_dump;
+  /// Profiling sites instrumented into the unit (empty unless
+  /// EmitConfig::profile_gen); index order matches the HCG_PROF counters
+  /// and the `hcg-profile-v1` dump.
+  std::vector<cgir::ProfileSite> profile_sites;
 
   /// Structured account of this generation run: per-phase timings, every
   /// Algorithm 1 choice with its measured candidate times, and every
@@ -117,7 +130,8 @@ class Generator {
 std::unique_ptr<Generator> make_hcg_generator(const isa::VectorIsa& isa,
                                               synth::SelectionHistory* history = nullptr,
                                               synth::BatchOptions batch_options = {},
-                                              int opt_level = 1);
+                                              int opt_level = 1,
+                                              bool profile_gen = false);
 
 /// Simulink-Coder-like baseline: expression folding, variable reuse,
 /// unrolled scalar statements (Figure 2), generic intensive functions.

@@ -9,11 +9,13 @@ namespace {
 class HcgGenerator final : public Generator {
  public:
   HcgGenerator(const isa::VectorIsa& isa, synth::SelectionHistory* history,
-               synth::BatchOptions batch_options, int opt_level)
+               synth::BatchOptions batch_options, int opt_level,
+               bool profile_gen)
       : isa_(isa),
         history_(history),
         batch_options_(batch_options),
-        opt_level_(opt_level) {}
+        opt_level_(opt_level),
+        profile_gen_(profile_gen) {}
 
   std::string name() const override { return "hcg"; }
 
@@ -30,6 +32,7 @@ class HcgGenerator final : public Generator {
     // Coder path (paper §3: only the implementation part of actors changes).
     config.fold_scalar_expressions = true;
     config.reuse_buffers = true;
+    config.profile_gen = profile_gen_;
     return emit_model(model, config);
   }
 
@@ -39,6 +42,7 @@ class HcgGenerator final : public Generator {
   synth::SelectionHistory own_history_;
   synth::BatchOptions batch_options_;
   int opt_level_;
+  bool profile_gen_;
 };
 
 class SimulinkGenerator final : public Generator {
@@ -97,8 +101,9 @@ class DfsynthGenerator final : public Generator {
 std::unique_ptr<Generator> make_hcg_generator(const isa::VectorIsa& isa,
                                               synth::SelectionHistory* history,
                                               synth::BatchOptions batch_options,
-                                              int opt_level) {
-  return std::make_unique<HcgGenerator>(isa, history, batch_options, opt_level);
+                                              int opt_level, bool profile_gen) {
+  return std::make_unique<HcgGenerator>(isa, history, batch_options, opt_level,
+                                        profile_gen);
 }
 
 std::unique_ptr<Generator> make_simulink_generator(

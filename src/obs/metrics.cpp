@@ -145,8 +145,9 @@ std::string Registry::to_json() const {
     w.key("min").value(h->min());
     w.key("max").value(h->max());
     w.key("mean").value(h->mean());
-    w.key("p50").value(h->quantile(0.5));
-    w.key("p95").value(h->quantile(0.95));
+    w.key("p50").value(h->p50());
+    w.key("p95").value(h->p95());
+    w.key("p99").value(h->p99());
     w.end_object();
   }
   w.end_object();

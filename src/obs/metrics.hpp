@@ -73,6 +73,11 @@ class Histogram {
   }
   /// Approximate quantile (0..1) from the bucket boundaries.
   double quantile(double q) const;
+  /// The latency-reporting percentiles (the same values the registry's JSON
+  /// export carries for every histogram).
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
   void reset();
 
  private:

@@ -135,6 +135,30 @@ std::string Report::to_json(bool include_metrics) const {
     w.end_object();
   }
 
+  if (profile_reps > 0) {
+    w.key("runtime_profile").begin_object();
+    w.key("reps").value(profile_reps);
+    w.key("clock").value(profile_clock);
+    w.key("sites").begin_array();
+    for (const ReportProfileSite& site : runtime_profile) {
+      w.begin_object();
+      w.key("id").value(site.id);
+      w.key("kind").value(site.kind);
+      w.key("label").value(site.label);
+      w.key("ns").value(site.ns);
+      w.key("calls").value(site.calls);
+      w.key("iters").value(site.iters);
+      w.key("mean_ns_per_call").value(site.mean_ns_per_call);
+      if (site.predicted_ns >= 0) {
+        w.key("predicted_ns").value(site.predicted_ns);
+        w.key("abs_err_pct").value(site.abs_err_pct);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
   if (include_metrics) {
     // Splice the registry's own JSON object in as a sub-document.
     w.key("metrics");

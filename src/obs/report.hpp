@@ -74,6 +74,27 @@ struct ReportDiagnostic {
   std::string message;
 };
 
+/// One profiled site of the generated step function (`hcgc profile`): a
+/// region loop or an intensive kernel call, with the measured totals from
+/// the hcg-profile-v1 dump and — when Algorithm 1 measured this site during
+/// pre-calculation — the predicted cost it selected on and the resulting
+/// prediction error.
+struct ReportProfileSite {
+  std::string id;      // "L0", "I0", ... (instrumentation order)
+  std::string kind;    // "vector" | "scalar" | "intensive"
+  std::string label;   // "batch_region(5 actors, neon)" or "actor:impl"
+  std::uint64_t ns = 0;     // total time over all reps
+  std::uint64_t calls = 0;  // step() invocations observed
+  std::uint64_t iters = 0;  // loop trips (== calls for intensive sites)
+  double mean_ns_per_call = 0.0;
+  /// Algorithm 1's measured candidate time for the chosen implementation,
+  /// scaled to one call; < 0 when no prediction exists for this site
+  /// (region loops, history hits, generic implementations).
+  double predicted_ns = -1.0;
+  /// |measured - predicted| / predicted * 100; < 0 when no prediction.
+  double abs_err_pct = -1.0;
+};
+
 struct Report {
   std::string model;
   std::string tool;
@@ -117,6 +138,14 @@ struct Report {
   // Toolchain (filled when the generated code was actually compiled).
   double compile_ms = -1.0;  // < 0: not compiled
   std::string compile_command;
+
+  // Runtime profile (`hcgc profile`; docs/PROFILING.md).  Empty unless the
+  // generated code was instrumented, executed, and its hcg-profile-v1 dump
+  // ingested; profile_reps == 0 means no profile ran (the serialized report
+  // then has no "runtime_profile" section at all — the degraded shape).
+  std::vector<ReportProfileSite> runtime_profile;
+  int profile_reps = 0;
+  std::string profile_clock;  // "monotonic_ns" | "rdtsc"
 
   /// Fraction of region nodes that ended up in SIMD code, 0..1.
   double simd_coverage() const;

@@ -68,6 +68,10 @@ SubprocessResult run_compiler(const std::vector<std::string>& argv,
   SubprocessOptions sub;
   sub.timeout_seconds = options.timeout_seconds;
   sub.spawn_retries = options.spawn_retries;
+  // The spawn span lives here rather than in support/subprocess.cpp:
+  // hcg_support must not depend on hcg_obs (the dependency runs the other
+  // way), so the runner stays untraced and its call sites carry the span.
+  HCG_TRACE_SCOPE("toolchain.spawn");
   SubprocessResult result = run_subprocess(argv, sub);
   if (result.kind == ExitKind::kTimedOut) timeout_metric.add();
   if (result.attempts > 1) retry_metric.add(result.attempts - 1);

@@ -1,0 +1,60 @@
+// Runtime profiling of generated code (`hcgc profile`; docs/PROFILING.md).
+//
+// Takes a --profile-gen instrumented GeneratedCode, writes it plus a small
+// generated driver to a temp dir, compiles both with -DHCG_PROF into a
+// standalone harness executable, runs it for N repetitions of the step
+// function through the hardened subprocess runner, and ingests the
+// hcg-profile-v1 JSON the harness dumps.  Every failure mode — compiler
+// missing, compile error, harness crash/timeout, unparsable dump — degrades
+// to `ok == false` with a reason instead of throwing, so callers can fall
+// back to a profile-less report (the HCG502 path).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codegen/generator.hpp"
+#include "model/model.hpp"
+
+namespace hcg::toolchain {
+
+struct ProfileRunOptions {
+  std::string cc = "gcc";
+  std::string opt_flags = "-O2";
+  /// step() invocations the harness performs (after one warm-up call).
+  int reps = 200;
+  /// Wall-clock limit for the compile and for the harness run, each.
+  double timeout_seconds = 300.0;
+  int spawn_retries = 2;
+  /// Keep the temp directory with harness source and dump for inspection.
+  bool keep_artifacts = false;
+};
+
+/// One site's measured totals, straight from the hcg-profile-v1 dump.
+struct ProfileSiteSample {
+  std::string id;
+  std::string kind;
+  std::string label;
+  std::uint64_t ns = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t iters = 0;
+};
+
+struct ProfileResult {
+  bool ok = false;
+  std::string error;  // degrade reason when !ok
+  std::string clock;  // "monotonic_ns" | "rdtsc"
+  int reps = 0;
+  std::vector<ProfileSiteSample> sites;
+};
+
+/// Compiles and runs the profiling harness.  `code` must have been emitted
+/// with EmitConfig::profile_gen (checked: degrades otherwise), and
+/// `resolved_model` must be the resolved model it was generated from (port
+/// shapes size the harness I/O buffers).
+ProfileResult run_profile(const codegen::GeneratedCode& code,
+                          const Model& resolved_model,
+                          const ProfileRunOptions& options = {});
+
+}  // namespace hcg::toolchain

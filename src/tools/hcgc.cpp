@@ -10,6 +10,9 @@
 //   hcgc verify   <model.xml> [--tool ...] [--isa ...] [--seed N]
 //                 [--cc-timeout SEC] [--cc-retries N]
 //   hcgc bench    <model.xml> [--isa NAME|FILE] [--seed N]
+//   hcgc profile  <model.xml> [--isa NAME|FILE] [--reps N]
+//                 [--err-threshold PCT] [--report FILE] [--history FILE]
+//                 [--cc-timeout SEC] [--cc-retries N]
 //   hcgc isa      [NAME]
 //
 // generate: emit deployable C for a model (default: HCG against neon).
@@ -25,6 +28,12 @@
 // verify  : generate, compile with the host cc, run one step on random
 //           input, and compare against the built-in simulator.
 // bench   : compile all three tools' output and time steps side by side.
+// profile : generate with --profile-gen instrumentation, compile + run a
+//           standalone harness for N reps, and join each region's measured
+//           runtime against Algorithm 1's selection-time cost
+//           (docs/PROFILING.md).  When the harness cannot run the command
+//           degrades to a profile-less report with an HCG502 warning
+//           instead of failing.
 // isa     : list the built-in instruction tables, or dump one as text.
 //
 // Observability (docs/OBSERVABILITY.md):
@@ -46,6 +55,13 @@
 //   --dump-cgir     print the "cgir-v1" serialization of the optimized IR
 //                   instead of C source.
 //
+// Profiling (docs/PROFILING.md):
+//   --profile-gen   instrument the emitted unit with HCG_PROF counters
+//                   (generate, hcg tool only; off keeps output byte-identical).
+//   --reps N        step() repetitions the profile harness performs.
+//   --err-threshold PCT  prediction error (percent) above which profile
+//                   emits an HCG501 costmodel-mispredict remark.
+//
 // Robustness (docs/ROBUSTNESS.md):
 //   --cc-timeout S  wall-clock limit per compiler invocation (verify/bench);
 //                   a hung cc is killed, whole process group.
@@ -60,6 +76,7 @@
 // Exit codes: 0 ok, 1 verify mismatch/other error, 2 usage, 3 parse error,
 // 4 invalid model, 5 synthesis failure, 6 codegen failure, 7 toolchain
 // failure, 8 lint errors, 70 internal error.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -88,6 +105,7 @@
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
 #include "toolchain/compiled_model.hpp"
+#include "toolchain/profile_runner.hpp"
 #include "vm/interpreter.hpp"
 
 namespace {
@@ -109,6 +127,10 @@ int usage() {
                "  hcgc verify   <model.xml> [--tool ...] [--isa ...] [--seed N]\n"
                "                [--cc-timeout SEC] [--cc-retries N]\n"
                "  hcgc bench    <model.xml> [--isa NAME|FILE] [--seed N]\n"
+               "  hcgc profile  <model.xml> [--isa NAME|FILE] [--reps N]\n"
+               "                [--err-threshold PCT] [--report FILE]\n"
+               "                [--history FILE] [--cc-timeout SEC]\n"
+               "                [--cc-retries N]\n"
                "  hcgc isa      [NAME]\n"
                "(the generate subcommand may be omitted)\n"
                "env: HCG_LOG=debug|info|warn|error|off   HCG_TRACE=FILE|summary\n"
@@ -142,11 +164,15 @@ struct Options {
   std::uint64_t seed = 42;
   double cc_timeout = -1.0;  // < 0 = CompileOptions default
   int cc_retries = -1;       // < 0 = CompileOptions default
+  bool profile_gen = false;     // generate: instrument with HCG_PROF counters
+  int reps = 200;               // profile: harness step() repetitions
+  double err_threshold = 50.0;  // profile: HCG501 remark above this error %
 };
 
 bool known_command(const std::string& name) {
   return name == "generate" || name == "inspect" || name == "lint" ||
-         name == "verify" || name == "bench" || name == "isa";
+         name == "verify" || name == "bench" || name == "profile" ||
+         name == "isa";
 }
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -205,6 +231,16 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.opt_level = 1;
     } else if (arg == "--dump-cgir") {
       opt.dump_cgir = true;
+    } else if (arg == "--profile-gen") {
+      opt.profile_gen = true;
+    } else if (arg == "--reps") {
+      opt.reps = std::atoi(value());
+      if (opt.reps < 1) throw Error("--reps needs a positive count");
+    } else if (arg == "--err-threshold") {
+      opt.err_threshold = std::atof(value());
+      if (opt.err_threshold < 0) {
+        throw Error("--err-threshold needs a percentage >= 0");
+      }
     } else if (arg == "--verify-cgir") {
       opt.verify_cgir = true;
     } else if (arg == "--Werror") {
@@ -241,7 +277,11 @@ std::unique_ptr<codegen::Generator> make_tool(const Options& opt,
     synth::BatchOptions batch;
     batch.min_nodes_for_simd = opt.threshold;
     return codegen::make_hcg_generator(table, history, batch,
-                                       opt.opt_level < 0 ? 1 : opt.opt_level);
+                                       opt.opt_level < 0 ? 1 : opt.opt_level,
+                                       opt.profile_gen);
+  }
+  if (opt.profile_gen) {
+    throw Error("--profile-gen is only supported with --tool hcg");
   }
   const int level = opt.opt_level < 0 ? 0 : opt.opt_level;
   if (opt.tool == "simulink") {
@@ -504,6 +544,122 @@ int cmd_bench(const Options& opt) {
   return 0;
 }
 
+/// Joins the measured profile against Algorithm 1's selection-time costs:
+/// an intensive site whose implementation was selected by measurement this
+/// run gets the chosen candidate's pre-calculation time as its prediction.
+/// Loops, history hits, and generic implementations have no prediction.
+void join_predictions(const codegen::GeneratedCode& code,
+                      obs::Report& report, double err_threshold,
+                      analysis::DiagnosticEngine& diags) {
+  static obs::Histogram& err_metric =
+      obs::Registry::instance().histogram("synth.costmodel.abs_err_pct");
+  for (obs::ReportProfileSite& site : report.runtime_profile) {
+    if (site.calls > 0) {
+      site.mean_ns_per_call =
+          static_cast<double>(site.ns) / static_cast<double>(site.calls);
+    }
+    if (site.kind != "intensive") continue;
+    const std::string actor = site.label.substr(0, site.label.find(':'));
+    for (const obs::ReportIntensive& choice : code.report.intensive) {
+      if (choice.actor != actor || !choice.selected || choice.from_history) {
+        continue;
+      }
+      for (const obs::ReportCandidate& candidate : choice.candidates) {
+        if (candidate.impl != choice.impl) continue;
+        site.predicted_ns = candidate.ms * 1e6;
+        if (site.predicted_ns > 0 && site.mean_ns_per_call > 0) {
+          site.abs_err_pct =
+              std::abs(site.mean_ns_per_call - site.predicted_ns) /
+              site.predicted_ns * 100.0;
+          err_metric.observe(site.abs_err_pct);
+          if (site.abs_err_pct > err_threshold) {
+            char detail[160];
+            std::snprintf(detail, sizeof(detail),
+                          "measured %.0f ns/call vs predicted %.0f ns "
+                          "(%.1f%% error, threshold %.1f%%)",
+                          site.mean_ns_per_call, site.predicted_ns,
+                          site.abs_err_pct, err_threshold);
+            diags.remark("HCG501", "actor '" + actor + "'", detail);
+          }
+        }
+      }
+    }
+  }
+}
+
+int cmd_profile(Options opt) {
+  if (opt.tool != "hcg") {
+    throw Error("profile only supports --tool hcg");
+  }
+  opt.profile_gen = true;
+  Stopwatch load_timer;
+  Model model = resolved(load_model_file(opt.model_path));
+  const double load_ms = load_timer.elapsed_seconds() * 1e3;
+  isa::VectorIsa file_isa;
+  const isa::VectorIsa& table = resolve_isa(opt.isa_name, file_isa);
+
+  synth::SelectionHistory history;
+  if (!opt.history_path.empty() &&
+      std::filesystem::exists(opt.history_path)) {
+    history = synth::SelectionHistory::load(opt.history_path, nullptr);
+  }
+
+  auto tool = make_tool(opt, table, &history);
+  codegen::GeneratedCode code = tool->generate(model);
+  warn_degraded(code);
+  if (!opt.history_path.empty()) history.save(opt.history_path);
+
+  toolchain::ProfileRunOptions run;
+  run.reps = opt.reps;
+  if (opt.cc_timeout >= 0) run.timeout_seconds = opt.cc_timeout;
+  if (opt.cc_retries >= 0) run.spawn_retries = opt.cc_retries;
+  const toolchain::ProfileResult prof = toolchain::run_profile(code, model, run);
+
+  analysis::DiagnosticEngine diags;
+  if (!prof.ok) {
+    // Degraded: the report simply has no runtime_profile section.
+    diags.warning("HCG502", "", prof.error);
+  } else {
+    code.report.profile_reps = prof.reps;
+    code.report.profile_clock = prof.clock;
+    for (const toolchain::ProfileSiteSample& sample : prof.sites) {
+      obs::ReportProfileSite site;
+      site.id = sample.id;
+      site.kind = sample.kind;
+      site.label = sample.label;
+      site.ns = sample.ns;
+      site.calls = sample.calls;
+      site.iters = sample.iters;
+      code.report.runtime_profile.push_back(std::move(site));
+    }
+    join_predictions(code, code.report, opt.err_threshold, diags);
+
+    std::printf("%-4s %-10s %-34s %14s %12s %13s %8s\n", "site", "kind",
+                "label", "ns/call", "iters", "predicted_ns", "err%");
+    for (const obs::ReportProfileSite& site : code.report.runtime_profile) {
+      std::printf("%-4s %-10s %-34s %14.1f %12llu", site.id.c_str(),
+                  site.kind.c_str(), site.label.c_str(),
+                  site.mean_ns_per_call,
+                  static_cast<unsigned long long>(site.iters));
+      if (site.predicted_ns >= 0) {
+        std::printf(" %13.1f %7.1f%%", site.predicted_ns, site.abs_err_pct);
+      }
+      std::printf("\n");
+    }
+    std::printf("%d reps, clock %s\n", prof.reps, prof.clock.c_str());
+  }
+  for (const analysis::Diagnostic& diag : diags.diagnostics()) {
+    code.report.diagnostics.push_back(
+        {diag.code, std::string(analysis::severity_name(diag.severity)),
+         diag.location, diag.message});
+  }
+  std::fputs(diags.render(opt.model_path).c_str(), stderr);
+  finish_report(opt, code, load_ms, history);
+  // Degraded profiling still exits 0: the report (minus runtime_profile)
+  // is valid and the HCG502 warning carries the reason.
+  return 0;
+}
+
 int cmd_isa(const Options& opt) {
   if (opt.model_path.empty()) {
     for (const std::string& name : isa::builtin_names()) {
@@ -577,6 +733,8 @@ int main(int argc, char** argv) {
       rc = cmd_verify(opt);
     } else if (opt.command == "bench") {
       rc = cmd_bench(opt);
+    } else if (opt.command == "profile") {
+      rc = cmd_profile(opt);
     } else {
       return usage();
     }

@@ -256,6 +256,41 @@ TEST(ObsMetrics, HistogramTracksStatistics) {
   EXPECT_LE(h.quantile(1.0), 2048.0);
 }
 
+TEST(ObsMetrics, HistogramPercentileAccessors) {
+  obs::Histogram& h = obs::Registry::instance().histogram("test.hist.pctl");
+  h.reset();
+  // 100 samples: 97 fast ones in [2,4), three stragglers in [1024,2048).
+  for (int i = 0; i < 97; ++i) h.observe(3.0);
+  for (int i = 0; i < 3; ++i) h.observe(1500.0);
+  EXPECT_EQ(h.p50(), h.quantile(0.50));
+  EXPECT_EQ(h.p95(), h.quantile(0.95));
+  EXPECT_EQ(h.p99(), h.quantile(0.99));
+  // p50/p95 sit in the fast bucket, p99 must surface the straggler bucket.
+  EXPECT_GE(h.p50(), 2.0);
+  EXPECT_LT(h.p50(), 4.0);
+  EXPECT_GE(h.p95(), 2.0);
+  EXPECT_LT(h.p95(), 4.0);
+  EXPECT_GE(h.p99(), 1024.0);
+  EXPECT_LE(h.p99(), 2048.0);
+  // Empty histogram: every percentile reads zero.
+  h.reset();
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(ObsMetrics, RegistryJsonCarriesP99) {
+  obs::Histogram& h = obs::Registry::instance().histogram("test.hist.p99json");
+  h.reset();
+  h.observe(8.0);
+  const obs::JsonValue doc =
+      obs::json_parse(obs::Registry::instance().to_json());
+  const obs::JsonValue* hist =
+      doc.at("histograms").find("test.hist.p99json");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_NE(hist->find("p99"), nullptr);
+  EXPECT_DOUBLE_EQ(hist->find("p99")->number, h.p99());
+}
+
 #endif  // HCG_DISABLE_TRACING
 
 // ---------------------------------------------------------------------------

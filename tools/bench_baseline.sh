@@ -1,0 +1,26 @@
+#!/bin/sh
+# Refreshes the committed bench baseline (bench/baseline/BENCH_*.json).
+#
+# Run this deliberately when a codegen change moves a deterministic count
+# metric (the gate fails with DRIFT until the baseline matches again) or
+# when the standing performance level legitimately changed.  Commit the
+# regenerated JSON together with the change that moved the numbers.
+#
+#   tools/bench_baseline.sh [build-dir]
+#
+# The recorded environment fingerprint (cpu count, build flags, git rev) is
+# embedded in each file; `bench_runner --check` only gates noisy time/ratio
+# metrics when the checking machine's cpu count matches it.
+set -eu
+
+repo_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_dir/build"}
+runner="$build_dir/bench/bench_runner"
+
+if [ ! -x "$runner" ]; then
+  echo "building bench_runner..." >&2
+  cmake --build "$build_dir" --target bench_runner -j
+fi
+
+"$runner" --record --out "$repo_dir/bench/baseline"
+echo "baseline refreshed; review and commit bench/baseline/BENCH_*.json" >&2
