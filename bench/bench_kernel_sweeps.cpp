@@ -136,6 +136,24 @@ int main(int argc, char** argv) {
         ->Arg(n);
   }
 
+  // Blocked-tile sweep at sizes past the unrolled forms: the generic
+  // row-column loop against the two cache-blocked tile widths Algorithm 1
+  // measures, across matrices on both sides of the L1 boundary.
+  for (int n : {32, 96, 128}) {
+    benchmark::RegisterBenchmark(
+        "matmul_generic",
+        [](benchmark::State& s) { run_matmul(s, &hcg_matmul_generic_f32); })
+        ->Arg(n)->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        "matmul_blocked8",
+        [](benchmark::State& s) { run_matmul(s, &hcg_matmul_blocked8_f32); })
+        ->Arg(n)->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        "matmul_blocked32",
+        [](benchmark::State& s) { run_matmul(s, &hcg_matmul_blocked32_f32); })
+        ->Arg(n)->Unit(benchmark::kMicrosecond);
+  }
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -39,8 +39,10 @@ constexpr int kFarmActors = 16;
 // ---- suites ---------------------------------------------------------------
 
 codegen::GeneratedCode emit_hcg(const Model& model,
-                                synth::SelectionHistory* history) {
-  auto hcg = codegen::make_hcg_generator(isa::builtin("neon_sim"), history);
+                                synth::SelectionHistory* history,
+                                int opt_level = 1) {
+  auto hcg = codegen::make_hcg_generator(isa::builtin("neon_sim"), history, {},
+                                         opt_level);
   return hcg->generate(model);
 }
 
@@ -82,6 +84,35 @@ std::vector<bench::BenchMetric> suite_codegen() {
         m + ".static_buffer_bytes",
         static_cast<double>(code.static_buffer_bytes), "B"));
   }
+
+  // -O2 pass facts (PR 7), all deterministic counts.  mixed_pipeline has a
+  // deliberate scale boundary, so cross-scale fusion must fire; the dfsynth
+  // leg is all scalar loops, so the tiling and layout passes must fire.
+  {
+    Model model = resolved(benchmodels::mixed_pipeline_model(1024));
+    synth::SelectionHistory history;
+    codegen::GeneratedCode code = emit_hcg(model, &history, 2);
+    const obs::Report& r = code.report;
+    metrics.push_back(bench::count_metric(
+        "mixed_pipeline.o2.cross_scale_fused", r.cross_scale_fused));
+    metrics.push_back(bench::count_metric(
+        "mixed_pipeline.o2.stride1_accesses", r.stride1_accesses));
+    metrics.push_back(bench::count_metric(
+        "mixed_pipeline.o2.simd_instructions",
+        static_cast<double>(code.simd_instructions.size())));
+  }
+  {
+    Model model = resolved(benchmodels::fir_model(1024));
+    codegen::GeneratedCode code =
+        codegen::make_dfsynth_generator(2)->generate(model);
+    const obs::Report& r = code.report;
+    metrics.push_back(bench::count_metric(
+        "fir_bench.dfsynth_o2.loops_tiled", r.loops_tiled));
+    metrics.push_back(bench::count_metric(
+        "fir_bench.dfsynth_o2.buffers_relocated", r.buffers_relocated));
+    metrics.push_back(bench::count_metric(
+        "fir_bench.dfsynth_o2.stride1_accesses", r.stride1_accesses));
+  }
   return metrics;
 }
 
@@ -121,6 +152,70 @@ std::vector<bench::BenchMetric> suite_exec() {
       std::fprintf(stderr, "warning: exec suite skipped '%s': %s\n",
                    m.c_str(), e.what());
     }
+  }
+
+  // -O2 vs -O1 on the cross-scale fusion workload: the measured win the
+  // tentpole claims, gated against the committed baseline.
+  try {
+    Model model = resolved(benchmodels::mixed_pipeline_model(4096));
+    bench::IoBinding io = bench::bind_io(model);
+    synth::SelectionHistory history;
+    codegen::GeneratedCode o1_code = emit_hcg(model, &history, 1);
+    codegen::GeneratedCode o2_code = emit_hcg(model, &history, 2);
+
+    toolchain::CompiledModel o1_bin = bench::compile(o1_code);
+    bench::verify_against_oracle(o1_bin, model, io, 2e-2);
+    const double o1_s =
+        bench::time_steps(o1_bin, io.in_ptrs, io.out_ptrs).seconds_per_step;
+
+    toolchain::CompiledModel o2_bin = bench::compile(o2_code);
+    bench::verify_against_oracle(o2_bin, model, io, 2e-2);
+    const double o2_s =
+        bench::time_steps(o2_bin, io.in_ptrs, io.out_ptrs).seconds_per_step;
+
+    const double step =
+        bench::measured("mixed_pipeline.o2_step_seconds", o2_s);
+    metrics.push_back(
+        bench::time_metric("mixed_pipeline.o2_step_seconds", step));
+    metrics.push_back(bench::ratio_metric("mixed_pipeline.o2_speedup_vs_o1",
+                                          o1_s / std::max(step, 1e-12)));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: exec suite skipped 'mixed_pipeline': %s\n",
+                 e.what());
+  }
+
+  // Algorithm 1's measured tile choice on a 96x96 MatMul: the selected
+  // cache-blocked kernel against the generic row-column fallback the
+  // baseline tools use.
+  try {
+    Model model = resolved(benchmodels::matmul_pipeline_model(96));
+    bench::IoBinding io = bench::bind_io(model);
+    synth::SelectionHistory history;
+    codegen::GeneratedCode hcg_code = emit_hcg(model, &history, 2);
+    codegen::GeneratedCode generic_code =
+        codegen::make_dfsynth_generator()->generate(model);
+
+    toolchain::CompiledModel hcg_bin = bench::compile(hcg_code);
+    bench::verify_against_oracle(hcg_bin, model, io, 2e-2);
+    const double hcg_s =
+        bench::time_steps(hcg_bin, io.in_ptrs, io.out_ptrs).seconds_per_step;
+
+    toolchain::CompiledModel generic_bin = bench::compile(generic_code);
+    bench::verify_against_oracle(generic_bin, model, io, 2e-2);
+    const double generic_s =
+        bench::time_steps(generic_bin, io.in_ptrs, io.out_ptrs)
+            .seconds_per_step;
+
+    const double step =
+        bench::measured("matmul_pipeline.step_seconds", hcg_s);
+    metrics.push_back(
+        bench::time_metric("matmul_pipeline.step_seconds", step));
+    metrics.push_back(bench::ratio_metric(
+        "matmul_pipeline.blocked_speedup_vs_generic",
+        generic_s / std::max(step, 1e-12)));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: exec suite skipped 'matmul_pipeline': %s\n",
+                 e.what());
   }
   return metrics;
 }
@@ -211,12 +306,44 @@ void check_suite(const std::string& suite, const obs::JsonValue& baseline,
                  const std::vector<bench::BenchMetric>& current,
                  const bench::BenchEnv& env, double threshold_pct, bool strict,
                  CheckStats& stats) {
+  // Environment fingerprint: noisy metrics only gate when every recorded
+  // field matches.  `mismatch` names the first disagreeing field so the
+  // skip line says *why* the baseline does not apply here.  Fields the
+  // baseline never recorded (older schema) constrain nothing.
   const obs::JsonValue* base_env = baseline.find("env");
-  const std::uint64_t base_cpus =
-      base_env != nullptr && base_env->find("cpus") != nullptr
-          ? static_cast<std::uint64_t>(base_env->find("cpus")->number)
-          : 0;
-  const bool env_match = base_cpus == env.cpus;
+  std::string mismatch;
+  char detail[160] = "";
+  if (const obs::JsonValue* v = base_env ? base_env->find("cpus") : nullptr) {
+    const auto base_cpus = static_cast<std::uint64_t>(v->number);
+    if (base_cpus != env.cpus) {
+      mismatch = "cpus";
+      std::snprintf(detail, sizeof(detail), "baseline cpus=%llu, here %u",
+                    static_cast<unsigned long long>(base_cpus), env.cpus);
+    }
+  }
+  if (mismatch.empty()) {
+    if (const obs::JsonValue* v =
+            base_env ? base_env->find("jobs") : nullptr) {
+      const auto base_jobs = static_cast<std::uint64_t>(v->number);
+      if (base_jobs != env.jobs) {
+        mismatch = "jobs";
+        std::snprintf(detail, sizeof(detail),
+                      "baseline HCG_JOBS=%llu, here %u",
+                      static_cast<unsigned long long>(base_jobs), env.jobs);
+      }
+    }
+  }
+  if (mismatch.empty()) {
+    if (const obs::JsonValue* v = base_env ? base_env->find("cc") : nullptr) {
+      if (v->string != env.cc) {
+        mismatch = "cc";
+        std::snprintf(detail, sizeof(detail),
+                      "baseline cc '%s', here '%s'", v->string.c_str(),
+                      env.cc.c_str());
+      }
+    }
+  }
+  const bool env_match = mismatch.empty();
 
   const obs::JsonValue* base_metrics = baseline.find("metrics");
   if (base_metrics == nullptr || !base_metrics->is_array()) {
@@ -260,9 +387,8 @@ void check_suite(const std::string& suite, const obs::JsonValue& baseline,
 
     // Noisy metric: only gate on a matching environment fingerprint.
     if (!env_match && !strict) {
-      std::printf("  SKIP       %-34s (baseline cpus=%llu, here %u)\n",
-                  name.c_str(),
-                  static_cast<unsigned long long>(base_cpus), env.cpus);
+      std::printf("  SKIP       %-34s (env '%s' differs: %s)\n", name.c_str(),
+                  mismatch.c_str(), detail);
       ++stats.skipped;
       continue;
     }

@@ -219,6 +219,12 @@ inline BenchMetric ratio_metric(std::string name, double value,
 /// numbers).
 struct BenchEnv {
   unsigned cpus = 0;
+  /// HCG_JOBS at record time (0 = unset): a baseline recorded with pinned
+  /// worker threads must not gate a run using the hardware default.
+  unsigned jobs = 0;
+  /// First line of `gcc --version` ("unknown" without a toolchain): exec
+  /// suite numbers depend on the compiler that built the generated code.
+  std::string cc;
   std::string flags;    // "release" | "debug"
   std::string git_rev;  // short rev, "unknown" when git is unavailable
 };
@@ -226,11 +232,28 @@ struct BenchEnv {
 inline BenchEnv bench_env() {
   BenchEnv env;
   env.cpus = std::thread::hardware_concurrency();
+  if (const char* jobs_env = std::getenv("HCG_JOBS");
+      jobs_env != nullptr && *jobs_env != '\0') {
+    const int parsed = std::atoi(jobs_env);
+    if (parsed > 0) env.jobs = static_cast<unsigned>(parsed);
+  }
 #ifdef NDEBUG
   env.flags = "release";
 #else
   env.flags = "debug";
 #endif
+  env.cc = "unknown";
+  try {
+    SubprocessOptions cc_options;
+    cc_options.timeout_seconds = 10.0;
+    SubprocessResult cc = run_subprocess({"gcc", "--version"}, cc_options);
+    if (cc.ok() && !cc.output.empty()) {
+      const std::size_t eol = cc.output.find('\n');
+      env.cc = cc.output.substr(0, eol);
+    }
+  } catch (...) {
+    // Fingerprint stays "unknown"; never fail a bench over a missing cc.
+  }
   env.git_rev = "unknown";
   try {
     // HCG_DATA_DIR lives inside the source tree, so -C works from there.
@@ -271,6 +294,8 @@ inline std::string bench_json(const std::string& suite, const BenchEnv& env,
   json.key("suite").value(suite);
   json.key("env").begin_object();
   json.key("cpus").value(static_cast<std::uint64_t>(env.cpus));
+  json.key("jobs").value(static_cast<std::uint64_t>(env.jobs));
+  json.key("cc").value(env.cc);
   json.key("flags").value(env.flags);
   json.key("git_rev").value(env.git_rev);
   json.end_object();

@@ -67,6 +67,10 @@ const std::vector<DiagnosticRule>& diagnostic_rules() {
       {"HCG308", "arena-overlap",
        "arena rebinding put two live ranges in one slot that overlap in time",
        Severity::kError},
+      {"HCG309", "strip-coverage",
+       "strip-mined lane loop does not cover exactly one stride of its "
+       "outer loop",
+       Severity::kError},
 
       // ---- HCG4xx: vectorization remarks --------------------------------
       {"HCG400", "region-vectorized",
@@ -90,6 +94,16 @@ const std::vector<DiagnosticRule>& diagnostic_rules() {
        "a non-batch actor interrupts a batch chain", Severity::kRemark},
       {"HCG407", "no-simd-op",
        "the ISA has no single-instruction implementation for this op/type",
+       Severity::kRemark},
+      {"HCG408", "fused-across-scale",
+       "-O2 strip-mined a scalar loop into an adjacent vector loop's shape "
+       "and fused the pair",
+       Severity::kRemark},
+      {"HCG409", "loop-tiled",
+       "-O2 chunked a scalar loop into constant-trip tiles plus a tail",
+       Severity::kRemark},
+      {"HCG410", "layout-changed",
+       "-O2 re-ordered buffer declarations for coalesced stride-1 access",
        Severity::kRemark},
 
       // ---- HCG5xx: runtime profiling (docs/PROFILING.md) ----------------

@@ -136,11 +136,48 @@ class FunctionChecker {
 
   void check_loop_shape(const cgir::Stmt& loop,
                         const std::vector<cgir::Stmt>& siblings,
-                        std::size_t index) {
+                        std::size_t index, const cgir::Stmt* parent) {
     const std::string where = loop_desc(loop);
     if (loop.step < 1 || loop.begin < 0 || loop.end < loop.begin) {
       error("HCG303", where, "malformed iteration domain");
       return;
+    }
+    if (loop.strip_mined) {
+      // A strip-mined lane loop must sit directly inside a loop and cover
+      // exactly one outer stride: [0, parent step) by 1, with a distinct
+      // induction variable — together the pair walks the outer domain.
+      if (parent == nullptr) {
+        error("HCG309", where,
+              "strip-mined loop is not nested inside an outer loop");
+      } else if (loop.begin != 0 || loop.step != 1 ||
+                 loop.end != parent->step) {
+        error("HCG309", where,
+              "strip-mined loop does not cover exactly one stride of its "
+              "outer loop (expected [0," +
+                  std::to_string(parent->step) + ") step 1)");
+      } else if (loop.induction_var == parent->induction_var) {
+        error("HCG309", where,
+              "strip-mined loop reuses its outer loop's induction variable "
+              "'" + parent->induction_var + "'");
+      }
+    }
+    if (!loop.vector_loop && !loop.strip_mined && loop.begin > 0) {
+      // A scalar tail produced by tiling: some earlier sibling loop must
+      // end exactly where this one begins, so the pair covers [0, end).
+      bool covered = false;
+      for (std::size_t j = 0; j < index; ++j) {
+        const cgir::Stmt& prev = siblings[j];
+        if (prev.kind != cgir::Stmt::Kind::kLoop) continue;
+        if (prev.end == loop.begin) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        error("HCG303", where,
+              "scalar loop starts at " + std::to_string(loop.begin) +
+                  " but no earlier sibling loop ends there");
+      }
     }
     if (loop.single_iteration && loop.end != loop.begin + loop.step) {
       error("HCG303", where,
@@ -181,10 +218,13 @@ class FunctionChecker {
         check_text(stmt, loop);
         continue;
       }
-      check_loop_shape(stmt, body, i);
+      check_loop_shape(stmt, body, i, loop);
       scopes_.push_back({});
       written_.push_back({});
-      walk(stmt.body, &stmt);
+      // A strip-mined lane loop's elementwise accesses belong to the
+      // *enclosing* loop's iteration domain, so keep that loop as the
+      // bound-check context (HCG301) when descending into it.
+      walk(stmt.body, stmt.strip_mined && loop != nullptr ? loop : &stmt);
       written_.pop_back();
       scopes_.pop_back();
     }

@@ -171,6 +171,26 @@ Model intensive_farm_model(int actors, bool distinct_keys) {
   return b.take();
 }
 
+Model mixed_pipeline_model(int n) {
+  ModelBuilder b("mixed_pipeline");
+  PortRef a = b.inport("a", DataType::kInt8, Shape{n});
+  PortRef bb = b.inport("b", DataType::kInt8, Shape{n});
+  PortRef s = b.actor("s", "Add", {a, bb});
+  PortRef m = b.actor("m", "Mul", {s, bb});
+  PortRef y = b.actor("y_sub", "Sub", {m, a});
+  b.outport("y", y);
+  return b.take();
+}
+
+Model matmul_pipeline_model(int n) {
+  ModelBuilder b("matmul_pipeline");
+  PortRef a = b.inport("a", DataType::kFloat32, Shape{n, n});
+  PortRef c = b.inport("c", DataType::kFloat32, Shape{n, n});
+  PortRef mm = b.actor("mm", "MatMul", {a, c});
+  b.outport("y", mm);
+  return b.take();
+}
+
 std::vector<Model> paper_models() {
   std::vector<Model> models;
   models.push_back(fft_model());

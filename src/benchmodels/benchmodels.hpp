@@ -57,6 +57,19 @@ Model batch_chain_model(int actors, int n = 1024);
 /// is milliseconds, not seconds.
 Model intensive_farm_model(int actors, bool distinct_keys = true);
 
+/// A pipeline with a deliberate scale boundary (the -O2 cross-scale fusion
+/// workload): s = a + b; m = s * b; y = m - a over i8[n].  The NEON table
+/// has no i8 multiply, so `m` is translated conventionally — a scalar loop
+/// splitting two vector regions (HCG407).  At -O2 the scalar loop
+/// strip-mines into the vector loop's shape and the whole pipeline fuses.
+Model mixed_pipeline_model(int n = 1024);
+
+/// A single MatMul over f32[n x n] (default well above the n<=4 unrolled
+/// forms): Algorithm 1 measures the generic row-column kernel against the
+/// two cache-blocked tile widths, so the selected tile is measured-cost
+/// data from the target.
+Model matmul_pipeline_model(int n = 96);
+
 /// The six evaluation models at paper sizes, in Table 2 order.
 std::vector<Model> paper_models();
 

@@ -26,16 +26,19 @@ void print_stmt(const Stmt& stmt, int depth, std::string& out) {
     out += pad + "/* batch region (" + std::to_string(stmt.banner_actors) +
            " actors) -> " + stmt.banner_isa + " SIMD */\n";
   }
+  const std::string& iv = stmt.induction_var;
   if (stmt.single_iteration) {
     out += pad + "{\n";
-    out += pad + "  const int i = " + std::to_string(stmt.begin) + ";\n";
+    out += pad + "  const int " + iv + " = " + std::to_string(stmt.begin) +
+           ";\n";
   } else if (stmt.vector_loop) {
-    out += pad + "for (int i = " + std::to_string(stmt.begin) + "; i < " +
-           std::to_string(stmt.end) + "; i += " + std::to_string(stmt.step) +
-           ") {\n";
+    out += pad + "for (int " + iv + " = " + std::to_string(stmt.begin) +
+           "; " + iv + " < " + std::to_string(stmt.end) + "; " + iv + " += " +
+           std::to_string(stmt.step) + ") {\n";
   } else {
-    out += pad + "for (int i = " + std::to_string(stmt.begin) + "; i < " +
-           std::to_string(stmt.end) + "; ++i) {\n";
+    out += pad + "for (int " + iv + " = " + std::to_string(stmt.begin) +
+           "; " + iv + " < " + std::to_string(stmt.end) + "; ++" + iv +
+           ") {\n";
   }
   for (const Stmt& child : stmt.body) print_stmt(child, depth + 1, out);
   out += pad + "}\n";
@@ -124,6 +127,8 @@ void dump_stmt(const Stmt& stmt, int depth, std::string& out) {
   if (stmt.vector_loop) out += " vector=1";
   if (stmt.single_iteration) out += " single=1";
   if (stmt.fusible) out += " fusible=1";
+  if (stmt.strip_mined) out += " strip=1";
+  if (stmt.induction_var != "i") out += " ivar=" + stmt.induction_var;
   if (stmt.banner_actors > 0) {
     out += " actors=" + std::to_string(stmt.banner_actors) +
            " isa=" + quoted(stmt.banner_isa);
@@ -330,6 +335,8 @@ TranslationUnit parse_dump(const std::string& text) {
         stmt.vector_loop = field(fields, "vector") == "1";
         stmt.single_iteration = field(fields, "single") == "1";
         stmt.fusible = field(fields, "fusible") == "1";
+        stmt.strip_mined = field(fields, "strip") == "1";
+        stmt.induction_var = field(fields, "ivar", "i");
         stmt.banner_actors =
             static_cast<int>(parse_int(field(fields, "actors", "0")));
         stmt.banner_isa = field(fields, "isa");

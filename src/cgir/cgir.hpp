@@ -55,6 +55,13 @@ struct Stmt {
   bool vector_loop = false;      // `i += step` stride instead of `++i`
   bool single_iteration = false; // `{ const int i = begin; ... }` block
   bool fusible = false;          // region loop eligible for loop fusion
+  /// Inner lane loop produced by strip-mining: iterates `induction_var`
+  /// over [0, outer step) while the enclosing loop strides by its step, so
+  /// the pair together walks the outer loop's full [begin, end) domain.
+  /// Elementwise accesses inside a strip-mined loop index `i + <var>` and
+  /// belong to the *enclosing* loop's iteration domain, not this one's.
+  bool strip_mined = false;
+  std::string induction_var = "i";  // loop variable name in printed C
   int banner_actors = 0;         // > 0: print the batch-region banner
   std::string banner_isa;
   std::vector<Stmt> body;

@@ -33,31 +33,52 @@ struct AccessSummary {
   int end = 0;
 };
 
-std::vector<AccessSummary> summarize(const Stmt& stmt) {
-  std::vector<AccessSummary> out;
+/// Appends every access under `stmt`, all unranged (whole-buffer).
+void summarize_conservative(const Stmt& stmt, std::vector<AccessSummary>& out) {
   if (stmt.kind == Stmt::Kind::kText) {
     for (const BufferAccess& access : stmt.accesses) {
       out.push_back({access.buffer, access.write, false, 0, 0});
     }
+    return;
+  }
+  for (const Stmt& line : stmt.body) summarize_conservative(line, out);
+}
+
+/// Appends one body line's accesses; elementwise ones are ranged over the
+/// enclosing loop's [begin, end) iteration domain.
+void summarize_line(const Stmt& line, int begin, int end,
+                    std::vector<AccessSummary>& out) {
+  for (const BufferAccess& access : line.accesses) {
+    if (access.elementwise) {
+      out.push_back({access.buffer, access.write, true, begin, end});
+    } else {
+      out.push_back({access.buffer, access.write, false, 0, 0});
+    }
+  }
+}
+
+std::vector<AccessSummary> summarize(const Stmt& stmt) {
+  std::vector<AccessSummary> out;
+  if (stmt.kind == Stmt::Kind::kText) {
+    summarize_conservative(stmt, out);
     return out;
   }
   for (const Stmt& line : stmt.body) {
-    for (const AccessSummary& access : summarize(line)) {
-      AccessSummary entry = access;
-      entry.ranged = false;
-      out.push_back(entry);
-    }
     if (line.kind == Stmt::Kind::kText) {
-      // Re-tag the direct children: elementwise accesses are confined to
-      // this loop's iteration domain.
-      std::size_t base = out.size() - line.accesses.size();
-      for (std::size_t k = 0; k < line.accesses.size(); ++k) {
-        if (line.accesses[k].elementwise) {
-          out[base + k].ranged = true;
-          out[base + k].begin = stmt.begin;
-          out[base + k].end = stmt.end;
+      summarize_line(line, stmt.begin, stmt.end, out);
+    } else if (line.strip_mined) {
+      // A strip-mined lane loop iterates [0, step) while the enclosing loop
+      // strides by step: together they cover exactly the enclosing loop's
+      // domain, so its elementwise accesses are ranged at the outer level.
+      for (const Stmt& inner : line.body) {
+        if (inner.kind == Stmt::Kind::kText) {
+          summarize_line(inner, stmt.begin, stmt.end, out);
+        } else {
+          summarize_conservative(inner, out);
         }
       }
+    } else {
+      summarize_conservative(line, out);
     }
   }
   return out;
@@ -113,6 +134,30 @@ std::set<std::string> stored_buffers(const Stmt& loop) {
   return stored;
 }
 
+/// Flattens one body line's accesses to the enclosing loop's iteration
+/// level.  A strip-mined child loop's elementwise accesses cover the same
+/// per-iteration footprint as a direct elementwise access, so they keep the
+/// tag; accesses inside any other nested loop conservatively lose it.
+void effective_accesses(const Stmt& line, bool elementwise_ok,
+                        std::vector<BufferAccess>& out) {
+  if (line.kind == Stmt::Kind::kText) {
+    for (const BufferAccess& access : line.accesses) {
+      out.push_back({access.buffer, access.write,
+                     elementwise_ok && access.elementwise});
+    }
+    return;
+  }
+  for (const Stmt& child : line.body) {
+    effective_accesses(child, elementwise_ok && line.strip_mined, out);
+  }
+}
+
+std::vector<BufferAccess> body_accesses(const Stmt& loop) {
+  std::vector<BufferAccess> out;
+  for (const Stmt& line : loop.body) effective_accesses(line, true, out);
+  return out;
+}
+
 /// Merging `later` into `earlier` preserves semantics when every buffer the
 /// two bodies share (with at least one write) is accessed elementwise on
 /// both sides: with identical iteration domains, running the bodies
@@ -120,15 +165,13 @@ std::set<std::string> stored_buffers(const Stmt& loop) {
 /// saw.  Local-variable collisions are allowed only when forwarding or
 /// deduplication is guaranteed to remove the colliding line.
 bool merge_compatible(const Stmt& earlier, const Stmt& later) {
-  for (const Stmt& a : earlier.body) {
-    for (const BufferAccess& lhs : a.accesses) {
-      for (const Stmt& b : later.body) {
-        for (const BufferAccess& rhs : b.accesses) {
-          if (lhs.buffer != rhs.buffer) continue;
-          if (!lhs.write && !rhs.write) continue;
-          if (!lhs.elementwise || !rhs.elementwise) return false;
-        }
-      }
+  const std::vector<BufferAccess> earlier_accesses = body_accesses(earlier);
+  const std::vector<BufferAccess> later_accesses = body_accesses(later);
+  for (const BufferAccess& lhs : earlier_accesses) {
+    for (const BufferAccess& rhs : later_accesses) {
+      if (lhs.buffer != rhs.buffer) continue;
+      if (!lhs.write && !rhs.write) continue;
+      if (!lhs.elementwise || !rhs.elementwise) return false;
     }
   }
   std::map<std::string, const Stmt*> defined;
@@ -239,6 +282,12 @@ bool try_fuse_once(std::vector<Stmt>& body, PassStats& stats) {
 /// Vector bodies: a load of a buffer some earlier line in the same body
 /// stored is dropped, and uses of the loaded variable are renamed to the
 /// stored vector variable.
+void apply_rename(Stmt& stmt, const std::string& from, const std::string& to) {
+  stmt.text = replace_identifier(stmt.text, from, to);
+  if (stmt.stores_var == from) stmt.stores_var = to;
+  for (Stmt& child : stmt.body) apply_rename(child, from, to);
+}
+
 void forward_vector(Stmt& loop, PassStats& stats) {
   std::map<std::string, std::string> stored;  // buffer -> vector variable
   std::vector<std::pair<std::string, std::string>> renames;
@@ -246,8 +295,19 @@ void forward_vector(Stmt& loop, PassStats& stats) {
   rebuilt.reserve(loop.body.size());
   for (Stmt& line : loop.body) {
     for (const auto& rename : renames) {
-      line.text = replace_identifier(line.text, rename.first, rename.second);
-      if (line.stores_var == rename.first) line.stores_var = rename.second;
+      apply_rename(line, rename.first, rename.second);
+    }
+    if (line.kind == Stmt::Kind::kLoop) {
+      // A nested loop (a strip-mined lane body after cross-scale fusion)
+      // may rewrite buffers this pass is tracking; later loads of those
+      // buffers must not forward across it.
+      std::vector<BufferAccess> nested;
+      effective_accesses(line, true, nested);
+      for (const BufferAccess& access : nested) {
+        if (access.write) stored.erase(access.buffer);
+      }
+      rebuilt.push_back(std::move(line));
+      continue;
     }
     if (line.is_load) {
       const std::string* buf = read_buffer(line);
@@ -302,6 +362,14 @@ bool replace_indexed_read(std::string& text, const std::string& buf,
 void forward_scalar(Stmt& loop) {
   std::map<std::string, std::string> stored;  // buffer -> scalar variable
   for (Stmt& line : loop.body) {
+    if (line.kind == Stmt::Kind::kLoop) {
+      std::vector<BufferAccess> nested;
+      effective_accesses(line, true, nested);
+      for (const BufferAccess& access : nested) {
+        if (access.write) stored.erase(access.buffer);
+      }
+      continue;
+    }
     const std::string* own_store = line.is_store ? write_buffer(line) : nullptr;
     for (const auto& entry : stored) {
       if (own_store != nullptr && *own_store == entry.first) continue;
@@ -535,6 +603,417 @@ void reuse_arena(TranslationUnit& tu, PassStats& stats) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// -O2: cross-scale fusion, scalar-loop tiling, coalescing buffer layout.
+// ---------------------------------------------------------------------------
+
+/// True for a conventional scalar loop the -O2 passes may restructure:
+/// full-range ([0, n) step 1), body entirely single-assignment text lines
+/// (no locals, no nested loops), not itself produced by strip-mining.
+bool plain_scalar_loop(const Stmt& stmt) {
+  if (stmt.kind != Stmt::Kind::kLoop || stmt.vector_loop ||
+      stmt.single_iteration || stmt.strip_mined) {
+    return false;
+  }
+  if (stmt.begin != 0 || stmt.step != 1) return false;
+  for (const Stmt& line : stmt.body) {
+    if (line.kind != Stmt::Kind::kText || !line.defines.empty()) return false;
+  }
+  return true;
+}
+
+/// Builds the strip-mined lane loop for `source`'s body: iterates k over
+/// [0, lanes) with every use of the outer induction variable rewritten to
+/// `(i + k)`.  Elementwise tags survive — the per-outer-iteration footprint
+/// is still exactly [i, i + lanes).
+Stmt make_strip_inner(const Stmt& source, int lanes) {
+  Stmt inner;
+  inner.kind = Stmt::Kind::kLoop;
+  inner.begin = 0;
+  inner.end = lanes;
+  inner.step = 1;
+  inner.strip_mined = true;
+  inner.induction_var = "k";
+  for (const Stmt& line : source.body) {
+    Stmt moved = line;
+    moved.text = replace_identifier(moved.text, "i", "(i + k)");
+    inner.body.push_back(std::move(moved));
+  }
+  return inner;
+}
+
+/// Cross-scale producer-consumer fusion: a plain scalar loop over [0, n)
+/// that could not join a batch region (a scale boundary — the HCG4xx
+/// remarks name the reason) strip-mines into the shape of a fusible vector
+/// loop over the same width, then the same-shape fuser merges the pair (and
+/// the scalar front cover [0, begin) merges with the region's remainder
+/// loop).  A strip-mine that does not end in a fusion is rolled back, so
+/// the pass never leaves pure strip wrappers behind.
+void fuse_cross_scale(std::vector<Stmt>& body, PassStats& stats) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t s = 0; s < body.size() && !changed; ++s) {
+      if (!plain_scalar_loop(body[s]) || !body[s].fusible) continue;
+      for (std::size_t v = 0; v < body.size() && !changed; ++v) {
+        if (v == s) continue;
+        const Stmt& vec = body[v];
+        if (vec.kind != Stmt::Kind::kLoop || !vec.fusible) continue;
+        if (!vec.vector_loop && !vec.single_iteration) continue;
+        if (vec.step <= 1 || vec.end != body[s].end) continue;
+
+        std::vector<Stmt> backup = body;
+        const int fused_before = stats.loops_fused;
+        const int elided_before = stats.copies_elided;
+
+        Stmt strip;
+        strip.kind = Stmt::Kind::kLoop;
+        strip.begin = vec.begin;
+        strip.end = vec.end;
+        strip.step = vec.step;
+        strip.vector_loop = vec.vector_loop;
+        strip.single_iteration = vec.single_iteration;
+        strip.fusible = true;
+        strip.body.push_back(make_strip_inner(body[s], vec.step));
+
+        std::vector<Stmt> pieces;
+        if (strip.begin > 0) {
+          Stmt front = body[s];  // scalar cover of [0, begin)
+          front.end = strip.begin;
+          pieces.push_back(std::move(front));
+        }
+        pieces.push_back(std::move(strip));
+        body.erase(body.begin() + static_cast<std::ptrdiff_t>(s));
+        body.insert(body.begin() + static_cast<std::ptrdiff_t>(s),
+                    std::make_move_iterator(pieces.begin()),
+                    std::make_move_iterator(pieces.end()));
+
+        while (try_fuse_once(body, stats)) {
+        }
+        bool unfused_wrapper = false;
+        for (const Stmt& top : body) {
+          if (top.kind == Stmt::Kind::kLoop && top.body.size() == 1 &&
+              top.body[0].kind == Stmt::Kind::kLoop &&
+              top.body[0].strip_mined) {
+            unfused_wrapper = true;
+          }
+        }
+        if (stats.loops_fused > fused_before && !unfused_wrapper) {
+          ++stats.cross_scale_fused;
+          changed = true;
+        } else {
+          body = std::move(backup);
+          stats.loops_fused = fused_before;
+          stats.copies_elided = elided_before;
+        }
+      }
+    }
+  }
+}
+
+/// Chunks each remaining large plain scalar loop into an outer tile loop
+/// (stride tile_elems) over a strip-mined constant-trip inner loop, plus a
+/// scalar tail for the last partial tile.  The constant inner trip count
+/// lets the C compiler unroll and vectorize without runtime remainder
+/// checks.  Loops acting as remainder cover for a later vector loop are
+/// left alone — the verifier's coverage rule depends on their exact shape.
+void tile_plain_loops(std::vector<Stmt>& body, int tile, PassStats& stats) {
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (!plain_scalar_loop(body[i])) continue;
+    const int n = body[i].end;
+    if (tile < 2 || n < 2 * tile) continue;
+    bool covers_vector = false;
+    for (std::size_t j = i + 1; j < body.size(); ++j) {
+      if (body[j].kind == Stmt::Kind::kLoop && body[j].vector_loop &&
+          body[j].begin == n) {
+        covers_vector = true;
+      }
+    }
+    if (covers_vector) continue;
+
+    const int tiled_end = n - n % tile;
+    Stmt outer;
+    outer.kind = Stmt::Kind::kLoop;
+    outer.begin = 0;
+    outer.end = tiled_end;
+    outer.step = tile;
+    outer.vector_loop = true;
+    outer.body.push_back(make_strip_inner(body[i], tile));
+
+    std::vector<Stmt> pieces;
+    pieces.push_back(std::move(outer));
+    if (tiled_end < n) {
+      Stmt tail = std::move(body[i]);
+      tail.begin = tiled_end;
+      pieces.push_back(std::move(tail));
+    }
+    const std::size_t emitted = pieces.size();
+    body.erase(body.begin() + static_cast<std::ptrdiff_t>(i));
+    body.insert(body.begin() + static_cast<std::ptrdiff_t>(i),
+                std::make_move_iterator(pieces.begin()),
+                std::make_move_iterator(pieces.end()));
+    ++stats.loops_tiled;
+    i += emitted - 1;
+  }
+}
+
+int count_stride1(const std::vector<Stmt>& body) {
+  int n = 0;
+  for (const Stmt& stmt : body) {
+    for (const BufferAccess& access : stmt.accesses) {
+      if (access.elementwise) ++n;
+    }
+    n += count_stride1(stmt.body);
+  }
+  return n;
+}
+
+void collect_buffer_names(const Stmt& stmt, std::vector<std::string>& out) {
+  for (const BufferAccess& access : stmt.accesses) out.push_back(access.buffer);
+  for (const Stmt& child : stmt.body) collect_buffer_names(child, out);
+}
+
+/// Coalescing-aware layout: re-orders the buffer declarations so buffers
+/// first co-accessed by the same top-level statement sit adjacent in the
+/// static data segment, in first-touch order (fused loops then walk their
+/// working set contiguously).  Also counts the stride-1 (elementwise)
+/// accesses of the final step body for the codegen.layout metrics.
+void coalesce_layout(TranslationUnit& tu, PassStats& stats) {
+  std::map<std::string, std::size_t> first_touch;
+  std::size_t position = 0;
+  auto record = [&](const std::vector<Stmt>& fn_body) {
+    for (const Stmt& top : fn_body) {
+      std::vector<std::string> names;
+      collect_buffer_names(top, names);
+      for (std::string& name : names) {
+        first_touch.emplace(std::move(name), position);
+      }
+      ++position;
+    }
+  };
+  record(tu.init.body);
+  record(tu.step.body);
+
+  const std::size_t untouched = position;  // sorts after every real touch
+  std::vector<BufferDecl> reordered = tu.buffers;
+  std::stable_sort(reordered.begin(), reordered.end(),
+                   [&](const BufferDecl& a, const BufferDecl& b) {
+                     auto ia = first_touch.find(a.name);
+                     auto ib = first_touch.find(b.name);
+                     const std::size_t ka =
+                         ia == first_touch.end() ? untouched : ia->second;
+                     const std::size_t kb =
+                         ib == first_touch.end() ? untouched : ib->second;
+                     return ka < kb;
+                   });
+  for (std::size_t i = 0; i < reordered.size(); ++i) {
+    if (reordered[i].name != tu.buffers[i].name) ++stats.buffers_relocated;
+  }
+  tu.buffers = std::move(reordered);
+  stats.stride1_accesses = count_stride1(tu.step.body);
+}
+
+// ---------------------------------------------------------------------------
+// -O2: strip-body lane localization.
+// ---------------------------------------------------------------------------
+
+bool lane_ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Element C type for every array a strip-mined body may index: static
+/// buffers from their declarations, plus the I/O pointer locals the emitter
+/// opens the step body with ("const int8_t* in_a = (const int8_t*)...;").
+std::map<std::string, std::string> lane_array_types(const TranslationUnit& tu) {
+  std::map<std::string, std::string> types;
+  for (const BufferDecl& decl : tu.buffers) types[decl.name] = decl.ctype;
+  for (const Stmt& stmt : tu.step.body) {
+    if (stmt.kind != Stmt::Kind::kText) continue;
+    const std::vector<std::string> words = split_whitespace(stmt.text);
+    std::size_t at = 0;
+    if (at < words.size() && words[at] == "const") ++at;
+    if (at + 2 >= words.size()) continue;
+    std::string ctype = words[at];
+    if (ctype.size() < 2 || ctype.back() != '*') continue;
+    ctype.pop_back();
+    if (words[at + 2] == "=" && is_identifier(words[at + 1])) {
+      types[words[at + 1]] = ctype;
+    }
+  }
+  return types;
+}
+
+/// Arrays a strip body touches, in first-appearance order.  An array in
+/// `written` but not `read` is fully overwritten by the lane loop (every
+/// line runs unconditionally for every lane), so it needs no copy-in.
+struct StripArrays {
+  std::vector<std::string> names;
+  std::set<std::string> read;
+  std::set<std::string> written;
+};
+
+/// Collects the arrays `strip`'s body indexes, requiring every bracketed
+/// index to be exactly `[(<outer_iv> + <lane_iv>)]` on a known array and the
+/// induction variables to appear nowhere else.  Returns false when the body
+/// does anything the lane rewrite cannot represent.
+bool collect_strip_arrays(const Stmt& strip, const std::string& outer_iv,
+                          const std::map<std::string, std::string>& types,
+                          StripArrays& out) {
+  const std::string index = "[(" + outer_iv + " + " + strip.induction_var + ")]";
+  for (const Stmt& line : strip.body) {
+    if (line.kind != Stmt::Kind::kText || !line.defines.empty()) return false;
+    const std::string& text = line.text;
+    std::string residual;
+    std::size_t pos = 0;
+    bool first_access = true;
+    while (pos < text.size()) {
+      const std::size_t open = text.find('[', pos);
+      if (open == std::string::npos) {
+        residual += text.substr(pos);
+        break;
+      }
+      if (text.compare(open, index.size(), index) != 0) return false;
+      std::size_t start = open;
+      while (start > pos && lane_ident_char(text[start - 1])) --start;
+      if (start == open) return false;  // no array name before the bracket
+      const std::string name = text.substr(start, open - start);
+      if (types.find(name) == types.end()) return false;
+      if (std::find(out.names.begin(), out.names.end(), name) ==
+          out.names.end()) {
+        out.names.push_back(name);
+      }
+      // LHS of an assignment marks the array written; a compound op (`+=`)
+      // and every other position read it.
+      bool is_plain_lhs = false;
+      if (first_access && start == 0) {
+        std::size_t q = open + index.size();
+        while (q < text.size() && text[q] == ' ') ++q;
+        const bool compound =
+            q + 1 < text.size() && text[q + 1] == '=' &&
+            std::string_view("+-*/%&|^").find(text[q]) != std::string_view::npos;
+        const bool plain = q < text.size() && text[q] == '=' &&
+                           (q + 1 >= text.size() || text[q + 1] != '=');
+        if (compound || plain) out.written.insert(name);
+        is_plain_lhs = plain;
+      }
+      if (!is_plain_lhs) out.read.insert(name);
+      first_access = false;
+      residual += text.substr(pos, start - pos);
+      pos = open + index.size();
+    }
+    // The induction variables must not survive outside the rewritten
+    // indexes (an address computation the lane buffers would not cover).
+    if (replace_identifier(residual, outer_iv, "@") != residual) return false;
+    if (replace_identifier(residual, strip.induction_var, "@") != residual) {
+      return false;
+    }
+  }
+  return !out.names.empty();
+}
+
+/// Rewrites each qualifying strip-mined lane loop under `loop` to compute
+/// through fixed-size local lane buffers:
+///
+///   int8_t ln0_src[16];  int8_t ln0_dst[16];
+///   memcpy(ln0_src, &src[i], sizeof(ln0_src));      /* block copy in  */
+///   for (int k = 0; k < 16; ++k)
+///     ln0_dst[k] = ln0_src[k] * ...;                /* alias-free     */
+///   memcpy(&dst[i], ln0_dst, sizeof(ln0_dst));      /* block copy out */
+///
+/// Two effects on the host compiler's code: the lane loop runs over distinct
+/// locals with a constant trip count (no runtime alias checks, so it
+/// vectorizes even under conservative -O2 cost models), and the shared
+/// buffers are only ever touched by full-width block copies (scalar byte
+/// stores between the surrounding vector loads/stores defeat store-to-load
+/// forwarding).  Access metadata stays on the lane-loop lines — the memory
+/// footprint is unchanged, only the path the bytes take through it.
+void localize_strips_under(Stmt& loop,
+                           const std::map<std::string, std::string>& types,
+                           int& next_id, PassStats& stats) {
+  for (std::size_t j = 0; j < loop.body.size(); ++j) {
+    Stmt& child = loop.body[j];
+    if (child.kind != Stmt::Kind::kLoop) continue;
+    if (!child.strip_mined) {
+      localize_strips_under(child, types, next_id, stats);
+      continue;
+    }
+    if (child.begin != 0 || child.step != 1 || child.end <= 0) continue;
+    StripArrays arrays;
+    if (!collect_strip_arrays(child, loop.induction_var, types, arrays)) {
+      continue;
+    }
+    const std::string prefix = "ln" + std::to_string(next_id++) + "_";
+    const std::string index =
+        "[(" + loop.induction_var + " + " + child.induction_var + ")]";
+    const std::string lanes = std::to_string(child.end);
+    std::vector<Stmt> before;
+    std::vector<Stmt> after;
+    for (const std::string& name : arrays.names) {
+      const std::string tmp = prefix + name;
+      before.push_back(
+          Stmt::text_line(types.at(name) + " " + tmp + "[" + lanes + "];"));
+    }
+    for (const std::string& name : arrays.names) {
+      const std::string tmp = prefix + name;
+      if (arrays.read.count(name) > 0) {
+        before.push_back(Stmt::text_line("memcpy(" + tmp + ", &" + name + "[" +
+                                         loop.induction_var + "], sizeof(" +
+                                         tmp + "));"));
+      }
+      if (arrays.written.count(name) > 0) {
+        after.push_back(Stmt::text_line("memcpy(&" + name + "[" +
+                                        loop.induction_var + "], " + tmp +
+                                        ", sizeof(" + tmp + "));"));
+      }
+    }
+    for (Stmt& line : child.body) {
+      for (const std::string& name : arrays.names) {
+        const std::string from = name + index;
+        const std::string to =
+            prefix + name + "[" + child.induction_var + "]";
+        std::string rewritten;
+        std::size_t pos = 0;
+        while (pos < line.text.size()) {
+          const std::size_t hit = line.text.find(from, pos);
+          if (hit == std::string::npos) {
+            rewritten += line.text.substr(pos);
+            break;
+          }
+          if (hit > 0 && lane_ident_char(line.text[hit - 1])) {
+            // Longer identifier ending in `name` — not this array.
+            rewritten += line.text.substr(pos, hit + name.size() - pos);
+            pos = hit + name.size();
+            continue;
+          }
+          rewritten += line.text.substr(pos, hit - pos) + to;
+          pos = hit + from.size();
+        }
+        line.text = std::move(rewritten);
+      }
+    }
+    loop.body.insert(loop.body.begin() + static_cast<std::ptrdiff_t>(j),
+                     std::make_move_iterator(before.begin()),
+                     std::make_move_iterator(before.end()));
+    j += before.size();
+    loop.body.insert(loop.body.begin() + static_cast<std::ptrdiff_t>(j + 1),
+                     std::make_move_iterator(after.begin()),
+                     std::make_move_iterator(after.end()));
+    j += after.size();
+    ++stats.strips_localized;
+  }
+}
+
+void localize_strips(TranslationUnit& tu, PassStats& stats) {
+  const std::map<std::string, std::string> types = lane_array_types(tu);
+  int next_id = 0;
+  for (Stmt& stmt : tu.step.body) {
+    if (stmt.kind == Stmt::Kind::kLoop) {
+      localize_strips_under(stmt, types, next_id, stats);
+    }
+  }
+}
+
 /// "cgir.pass" fault action: deliberately breaks the IR so the after-pass
 /// verifier (when installed) must catch it — the broken-pass drill of
 /// docs/ROBUSTNESS.md.  Two guaranteed-detectable mutations: the first step
@@ -566,6 +1045,10 @@ PassStats run_passes(TranslationUnit& tu, const PassOptions& options) {
     while (try_fuse_once(tu.step.body, stats)) {
     }
     checkpoint("fuse_loops");
+    if (options.fuse_cross_scale) {
+      fuse_cross_scale(tu.step.body, stats);
+      checkpoint("fuse_cross_scale");
+    }
     for (Stmt& stmt : tu.step.body) {
       if (stmt.kind != Stmt::Kind::kLoop) continue;
       if (stmt.vector_loop || stmt.single_iteration) {
@@ -578,9 +1061,22 @@ PassStats run_passes(TranslationUnit& tu, const PassOptions& options) {
     eliminate_dead_buffers(tu, stats);
     checkpoint("eliminate_dead_buffers");
   }
+  if (options.tile_scalar_loops) {
+    const int tile = options.tile_elems > 0 ? options.tile_elems : 16;
+    tile_plain_loops(tu.step.body, tile, stats);
+    checkpoint("tile_loops");
+  }
   if (options.reuse_arena) {
     reuse_arena(tu, stats);
     checkpoint("reuse_arena");
+  }
+  if (options.coalesce_layout) {
+    coalesce_layout(tu, stats);
+    checkpoint("coalesce_layout");
+  }
+  if (options.localize_strips) {
+    localize_strips(tu, stats);
+    checkpoint("localize_strips");
   }
   return stats;
 }

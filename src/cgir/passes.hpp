@@ -18,6 +18,16 @@
 //      write to last access, at whole-statement granularity) do not overlap
 //      rebind onto shared arena slots, shrinking static footprint.
 //
+// At -O2 four more passes join the pipeline (see PassOptions): cross-scale
+// producer-consumer fusion (strip-mine a scalar loop into an adjacent vector
+// loop's shape, then fuse), scalar-loop tiling (constant-trip inner chunks
+// plus a tail), coalescing-aware buffer layout (declaration reordering by
+// first co-access), and strip-body lane localization (strip-mined lane loops
+// compute through fixed-size local lane buffers moved with full-width block
+// copies).  The -O2 order is fuse_loops, fuse_cross_scale, forward_copies,
+// eliminate_dead_buffers, tile_loops, reuse_arena, coalesce_layout,
+// localize_strips, with the verifier checkpoint after every pass.
+//
 // All passes are deterministic: they iterate the tree in order and never
 // consult addresses, hashes, or time.
 #pragma once
@@ -45,6 +55,34 @@ using PassHook =
 struct PassOptions {
   bool fuse_loops = true;    // pass 1 + the forwarding it exposes (pass 2)
   bool reuse_arena = true;   // pass 3
+  // ---- -O2 passes (all default off; -O1 output is pinned) --------------
+  /// Producer-consumer fusion across scale boundaries: a conventional
+  /// scalar loop over [0, n) that could not join a batch region strip-mines
+  /// into the shape of an adjacent vector loop over the same width (outer
+  /// loop strides by the vector step, a strip_mined inner lane loop covers
+  /// the gap), then the same-shape fuser merges the pair.  A strip-mine
+  /// that fails to fuse is rolled back.
+  bool fuse_cross_scale = false;
+  /// Chunk large scalar loops into a constant-trip inner loop (outer loop
+  /// strides by tile_elems, strip_mined inner covers the tile) plus a
+  /// scalar tail, giving the C compiler a known trip count to unroll and
+  /// vectorize.
+  bool tile_scalar_loops = false;
+  /// Re-order buffer declarations so buffers co-accessed by the same
+  /// top-level statement of the step body are adjacent in memory.
+  bool coalesce_layout = false;
+  /// Rewrite each strip-mined lane loop whose body indexes arrays purely
+  /// elementwise to compute through fixed-size local lane buffers, moved
+  /// with full-width memcpy block copies.  The lane loop then runs over
+  /// distinct locals (no runtime alias checks, so conservative host-compiler
+  /// cost models still vectorize it) and never interleaves scalar byte
+  /// stores with the surrounding vector loads/stores (which would defeat
+  /// store-to-load forwarding).
+  bool localize_strips = false;
+  /// Tile width for tile_scalar_loops; 0 picks a static heuristic.  Must
+  /// be derived deterministically (never from timings): generated code is
+  /// byte-identical across runs and job counts.
+  int tile_elems = 0;
   PassHook after_pass;       // optional per-pass checkpoint (verifier)
 };
 
@@ -66,6 +104,12 @@ struct PassStats {
   int buffers_eliminated = 0;   // handoff buffers deleted outright
   int buffers_rebound = 0;      // buffers renamed onto arena slots
   std::size_t arena_bytes_saved = 0;
+  // ---- -O2 ------------------------------------------------------------
+  int cross_scale_fused = 0;    // strip-mined loops merged into vector loops
+  int loops_tiled = 0;          // scalar loops chunked by tile_scalar_loops
+  int buffers_relocated = 0;    // decls moved by the layout pass
+  int strips_localized = 0;     // strip bodies rewritten onto lane buffers
+  int stride1_accesses = 0;     // elementwise accesses in the final step body
   std::vector<ArenaBinding> arena_bindings;  // one entry per rebound buffer
 };
 

@@ -761,6 +761,13 @@ class Emitter {
       loop.begin = 0;
       loop.end = n;
       loop.step = 1;
+      // At -O2 conventional scalar loops join the fusion candidate set: the
+      // same-shape fuser merges equal-length chains, and cross-scale fusion
+      // strip-mines the survivors into adjacent vector loops.  These are
+      // exactly the loops the HCG4xx SIMD-blocker remarks (no-simd-op,
+      // scale-mismatch, ...) excluded from batch regions.  Kept off below
+      // -O2 so -O0/-O1 output stays pinned.
+      loop.fusible = config_.opt_level >= 2;
       cgir::Stmt body_line;
       access_sink_ = &body_line.accesses;
       body_line.text = dst + "[i] = " + elementwise_expr(actor, "i") + ";";
@@ -854,6 +861,22 @@ class Emitter {
     return env != nullptr && *env != '\0' && std::string_view(env) != "0";
   }
 
+  /// Static tile width for the -O2 tiling pass when EmitConfig does not pin
+  /// one: four vector strides of the widest planned region loop (so one tile
+  /// is a handful of full SIMD iterations), 16 when nothing vectorized.
+  /// Never derived from timings — output must be byte-identical across runs
+  /// and job counts.
+  int derive_tile_elems() const {
+    int lanes = 0;
+    for (const cgir::Stmt& stmt : tu_.step.body) {
+      if (stmt.kind == cgir::Stmt::Kind::kLoop &&
+          (stmt.vector_loop || stmt.single_iteration)) {
+        lanes = std::max(lanes, stmt.step);
+      }
+    }
+    return lanes > 0 ? 4 * lanes : 16;
+  }
+
   void run_pass_pipeline() {
     const bool verify = config_.verify_cgir || verify_env_enabled();
     cgir::PassStats stats;
@@ -862,16 +885,32 @@ class Emitter {
       analysis::require_valid_unit(tu_, stats, "lower");
       out_.report.verified_passes.emplace_back("lower");
     }
+    if (config_.dump_cgir_after == "lower") {
+      out_.cgir_dump_after = cgir::dump(tu_);
+    }
     if (config_.opt_level >= 1) {
       cgir::PassOptions options;
       options.fuse_loops = true;
       options.reuse_arena = config_.reuse_buffers;
-      if (verify) {
-        options.after_pass = [this](std::string_view pass,
-                                    const cgir::TranslationUnit& tu,
-                                    const cgir::PassStats& pass_stats) {
-          analysis::require_valid_unit(tu, pass_stats, pass);
-          out_.report.verified_passes.emplace_back(pass);
+      if (config_.opt_level >= 2) {
+        options.fuse_cross_scale = true;
+        options.tile_scalar_loops = true;
+        options.coalesce_layout = true;
+        options.localize_strips = true;
+        options.tile_elems = config_.tile_elems > 0 ? config_.tile_elems
+                                                    : derive_tile_elems();
+      }
+      if (verify || !config_.dump_cgir_after.empty()) {
+        options.after_pass = [this, verify](std::string_view pass,
+                                            const cgir::TranslationUnit& tu,
+                                            const cgir::PassStats& pass_stats) {
+          if (verify) {
+            analysis::require_valid_unit(tu, pass_stats, pass);
+            out_.report.verified_passes.emplace_back(pass);
+          }
+          if (pass == config_.dump_cgir_after) {
+            out_.cgir_dump_after = cgir::dump(tu);
+          }
         };
       }
       stats = cgir::run_passes(tu_, options);
@@ -896,12 +935,51 @@ class Emitter {
     out_.report.loops_fused = stats.loops_fused;
     out_.report.copies_elided = stats.copies_elided;
     out_.report.arena_bytes_saved = stats.arena_bytes_saved;
+    out_.report.cross_scale_fused = stats.cross_scale_fused;
+    out_.report.loops_tiled = stats.loops_tiled;
+    out_.report.buffers_relocated = stats.buffers_relocated;
+    out_.report.stride1_accesses = stats.stride1_accesses;
+    out_.report.strips_localized = stats.strips_localized;
     static obs::Counter& fusion_metric =
         obs::Registry::instance().counter("codegen.fusion.loops_fused");
     static obs::Counter& arena_metric =
         obs::Registry::instance().counter("codegen.arena.bytes_saved");
+    static obs::Counter& cross_scale_metric = obs::Registry::instance().counter(
+        "codegen.fusion.cross_scale_fused");
+    static obs::Counter& tile_metric =
+        obs::Registry::instance().counter("codegen.tile.loops_tiled");
+    static obs::Counter& stride1_metric = obs::Registry::instance().counter(
+        "codegen.layout.stride1_accesses");
     fusion_metric.add(static_cast<std::uint64_t>(stats.loops_fused));
     arena_metric.add(stats.arena_bytes_saved);
+    cross_scale_metric.add(static_cast<std::uint64_t>(stats.cross_scale_fused));
+    tile_metric.add(static_cast<std::uint64_t>(stats.loops_tiled));
+    stride1_metric.add(static_cast<std::uint64_t>(stats.stride1_accesses));
+
+    // -O2 pass remarks, mirrored into the report like lint findings so a
+    // --report consumer sees where the new passes fired.
+    auto remark = [this](std::string code, std::string message) {
+      obs::ReportDiagnostic diag;
+      diag.code = std::move(code);
+      diag.severity = "remark";
+      diag.location = model_.name() + ": step";
+      diag.message = std::move(message);
+      out_.report.diagnostics.push_back(std::move(diag));
+    };
+    if (stats.cross_scale_fused > 0) {
+      remark("HCG408", std::to_string(stats.cross_scale_fused) +
+                           " scalar loop(s) strip-mined and fused across a "
+                           "scale boundary");
+    }
+    if (stats.loops_tiled > 0) {
+      remark("HCG409", std::to_string(stats.loops_tiled) +
+                           " scalar loop(s) tiled into constant-trip chunks");
+    }
+    if (stats.buffers_relocated > 0) {
+      remark("HCG410", std::to_string(stats.buffers_relocated) +
+                           " buffer declaration(s) re-ordered for coalesced "
+                           "stride-1 access");
+    }
   }
 
   // ------------------------------------------------------------------

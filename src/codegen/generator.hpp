@@ -55,8 +55,21 @@ struct EmitConfig {
   /// translation unit.  0 = lowering only (output byte-identical to the
   /// historical string emitter); 1 = region loop fusion + copy forwarding,
   /// and — when reuse_buffers is set — arena rebinding of intermediate
-  /// buffers (which replaces the legacy slot-reuse naming at -O1).
+  /// buffers (which replaces the legacy slot-reuse naming at -O1);
+  /// 2 = additionally cross-scale producer-consumer fusion (strip-mining),
+  /// scalar-loop tiling, and coalescing-aware buffer layout.
   int opt_level = 0;
+  /// Tile width (elements) for the -O2 scalar-loop tiling pass; 0 derives a
+  /// static width from the region plan's vector lane count (4 lanes).  Pin
+  /// it when external measured-cost data (hcgc profile, the kernel-sweep
+  /// benches) identifies a better width for the target.
+  int tile_elems = 0;
+  /// When non-empty, capture a "cgir-v1" dump of the unit as it stood
+  /// right after the named pass ("lower", "fuse_loops", "fuse_cross_scale",
+  /// "forward_copies", "eliminate_dead_buffers", "tile_loops",
+  /// "reuse_arena", "coalesce_layout") into GeneratedCode::cgir_dump_after
+  /// (the `hcgc --dump-cgir-after=<pass>` surface).
+  std::string dump_cgir_after;
   /// Run the cgir verifier (analysis/verifier.hpp) over the lowered unit and
   /// again after every -O1 pass; an invariant violation throws CodegenError
   /// naming the pass that broke it.  Also enabled process-wide by the
@@ -101,6 +114,10 @@ struct GeneratedCode {
   /// "cgir-v1" serialization of the translation unit after passes (the
   /// `hcgc --dump-cgir` surface; cgir::parse_dump() round-trips it).
   std::string cgir_dump;
+  /// "cgir-v1" snapshot captured right after the pass named by
+  /// EmitConfig::dump_cgir_after; empty when that option is unset or the
+  /// named pass never ran at the chosen opt level.
+  std::string cgir_dump_after;
   /// Profiling sites instrumented into the unit (empty unless
   /// EmitConfig::profile_gen); index order matches the HCG_PROF counters
   /// and the `hcg-profile-v1` dump.
@@ -115,6 +132,17 @@ struct GeneratedCode {
 
 /// Emits C code for a model (resolved internally) under a configuration.
 GeneratedCode emit_model(const Model& model, const EmitConfig& config);
+
+/// Per-run emitter tuning shared by the three tool factories: knobs that do
+/// not differentiate the tools but parameterize one invocation (the hcgc
+/// surface).  Both fields default to "off" so existing callers are
+/// unaffected.
+struct EmitTuning {
+  /// EmitConfig::tile_elems — -O2 tile width override (0 = derive).
+  int tile_elems = 0;
+  /// EmitConfig::dump_cgir_after — pass name to snapshot, or empty.
+  std::string dump_cgir_after;
+};
 
 /// Abstract tool interface.
 class Generator {
@@ -131,15 +159,18 @@ std::unique_ptr<Generator> make_hcg_generator(const isa::VectorIsa& isa,
                                               synth::SelectionHistory* history = nullptr,
                                               synth::BatchOptions batch_options = {},
                                               int opt_level = 1,
-                                              bool profile_gen = false);
+                                              bool profile_gen = false,
+                                              EmitTuning tuning = {});
 
 /// Simulink-Coder-like baseline: expression folding, variable reuse,
 /// unrolled scalar statements (Figure 2), generic intensive functions.
 /// `scattered_isa` enables the per-actor scattered-SIMD mode of §4.2.
 std::unique_ptr<Generator> make_simulink_generator(
-    const isa::VectorIsa* scattered_isa = nullptr, int opt_level = 0);
+    const isa::VectorIsa* scattered_isa = nullptr, int opt_level = 0,
+    EmitTuning tuning = {});
 
 /// DFSynth-like baseline: per-actor loop code, generic intensive functions.
-std::unique_ptr<Generator> make_dfsynth_generator(int opt_level = 0);
+std::unique_ptr<Generator> make_dfsynth_generator(int opt_level = 0,
+                                                  EmitTuning tuning = {});
 
 }  // namespace hcg::codegen

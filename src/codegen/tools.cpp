@@ -1,5 +1,7 @@
 // The three code generators compared in the paper, as thin configurations
 // of the shared emitter.
+#include <utility>
+
 #include "codegen/generator.hpp"
 
 namespace hcg::codegen {
@@ -10,12 +12,13 @@ class HcgGenerator final : public Generator {
  public:
   HcgGenerator(const isa::VectorIsa& isa, synth::SelectionHistory* history,
                synth::BatchOptions batch_options, int opt_level,
-               bool profile_gen)
+               bool profile_gen, EmitTuning tuning)
       : isa_(isa),
         history_(history),
         batch_options_(batch_options),
         opt_level_(opt_level),
-        profile_gen_(profile_gen) {}
+        profile_gen_(profile_gen),
+        tuning_(std::move(tuning)) {}
 
   std::string name() const override { return "hcg"; }
 
@@ -33,6 +36,8 @@ class HcgGenerator final : public Generator {
     config.fold_scalar_expressions = true;
     config.reuse_buffers = true;
     config.profile_gen = profile_gen_;
+    config.tile_elems = tuning_.tile_elems;
+    config.dump_cgir_after = tuning_.dump_cgir_after;
     return emit_model(model, config);
   }
 
@@ -43,12 +48,16 @@ class HcgGenerator final : public Generator {
   synth::BatchOptions batch_options_;
   int opt_level_;
   bool profile_gen_;
+  EmitTuning tuning_;
 };
 
 class SimulinkGenerator final : public Generator {
  public:
-  SimulinkGenerator(const isa::VectorIsa* scattered_isa, int opt_level)
-      : scattered_isa_(scattered_isa), opt_level_(opt_level) {}
+  SimulinkGenerator(const isa::VectorIsa* scattered_isa, int opt_level,
+                    EmitTuning tuning)
+      : scattered_isa_(scattered_isa),
+        opt_level_(opt_level),
+        tuning_(std::move(tuning)) {}
 
   std::string name() const override { return "simulink"; }
 
@@ -67,17 +76,21 @@ class SimulinkGenerator final : public Generator {
     config.reuse_buffers = true;
     config.select_intensive = false;  // generic intensive functions
     config.opt_level = opt_level_;
+    config.tile_elems = tuning_.tile_elems;
+    config.dump_cgir_after = tuning_.dump_cgir_after;
     return emit_model(model, config);
   }
 
  private:
   const isa::VectorIsa* scattered_isa_;
   int opt_level_;
+  EmitTuning tuning_;
 };
 
 class DfsynthGenerator final : public Generator {
  public:
-  explicit DfsynthGenerator(int opt_level) : opt_level_(opt_level) {}
+  DfsynthGenerator(int opt_level, EmitTuning tuning)
+      : opt_level_(opt_level), tuning_(std::move(tuning)) {}
 
   std::string name() const override { return "dfsynth"; }
 
@@ -89,11 +102,14 @@ class DfsynthGenerator final : public Generator {
     config.reuse_buffers = false;
     config.select_intensive = false;  // generic intensive functions
     config.opt_level = opt_level_;
+    config.tile_elems = tuning_.tile_elems;
+    config.dump_cgir_after = tuning_.dump_cgir_after;
     return emit_model(model, config);
   }
 
  private:
   int opt_level_;
+  EmitTuning tuning_;
 };
 
 }  // namespace
@@ -101,18 +117,21 @@ class DfsynthGenerator final : public Generator {
 std::unique_ptr<Generator> make_hcg_generator(const isa::VectorIsa& isa,
                                               synth::SelectionHistory* history,
                                               synth::BatchOptions batch_options,
-                                              int opt_level, bool profile_gen) {
+                                              int opt_level, bool profile_gen,
+                                              EmitTuning tuning) {
   return std::make_unique<HcgGenerator>(isa, history, batch_options, opt_level,
-                                        profile_gen);
+                                        profile_gen, std::move(tuning));
 }
 
 std::unique_ptr<Generator> make_simulink_generator(
-    const isa::VectorIsa* scattered_isa, int opt_level) {
-  return std::make_unique<SimulinkGenerator>(scattered_isa, opt_level);
+    const isa::VectorIsa* scattered_isa, int opt_level, EmitTuning tuning) {
+  return std::make_unique<SimulinkGenerator>(scattered_isa, opt_level,
+                                             std::move(tuning));
 }
 
-std::unique_ptr<Generator> make_dfsynth_generator(int opt_level) {
-  return std::make_unique<DfsynthGenerator>(opt_level);
+std::unique_ptr<Generator> make_dfsynth_generator(int opt_level,
+                                                  EmitTuning tuning) {
+  return std::make_unique<DfsynthGenerator>(opt_level, std::move(tuning));
 }
 
 }  // namespace hcg::codegen

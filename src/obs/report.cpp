@@ -81,9 +81,18 @@ std::string Report::to_json(bool include_metrics) const {
   w.key("fusion").begin_object();
   w.key("loops_fused").value(loops_fused);
   w.key("copies_elided").value(copies_elided);
+  w.key("cross_scale_fused").value(cross_scale_fused);
   w.end_object();
   w.key("arena").begin_object();
   w.key("bytes_saved").value(arena_bytes_saved);
+  w.end_object();
+  w.key("tile").begin_object();
+  w.key("loops_tiled").value(loops_tiled);
+  w.end_object();
+  w.key("layout").begin_object();
+  w.key("buffers_relocated").value(buffers_relocated);
+  w.key("stride1_accesses").value(stride1_accesses);
+  w.key("strips_localized").value(strips_localized);
   w.end_object();
   w.key("verified_passes").begin_array();
   for (const std::string& pass : verified_passes) w.value(pass);

@@ -122,6 +122,13 @@ struct Report {
   int copies_elided = 0;               // codegen.fusion.copies_elided
   std::size_t arena_bytes_saved = 0;   // codegen.arena.bytes_saved
 
+  // -O2 passes (PR 7).  All zero below -O2.
+  int cross_scale_fused = 0;   // codegen.fusion.cross_scale_fused
+  int loops_tiled = 0;         // codegen.tile.loops_tiled
+  int buffers_relocated = 0;   // codegen.layout.buffers_relocated
+  int stride1_accesses = 0;    // codegen.layout.stride1_accesses
+  int strips_localized = 0;    // codegen.layout.strips_localized
+
   /// cgir verifier checkpoints that ran clean, in order ("lower" plus one
   /// entry per -O1 pass).  Empty when verification was off for the run.
   std::vector<std::string> verified_passes;

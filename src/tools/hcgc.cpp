@@ -2,8 +2,8 @@
 //
 //   hcgc generate <model.xml> [--tool hcg|simulink|dfsynth] [--isa NAME|FILE]
 //                 [--out FILE] [--history FILE] [--threshold N] [--scattered]
-//                 [--report FILE] [--trace FILE] [--jobs N] [-O0|-O1]
-//                 [--dump-cgir]
+//                 [--report FILE] [--trace FILE] [--jobs N] [-O0|-O1|-O2]
+//                 [--dump-cgir] [--dump-cgir-after=PASS]
 //   hcgc inspect  <model.xml> [--isa NAME|FILE]
 //   hcgc lint     <model.xml> [--isa NAME|FILE] [--threshold N]
 //                 [--Werror] [--no-remarks] [--sarif FILE] [--report FILE]
@@ -48,12 +48,27 @@
 //                   to HCG_JOBS, else the hardware concurrency.
 //
 // Optimization (docs/CODEGEN_IR.md):
-//   -O0 | -O1       cgir pass pipeline level.  -O1 (the hcg default) fuses
+//   -O0 | -O1 | -O2 cgir pass pipeline level.  -O1 (the hcg default) fuses
 //                   batch-region loops, forwards loads into stores, and
-//                   rebinds intermediate buffers into a shared arena; -O0
-//                   (the baseline tools' default) prints the plain lowering.
+//                   rebinds intermediate buffers into a shared arena; -O2
+//                   additionally strip-mines scalar loops into adjacent
+//                   vector loops (cross-scale fusion), tiles the remaining
+//                   scalar loops, and re-orders buffer declarations for
+//                   coalesced stride-1 access; -O0 (the baseline tools'
+//                   default) prints the plain lowering.
 //   --dump-cgir     print the "cgir-v1" serialization of the optimized IR
 //                   instead of C source.
+//   --tile-elems N  -O2 tile width (elements); default derives a static
+//                   width from the region plan, and measured-cost data
+//                   (hcgc profile, the kernel-sweep benches) is the intended
+//                   source of an override.
+//   --dump-cgir-after=PASS
+//                   print the "cgir-v1" snapshot taken right after PASS ran
+//                   (lower, fuse_loops, fuse_cross_scale, forward_copies,
+//                   eliminate_dead_buffers, tile_loops, reuse_arena,
+//                   coalesce_layout, localize_strips) instead of C source.
+//                   Errors when the
+//                   pass never ran at the chosen -O level.
 //
 // Profiling (docs/PROFILING.md):
 //   --profile-gen   instrument the emitted unit with HCG_PROF counters
@@ -119,7 +134,8 @@ int usage() {
                "                [--isa NAME|FILE] [--out FILE]\n"
                "                [--history FILE] [--threshold N] [--scattered]\n"
                "                [--report FILE] [--trace FILE] [--jobs N]\n"
-               "                [-O0|-O1] [--dump-cgir]\n"
+               "                [-O0|-O1|-O2] [--tile-elems N] [--dump-cgir]\n"
+               "                [--dump-cgir-after=PASS]\n"
                "  hcgc inspect  <model.xml> [--isa NAME|FILE]\n"
                "  hcgc lint     <model.xml> [--isa NAME|FILE] [--threshold N]\n"
                "                [--Werror] [--no-remarks] [--sarif FILE]\n"
@@ -155,7 +171,9 @@ struct Options {
   int threshold = 0;
   int jobs = 0;  // 0 = HCG_JOBS env, else hardware concurrency
   int opt_level = -1;  // -1 = the tool's default (hcg: 1, baselines: 0)
+  int tile_elems = 0;  // -O2 tile width override; 0 = derive statically
   bool dump_cgir = false;
+  std::string dump_cgir_after;  // pass name to snapshot; empty = off
   bool scattered = false;
   bool verify_cgir = false;
   bool werror = false;       // lint: promote warnings to errors
@@ -229,8 +247,25 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.opt_level = 0;
     } else if (arg == "-O1") {
       opt.opt_level = 1;
+    } else if (arg == "-O2") {
+      opt.opt_level = 2;
+    } else if (arg == "--tile-elems") {
+      opt.tile_elems = std::atoi(value());
+      if (opt.tile_elems < 2) throw Error("--tile-elems needs a width >= 2");
     } else if (arg == "--dump-cgir") {
       opt.dump_cgir = true;
+    } else if (arg.rfind("--dump-cgir-after=", 0) == 0) {
+      opt.dump_cgir_after = arg.substr(std::strlen("--dump-cgir-after="));
+      static const char* const kPasses[] = {
+          "lower",      "fuse_loops",  "fuse_cross_scale",
+          "forward_copies", "eliminate_dead_buffers", "tile_loops",
+          "reuse_arena", "coalesce_layout", "localize_strips"};
+      bool known = false;
+      for (const char* pass : kPasses) known |= opt.dump_cgir_after == pass;
+      if (!known) {
+        throw Error("unknown pass '" + opt.dump_cgir_after +
+                    "' for --dump-cgir-after");
+      }
     } else if (arg == "--profile-gen") {
       opt.profile_gen = true;
     } else if (arg == "--reps") {
@@ -273,12 +308,15 @@ const isa::VectorIsa& resolve_isa(const std::string& name,
 std::unique_ptr<codegen::Generator> make_tool(const Options& opt,
                                               const isa::VectorIsa& table,
                                               synth::SelectionHistory* history) {
+  codegen::EmitTuning tuning;
+  tuning.tile_elems = opt.tile_elems;
+  tuning.dump_cgir_after = opt.dump_cgir_after;
   if (opt.tool == "hcg") {
     synth::BatchOptions batch;
     batch.min_nodes_for_simd = opt.threshold;
     return codegen::make_hcg_generator(table, history, batch,
                                        opt.opt_level < 0 ? 1 : opt.opt_level,
-                                       opt.profile_gen);
+                                       opt.profile_gen, tuning);
   }
   if (opt.profile_gen) {
     throw Error("--profile-gen is only supported with --tool hcg");
@@ -286,9 +324,11 @@ std::unique_ptr<codegen::Generator> make_tool(const Options& opt,
   const int level = opt.opt_level < 0 ? 0 : opt.opt_level;
   if (opt.tool == "simulink") {
     return codegen::make_simulink_generator(opt.scattered ? &table : nullptr,
-                                            level);
+                                            level, tuning);
   }
-  if (opt.tool == "dfsynth") return codegen::make_dfsynth_generator(level);
+  if (opt.tool == "dfsynth") {
+    return codegen::make_dfsynth_generator(level, tuning);
+  }
   throw Error("unknown tool '" + opt.tool + "' (hcg|simulink|dfsynth)");
 }
 
@@ -349,7 +389,14 @@ int cmd_generate(const Options& opt) {
 
   if (!opt.history_path.empty()) history.save(opt.history_path);
 
-  const std::string& payload = opt.dump_cgir ? code.cgir_dump : code.source;
+  if (!opt.dump_cgir_after.empty() && code.cgir_dump_after.empty()) {
+    throw Error("pass '" + opt.dump_cgir_after +
+                "' did not run at the chosen -O level");
+  }
+  const std::string& payload = opt.dump_cgir ? code.cgir_dump
+                               : !opt.dump_cgir_after.empty()
+                                   ? code.cgir_dump_after
+                                   : code.source;
   if (opt.out_path.empty()) {
     std::fputs(payload.c_str(), stdout);
   } else {

@@ -276,6 +276,76 @@ TEST_F(CliFixture, OptLevelFlagsAreAcceptedAndEquivalentHere) {
   EXPECT_NE(bad.output.find("unknown option"), std::string::npos);
 }
 
+TEST_F(CliFixture, O2AcceptedAndOptimizes) {
+  // cli_fir's i8 sibling with a Mul the NEON table cannot map: the scalar
+  // loop between the vector regions strip-mines and fuses at -O2.
+  const std::string mixed = (dir_.path() / "mixed.xml").string();
+  write_file(mixed, R"(
+<model name="cli_mixed">
+  <actor name="a" type="Inport" dtype="i8" shape="37"/>
+  <actor name="b" type="Inport" dtype="i8" shape="37"/>
+  <actor name="s" type="Add"/>
+  <actor name="m" type="Mul"/>
+  <actor name="d" type="Sub"/>
+  <actor name="y" type="Outport"/>
+  <connect from="a" to="s:0"/>
+  <connect from="b" to="s:1"/>
+  <connect from="s" to="m:0"/>
+  <connect from="b" to="m:1"/>
+  <connect from="m" to="d:0"/>
+  <connect from="a" to="d:1"/>
+  <connect from="d" to="y"/>
+</model>)");
+  const std::string out = (dir_.path() / "o2.c").string();
+  const std::string report = (dir_.path() / "o2.json").string();
+  CliResult r = run_cli("generate " + mixed + " --isa neon_sim -O2 --out " +
+                        out + " --report " + report);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(read_file(out).find("memcpy(ln0_"), std::string::npos);
+
+  obs::JsonValue doc = obs::json_parse(read_file(report));
+  const obs::JsonValue& opt = doc.at("codegen");
+  EXPECT_EQ(opt.at("opt_level").number, 2);
+  EXPECT_GE(opt.at("fusion").at("cross_scale_fused").number, 1);
+
+  // The -O2 remarks ride along in the report diagnostics.
+  bool saw_408 = false;
+  for (const obs::JsonValue& diag : doc.at("diagnostics").array) {
+    if (diag.at("code").string == "HCG408") saw_408 = true;
+  }
+  EXPECT_TRUE(saw_408) << read_file(report);
+}
+
+TEST_F(CliFixture, DumpCgirAfterSnapshotsNamedPass) {
+  const std::string dump = (dir_.path() / "after.cgir").string();
+  CliResult r = run_cli("generate " + model_path_ +
+                        " --isa neon_sim -O2 --dump-cgir-after=fuse_loops"
+                        " --out " + dump);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(read_file(dump).rfind("cgir-v1", 0), 0u);
+
+  // Unknown pass names are usage errors; passes that exist but never ran at
+  // the chosen -O level are reported as real errors.
+  CliResult bad = run_cli("generate " + model_path_ +
+                          " --isa neon_sim --dump-cgir-after=frobnicate");
+  EXPECT_EQ(bad.exit_code, 2);
+  CliResult not_run = run_cli("generate " + model_path_ +
+                              " --isa neon_sim -O0"
+                              " --dump-cgir-after=coalesce_layout");
+  EXPECT_EQ(not_run.exit_code, 1);
+  EXPECT_NE(not_run.output.find("did not run"), std::string::npos);
+}
+
+TEST_F(CliFixture, TileElemsValidatesWidth) {
+  CliResult bad = run_cli("generate " + model_path_ +
+                          " --isa neon_sim -O2 --tile-elems 1");
+  EXPECT_EQ(bad.exit_code, 2);
+  CliResult ok = run_cli("generate " + model_path_ +
+                         " --isa neon_sim -O2 --tile-elems 8 --out " +
+                         (dir_.path() / "t.c").string());
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+}
+
 TEST_F(CliFixture, TraceSummaryGoesToStderr) {
 #ifdef HCG_DISABLE_TRACING
   GTEST_SKIP() << "tracing compiled out";

@@ -1,7 +1,8 @@
-// Integration tests for the cgir optimization pipeline (-O1): generated code
-// is compiled and executed against the interpreter oracle across the scalar
-// remainder widths, fusion and arena effects are asserted on the intensive
-// farm benchmark, and -O1 output stays byte-identical across --jobs counts.
+// Integration tests for the cgir optimization pipeline (-O1 and -O2):
+// generated code is compiled and executed against the interpreter oracle
+// across the scalar remainder widths, fusion/tiling/layout effects are
+// asserted on the bench models, and output stays byte-identical across
+// --jobs counts at every opt level.
 #include <gtest/gtest.h>
 
 #include "actors/resolve.hpp"
@@ -197,6 +198,149 @@ TEST(OptPasses, EmittedDumpRoundTripsToSource) {
     cgir::TranslationUnit reparsed = cgir::parse_dump(code.cgir_dump);
     EXPECT_EQ(cgir::print(reparsed), code.source) << "-O" << level;
   }
+}
+
+// ---------------------------------------------------------------------------
+// -O2 cross-scale fusion: exec oracle across strip widths
+// ---------------------------------------------------------------------------
+
+/// i8 Mul-only pipeline: the NEON table has no i8 multiply, so the whole
+/// model is one conventional scalar loop — the tiling workload.
+Model mul_only_model(int n) {
+  ModelBuilder b("mulonly" + std::to_string(n));
+  PortRef a = b.inport("a", DataType::kInt8, Shape{n});
+  PortRef c = b.inport("c", DataType::kInt8, Shape{n});
+  b.outport("y", b.actor("m", "Mul", {a, c}));
+  return b.take();
+}
+
+class CrossScaleWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossScaleWidths, MatchesOracleAtEveryOptLevel) {
+  if (!have_cc()) GTEST_SKIP() << "no C compiler available";
+  const int n = GetParam();
+  const Model model = resolved(benchmodels::mixed_pipeline_model(n));
+
+  for (int level : {0, 1, 2}) {
+    codegen::EmitConfig config = hcg_config(level);
+    config.verify_cgir = true;  // every pass checkpoint re-verifies
+    codegen::GeneratedCode code = codegen::emit_model(model, config);
+    EXPECT_LT(compare_to_oracle(model, code), 1e-6)
+        << "-O" << level << ", n=" << n;
+    EXPECT_EQ(code.report.opt_level, level);
+    if (level < 2) {
+      EXPECT_EQ(code.report.cross_scale_fused, 0) << "n=" << n;
+      EXPECT_EQ(code.report.strips_localized, 0) << "n=" << n;
+    }
+  }
+
+  // At vector width and above the scalar Mul loop strip-mines into the
+  // surrounding vector region (i8 runs 16 lanes on neon_sim) and the lane
+  // loop is rewritten onto local lane buffers.
+  codegen::GeneratedCode at_o2 = codegen::emit_model(model, hcg_config(2));
+  if (n >= 16) {
+    EXPECT_GE(at_o2.report.cross_scale_fused, 1) << "n=" << n;
+    EXPECT_GE(at_o2.report.strips_localized, 1) << "n=" << n;
+    EXPECT_NE(at_o2.source.find("memcpy(ln0_"), std::string::npos) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CrossScaleWidths,
+                         ::testing::Values(3, 5, 7, 9, 16, 17));
+
+// ---------------------------------------------------------------------------
+// -O2 tiling: non-multiple-of-tile shapes keep their scalar tails
+// ---------------------------------------------------------------------------
+
+class TiledShapes : public ::testing::TestWithParam<int> {};
+
+TEST_P(TiledShapes, MatchesOracleWithScalarTail) {
+  if (!have_cc()) GTEST_SKIP() << "no C compiler available";
+  const int n = GetParam();
+  const Model model = resolved(mul_only_model(n));
+
+  for (int level : {0, 1, 2}) {
+    codegen::EmitConfig config = hcg_config(level);
+    config.verify_cgir = true;
+    config.tile_elems = 16;
+    codegen::GeneratedCode code = codegen::emit_model(model, config);
+    EXPECT_LT(compare_to_oracle(model, code), 1e-6)
+        << "-O" << level << ", n=" << n;
+    if (level < 2) {
+      EXPECT_EQ(code.report.loops_tiled, 0) << "n=" << n;
+    } else {
+      EXPECT_GE(code.report.loops_tiled, 1) << "n=" << n;
+      EXPECT_GE(code.report.strips_localized, 1) << "n=" << n;
+      if (n % 16 != 0) {
+        // The scalar tail covers [n - n % 16, n).
+        const std::string tail_open =
+            "for (int i = " + std::to_string(n - n % 16) + "; i < " +
+            std::to_string(n) + "; ++i)";
+        EXPECT_NE(code.source.find(tail_open), std::string::npos) << "n=" << n;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TiledShapes, ::testing::Values(33, 37, 100));
+
+// ---------------------------------------------------------------------------
+// -O2 determinism: byte-identical output across --jobs counts, and the dump
+// surface round-trips the strip-mined loops
+// ---------------------------------------------------------------------------
+
+TEST(OptPasses, O2ByteIdenticalAcrossJobCounts) {
+  for (const Model& model :
+       {resolved(benchmodels::mixed_pipeline_model(100)),
+        resolved(mul_only_model(100)), resolved(two_chain_model(7))}) {
+    codegen::GeneratedCode serial =
+        codegen::emit_model(model, hcg_config(2, /*jobs=*/1));
+    codegen::GeneratedCode parallel =
+        codegen::emit_model(model, hcg_config(2, /*jobs=*/8));
+    EXPECT_EQ(serial.source, parallel.source) << model.name();
+    EXPECT_EQ(serial.cgir_dump, parallel.cgir_dump) << model.name();
+  }
+}
+
+TEST(OptPasses, O2DumpRoundTripsStripMinedLoops) {
+  const Model model = resolved(benchmodels::mixed_pipeline_model(37));
+  codegen::GeneratedCode code = codegen::emit_model(model, hcg_config(2));
+  ASSERT_FALSE(code.cgir_dump.empty());
+  // The dump names the strip-mined lane loops and their induction variable.
+  EXPECT_NE(code.cgir_dump.find("strip=1"), std::string::npos);
+  EXPECT_NE(code.cgir_dump.find("ivar=k"), std::string::npos);
+  cgir::TranslationUnit reparsed = cgir::parse_dump(code.cgir_dump);
+  EXPECT_EQ(cgir::print(reparsed), code.source);
+}
+
+TEST(OptPasses, O2ReportCountsReachJson) {
+  const Model model = resolved(benchmodels::mixed_pipeline_model(64));
+  codegen::GeneratedCode code = codegen::emit_model(model, hcg_config(2));
+  ASSERT_GE(code.report.cross_scale_fused, 1);
+
+  const obs::JsonValue doc =
+      obs::json_parse(code.report.to_json(/*include_metrics=*/false));
+  const obs::JsonValue& cg = doc.at("codegen");
+  EXPECT_EQ(cg.at("opt_level").number, 2);
+  EXPECT_GE(cg.at("fusion").at("cross_scale_fused").number, 1);
+  EXPECT_GE(cg.at("layout").at("stride1_accesses").number, 1);
+  EXPECT_GE(cg.at("layout").at("strips_localized").number, 1);
+}
+
+// ---------------------------------------------------------------------------
+// -O2 verifier checkpoints: every pass of the extended pipeline re-verifies
+// ---------------------------------------------------------------------------
+
+TEST(OptPasses, O2VerifierCheckpointsEveryPass) {
+  const Model model = resolved(benchmodels::mixed_pipeline_model(64));
+  codegen::EmitConfig config = hcg_config(2);
+  config.verify_cgir = true;
+  codegen::GeneratedCode code = codegen::emit_model(model, config);
+  const std::vector<std::string> expected = {
+      "lower",       "fuse_loops", "fuse_cross_scale", "forward_copies",
+      "eliminate_dead_buffers",    "tile_loops",       "reuse_arena",
+      "coalesce_layout",           "localize_strips"};
+  EXPECT_EQ(code.report.verified_passes, expected);
 }
 
 }  // namespace
