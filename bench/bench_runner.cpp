@@ -220,6 +220,78 @@ std::vector<bench::BenchMetric> suite_exec() {
   return metrics;
 }
 
+/// Scalable-backend kernel sweep (PR 8): the predicated-tail loop form
+/// (--isa sve) against the fixed-width vector+remainder form (neon_sim) on
+/// lengths that do and do not divide the lane count.  The count metrics are
+/// the tentpole's acceptance facts — every sve region lowers to predicated
+/// loops with zero scalar-remainder elements, while the fixed-width table
+/// provably leaves a tail on the prime length.  The timing leg compares the
+/// two tail strategies on compiled code (both tables are simulated, so this
+/// runs on any host with a C compiler).
+std::vector<bench::BenchMetric> suite_sve() {
+  std::vector<bench::BenchMetric> metrics;
+  auto emit_with = [](const Model& model, const char* table) {
+    synth::SelectionHistory history;
+    auto gen =
+        codegen::make_hcg_generator(isa::builtin(table), &history, {}, 1);
+    return gen->generate(model);
+  };
+  auto remainder_elems = [](const obs::Report& report) {
+    int total = 0;
+    for (const obs::ReportRegion& region : report.regions) {
+      total += region.scalar_remainder;
+    }
+    return total;
+  };
+
+  // 1024 divides every lane count; 1021 is prime, so every fixed-width
+  // table leaves a scalar tail there and the scalable table must not.
+  const int kLengths[] = {1024, 1021};
+  for (int n : kLengths) {
+    Model model = resolved(benchmodels::fir_model(n));
+    const std::string m = "fir" + std::to_string(n);
+    codegen::GeneratedCode sve_code = emit_with(model, "sve");
+    codegen::GeneratedCode neon_code = emit_with(model, "neon_sim");
+    metrics.push_back(bench::count_metric(
+        m + ".sve.loops_predicated", sve_code.report.loops_predicated));
+    metrics.push_back(bench::count_metric(
+        m + ".sve.remainder_elems", remainder_elems(sve_code.report)));
+    metrics.push_back(bench::count_metric(
+        m + ".neon.remainder_elems", remainder_elems(neon_code.report)));
+    metrics.push_back(bench::count_metric(
+        m + ".sve.simd_instructions",
+        static_cast<double>(sve_code.simd_instructions.size())));
+  }
+
+  // Timing leg on the prime length, where the tail strategy actually
+  // matters: one predicated loop vs vector body + 1021%lanes scalar steps.
+  try {
+    Model model = resolved(benchmodels::fir_model(1021));
+    bench::IoBinding io = bench::bind_io(model);
+    codegen::GeneratedCode sve_code = emit_with(model, "sve");
+    codegen::GeneratedCode neon_code = emit_with(model, "neon_sim");
+
+    toolchain::CompiledModel sve_bin = bench::compile(sve_code);
+    bench::verify_against_oracle(sve_bin, model, io, 2e-2);
+    const double sve_s =
+        bench::time_steps(sve_bin, io.in_ptrs, io.out_ptrs).seconds_per_step;
+
+    toolchain::CompiledModel neon_bin = bench::compile(neon_code);
+    bench::verify_against_oracle(neon_bin, model, io, 2e-2);
+    const double neon_s =
+        bench::time_steps(neon_bin, io.in_ptrs, io.out_ptrs).seconds_per_step;
+
+    const double step = bench::measured("fir1021.sve_step_seconds", sve_s);
+    metrics.push_back(bench::time_metric("fir1021.sve_step_seconds", step));
+    metrics.push_back(bench::ratio_metric(
+        "fir1021.predicated_vs_remainder", neon_s / std::max(step, 1e-12)));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: sve suite skipped timing leg: %s\n",
+                 e.what());
+  }
+  return metrics;
+}
+
 /// Parallel synthesis engine: jobs sweep speedup (noisy) plus the
 /// single-flight dedup counters (deterministic).
 std::vector<bench::BenchMetric> suite_parallel() {
@@ -274,13 +346,17 @@ std::vector<bench::BenchMetric> suite_parallel() {
 
 struct Suite {
   const char* name;
+  /// Instruction table the suite's codegen targets; recorded in the env
+  /// fingerprint so baselines from different ISAs never gate each other.
+  const char* isa;
   std::function<std::vector<bench::BenchMetric>()> run;
 };
 
 const Suite kSuites[] = {
-    {"codegen", suite_codegen},
-    {"exec", suite_exec},
-    {"parallel", suite_parallel},
+    {"codegen", "neon_sim", suite_codegen},
+    {"exec", "neon_sim", suite_exec},
+    {"sve", "sve", suite_sve},
+    {"parallel", "neon_sim", suite_parallel},
 };
 
 // ---- baseline comparison --------------------------------------------------
@@ -340,6 +416,16 @@ void check_suite(const std::string& suite, const obs::JsonValue& baseline,
         std::snprintf(detail, sizeof(detail),
                       "baseline cc '%s', here '%s'", v->string.c_str(),
                       env.cc.c_str());
+      }
+    }
+  }
+  if (mismatch.empty()) {
+    if (const obs::JsonValue* v = base_env ? base_env->find("isa") : nullptr) {
+      if (v->string != env.isa) {
+        mismatch = "isa";
+        std::snprintf(detail, sizeof(detail),
+                      "baseline isa '%s', here '%s'", v->string.c_str(),
+                      env.isa.c_str());
       }
     }
   }
@@ -418,7 +504,7 @@ void usage(FILE* out) {
                "BENCH_<suite>.json files\n"
                "  --out DIR           where to write results (default .)\n"
                "  --suite NAME        run one suite (repeatable; default "
-               "all: codegen exec parallel)\n"
+               "all: codegen exec sve parallel)\n"
                "  --threshold PCT     relative tolerance for time/ratio "
                "metrics (default 40)\n"
                "  --strict            gate noisy metrics even when the cpu "
@@ -499,9 +585,11 @@ int main(int argc, char** argv) {
       continue;
     }
     std::printf("\n== suite %s ==\n", suite.name);
+    bench::BenchEnv suite_env = env;
+    suite_env.isa = suite.isa;
     const std::vector<bench::BenchMetric> metrics = suite.run();
     const std::string path =
-        bench::write_bench_json(out_dir, suite.name, env, metrics);
+        bench::write_bench_json(out_dir, suite.name, suite_env, metrics);
     std::printf("wrote %s (%zu metrics)\n", path.c_str(), metrics.size());
 
     if (!check) continue;
@@ -516,8 +604,8 @@ int main(int argc, char** argv) {
       ++stats.warnings;
       continue;
     }
-    check_suite(suite.name, baseline, metrics, env, threshold_pct, strict,
-                stats);
+    check_suite(suite.name, baseline, metrics, suite_env, threshold_pct,
+                strict, stats);
   }
 
   if (check) {

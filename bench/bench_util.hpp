@@ -225,6 +225,11 @@ struct BenchEnv {
   /// First line of `gcc --version` ("unknown" without a toolchain): exec
   /// suite numbers depend on the compiler that built the generated code.
   std::string cc;
+  /// Instruction table the suite generated code for (e.g. "neon_sim",
+  /// "sve").  Part of the fingerprint so a scalable-ISA baseline can never
+  /// silently gate a fixed-width run or vice versa — the two emit different
+  /// loop forms and their numbers are not comparable.
+  std::string isa;
   std::string flags;    // "release" | "debug"
   std::string git_rev;  // short rev, "unknown" when git is unavailable
 };
@@ -296,6 +301,7 @@ inline std::string bench_json(const std::string& suite, const BenchEnv& env,
   json.key("cpus").value(static_cast<std::uint64_t>(env.cpus));
   json.key("jobs").value(static_cast<std::uint64_t>(env.jobs));
   json.key("cc").value(env.cc);
+  json.key("isa").value(env.isa);
   json.key("flags").value(env.flags);
   json.key("git_rev").value(env.git_rev);
   json.end_object();

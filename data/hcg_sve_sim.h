@@ -1,0 +1,282 @@
+/* hcg_sve_sim.h — portable implementation of the ARM SVE intrinsics used by
+ * HCG-generated code, built on GCC/Clang vector extensions.
+ *
+ * This header lets code emitted for the scalable "sve" instruction table
+ * compile and run on any host (the same DESIGN.md substitution as
+ * hcg_neon_sim.h).  The simulated vector length is fixed at 256 bits — the
+ * table's declared minimum granule — but generated code never depends on
+ * that number: it steps by svcntw()-style runtime queries and governs every
+ * load, store and op with a whilelt predicate, exactly as on real hardware.
+ *
+ * The predicate is one flag byte per vector *byte* (real SVE uses one bit
+ * per byte); a lane is active iff its first byte's flag is set, and whilelt
+ * sets all bytes of each active lane.  Masked loads read only active lanes
+ * (inactive lanes are zeroed, never dereferenced — the tail of a predicated
+ * loop stays clean under AddressSanitizer) and masked stores write only
+ * active lanes.  The _x op forms compute full-width; their inactive lanes
+ * are never observable because stores are governed.
+ */
+#ifndef HCG_SVE_SIM_H
+#define HCG_SVE_SIM_H
+
+#include <stdint.h>
+
+#define HCG_SVE_BYTES 32
+
+typedef int8_t   svint8_t    __attribute__((vector_size(HCG_SVE_BYTES)));
+typedef uint8_t  svuint8_t   __attribute__((vector_size(HCG_SVE_BYTES)));
+typedef int16_t  svint16_t   __attribute__((vector_size(HCG_SVE_BYTES)));
+typedef uint16_t svuint16_t  __attribute__((vector_size(HCG_SVE_BYTES)));
+typedef int32_t  svint32_t   __attribute__((vector_size(HCG_SVE_BYTES)));
+typedef uint32_t svuint32_t  __attribute__((vector_size(HCG_SVE_BYTES)));
+typedef float    svfloat32_t __attribute__((vector_size(HCG_SVE_BYTES)));
+typedef double   svfloat64_t __attribute__((vector_size(HCG_SVE_BYTES)));
+
+typedef struct {
+  uint8_t b[HCG_SVE_BYTES];
+} svbool_t;
+
+/* Runtime lane counts (the "vl" expressions of the table). */
+static inline int svcntb(void) { return HCG_SVE_BYTES; }
+static inline int svcnth(void) { return HCG_SVE_BYTES / 2; }
+static inline int svcntw(void) { return HCG_SVE_BYTES / 4; }
+static inline int svcntd(void) { return HCG_SVE_BYTES / 8; }
+
+/* whilelt: lane l is active iff i + l < n.  ESIZE bytes per lane. */
+#define HCG_SVE_WHILELT(BS, ESIZE)                                           \
+  static inline svbool_t svwhilelt_##BS(int i, int n) {                      \
+    svbool_t g;                                                              \
+    for (int l = 0; l < HCG_SVE_BYTES / ESIZE; ++l) {                        \
+      uint8_t on = (i + l < n) ? 1 : 0;                                      \
+      for (int e = 0; e < ESIZE; ++e) g.b[l * ESIZE + e] = on;               \
+    }                                                                        \
+    return g;                                                                \
+  }
+
+HCG_SVE_WHILELT(b8, 1)
+HCG_SVE_WHILELT(b16, 2)
+HCG_SVE_WHILELT(b32, 4)
+HCG_SVE_WHILELT(b64, 8)
+#undef HCG_SVE_WHILELT
+
+/* Ops shared by every element type.  N lanes of ESIZE bytes each. */
+#define HCG_SVE_COMMON(S, T, VT, ESIZE, N)                                   \
+  static inline VT svld1_##S(svbool_t g, const T* p) {                       \
+    VT v;                                                                    \
+    for (int i = 0; i < N; ++i) v[i] = g.b[i * ESIZE] ? p[i] : (T)0;         \
+    return v;                                                                \
+  }                                                                          \
+  static inline void svst1_##S(svbool_t g, T* p, VT v) {                     \
+    for (int i = 0; i < N; ++i) {                                            \
+      if (g.b[i * ESIZE]) p[i] = v[i];                                       \
+    }                                                                        \
+  }                                                                          \
+  static inline VT svdup_n_##S(T c) {                                        \
+    VT v;                                                                    \
+    for (int i = 0; i < N; ++i) v[i] = c;                                    \
+    return v;                                                                \
+  }                                                                          \
+  static inline VT svadd_##S##_x(svbool_t g, VT a, VT b) {                   \
+    (void)g;                                                                 \
+    return a + b;                                                            \
+  }                                                                          \
+  static inline VT svsub_##S##_x(svbool_t g, VT a, VT b) {                   \
+    (void)g;                                                                 \
+    return a - b;                                                            \
+  }                                                                          \
+  static inline VT svadd_n_##S##_x(svbool_t g, VT a, T c) {                  \
+    (void)g;                                                                 \
+    return a + svdup_n_##S(c);                                               \
+  }                                                                          \
+  static inline VT svmin_##S##_x(svbool_t g, VT a, VT b) {                   \
+    VT r;                                                                    \
+    (void)g;                                                                 \
+    for (int i = 0; i < N; ++i) r[i] = a[i] < b[i] ? a[i] : b[i];            \
+    return r;                                                                \
+  }                                                                          \
+  static inline VT svmax_##S##_x(svbool_t g, VT a, VT b) {                   \
+    VT r;                                                                    \
+    (void)g;                                                                 \
+    for (int i = 0; i < N; ++i) r[i] = a[i] > b[i] ? a[i] : b[i];            \
+    return r;                                                                \
+  }                                                                          \
+  static inline VT svabd_##S##_x(svbool_t g, VT a, VT b) {                   \
+    VT r;                                                                    \
+    (void)g;                                                                 \
+    for (int i = 0; i < N; ++i)                                              \
+      r[i] = a[i] > b[i] ? (T)(a[i] - b[i]) : (T)(b[i] - a[i]);              \
+    return r;                                                                \
+  }                                                                          \
+  static inline VT svaba_##S##_x(svbool_t g, VT a, VT b, VT c) {             \
+    VT r;                                                                    \
+    (void)g;                                                                 \
+    for (int i = 0; i < N; ++i) {                                            \
+      T d = b[i] > c[i] ? (T)(b[i] - c[i]) : (T)(c[i] - b[i]);               \
+      r[i] = (T)(a[i] + d);                                                  \
+    }                                                                        \
+    return r;                                                                \
+  }                                                                          \
+  static inline svbool_t svcmpgt_n_##S(svbool_t g, VT a, T c) {              \
+    svbool_t r;                                                              \
+    for (int i = 0; i < N; ++i) {                                            \
+      uint8_t on = (g.b[i * ESIZE] && a[i] > c) ? 1 : 0;                     \
+      for (int e = 0; e < ESIZE; ++e) r.b[i * ESIZE + e] = on;               \
+    }                                                                        \
+    return r;                                                                \
+  }                                                                          \
+  static inline VT svsel_##S(svbool_t g, VT a, VT b) {                       \
+    VT r;                                                                    \
+    for (int i = 0; i < N; ++i) r[i] = g.b[i * ESIZE] ? a[i] : b[i];         \
+    return r;                                                                \
+  }
+
+/* Integer-only ops; SHR is the shift-right mnemonic (asr signed, lsr
+ * unsigned), WT the widened type svhadd architecturally computes through. */
+#define HCG_SVE_INT(S, T, VT, ESIZE, N, SHR, WT)                             \
+  static inline VT svmul_##S##_x(svbool_t g, VT a, VT b) {                   \
+    (void)g;                                                                 \
+    return a * b;                                                            \
+  }                                                                          \
+  static inline VT svand_##S##_x(svbool_t g, VT a, VT b) {                   \
+    (void)g;                                                                 \
+    return a & b;                                                            \
+  }                                                                          \
+  static inline VT svorr_##S##_x(svbool_t g, VT a, VT b) {                   \
+    (void)g;                                                                 \
+    return a | b;                                                            \
+  }                                                                          \
+  static inline VT sveor_##S##_x(svbool_t g, VT a, VT b) {                   \
+    (void)g;                                                                 \
+    return a ^ b;                                                            \
+  }                                                                          \
+  static inline VT svnot_##S##_x(svbool_t g, VT a) {                         \
+    (void)g;                                                                 \
+    return ~a;                                                               \
+  }                                                                          \
+  static inline VT svlsl_n_##S##_x(svbool_t g, VT a, const int n) {          \
+    (void)g;                                                                 \
+    return a << n;                                                           \
+  }                                                                          \
+  static inline VT sv##SHR##_n_##S##_x(svbool_t g, VT a, const int n) {      \
+    (void)g;                                                                 \
+    return a >> n;                                                           \
+  }                                                                          \
+  static inline VT svmla_##S##_x(svbool_t g, VT a, VT b, VT c) {             \
+    (void)g;                                                                 \
+    return a + b * c;                                                        \
+  }                                                                          \
+  static inline VT svmls_##S##_x(svbool_t g, VT a, VT b, VT c) {             \
+    (void)g;                                                                 \
+    return a - b * c;                                                        \
+  }                                                                          \
+  static inline VT svmul_n_##S##_x(svbool_t g, VT a, T c) {                  \
+    (void)g;                                                                 \
+    return a * svdup_n_##S(c);                                               \
+  }                                                                          \
+  /* See hcg_neon_sim.h: same value as the widened halving add without      \
+   * actually widening, so hosts can keep it vectorized. */                  \
+  static inline VT svhadd_##S##_x(svbool_t g, VT a, VT b) {                  \
+    VT r;                                                                    \
+    (void)g;                                                                 \
+    for (int i = 0; i < N; ++i) {                                            \
+      (void)sizeof(WT);                                                      \
+      r[i] = (T)((T)(a[i] >> 1) + (T)(b[i] >> 1) + (T)(a[i] & b[i] & 1));    \
+    }                                                                        \
+    return r;                                                                \
+  }
+
+#define HCG_SVE_SIGNED_ABS(S, T, VT, N)                                      \
+  static inline VT svabs_##S##_x(svbool_t g, VT a) {                         \
+    VT r;                                                                    \
+    (void)g;                                                                 \
+    for (int i = 0; i < N; ++i) r[i] = a[i] < 0 ? (T)(-a[i]) : a[i];         \
+    return r;                                                                \
+  }
+
+#define HCG_SVE_FLOAT(S, T, VT, N, SQRT)                                     \
+  static inline VT svmul_##S##_x(svbool_t g, VT a, VT b) {                   \
+    (void)g;                                                                 \
+    return a * b;                                                            \
+  }                                                                          \
+  static inline VT svdiv_##S##_x(svbool_t g, VT a, VT b) {                   \
+    /* Inactive lanes are 0/0 = nan after a masked load; harmless, since    \
+     * governed stores never write them back. */                             \
+    (void)g;                                                                 \
+    return a / b;                                                            \
+  }                                                                          \
+  static inline VT svsqrt_##S##_x(svbool_t g, VT a) {                        \
+    VT r;                                                                    \
+    (void)g;                                                                 \
+    for (int i = 0; i < N; ++i) r[i] = SQRT(a[i]);                           \
+    return r;                                                                \
+  }                                                                          \
+  static inline VT svmla_##S##_x(svbool_t g, VT a, VT b, VT c) {             \
+    (void)g;                                                                 \
+    return a + b * c;                                                        \
+  }                                                                          \
+  static inline VT svmls_##S##_x(svbool_t g, VT a, VT b, VT c) {             \
+    (void)g;                                                                 \
+    return a - b * c;                                                        \
+  }                                                                          \
+  static inline VT svmul_n_##S##_x(svbool_t g, VT a, T c) {                  \
+    (void)g;                                                                 \
+    return a * svdup_n_##S(c);                                               \
+  }
+
+HCG_SVE_COMMON(s8, int8_t, svint8_t, 1, 32)
+HCG_SVE_COMMON(u8, uint8_t, svuint8_t, 1, 32)
+HCG_SVE_COMMON(s16, int16_t, svint16_t, 2, 16)
+HCG_SVE_COMMON(u16, uint16_t, svuint16_t, 2, 16)
+HCG_SVE_COMMON(s32, int32_t, svint32_t, 4, 8)
+HCG_SVE_COMMON(u32, uint32_t, svuint32_t, 4, 8)
+HCG_SVE_COMMON(f32, float, svfloat32_t, 4, 8)
+HCG_SVE_COMMON(f64, double, svfloat64_t, 8, 4)
+
+HCG_SVE_INT(s8, int8_t, svint8_t, 1, 32, asr, int16_t)
+HCG_SVE_INT(u8, uint8_t, svuint8_t, 1, 32, lsr, uint16_t)
+HCG_SVE_INT(s16, int16_t, svint16_t, 2, 16, asr, int32_t)
+HCG_SVE_INT(u16, uint16_t, svuint16_t, 2, 16, lsr, uint32_t)
+HCG_SVE_INT(s32, int32_t, svint32_t, 4, 8, asr, int64_t)
+HCG_SVE_INT(u32, uint32_t, svuint32_t, 4, 8, lsr, uint64_t)
+
+HCG_SVE_SIGNED_ABS(s8, int8_t, svint8_t, 32)
+HCG_SVE_SIGNED_ABS(s16, int16_t, svint16_t, 16)
+HCG_SVE_SIGNED_ABS(s32, int32_t, svint32_t, 8)
+HCG_SVE_SIGNED_ABS(f32, float, svfloat32_t, 8)
+HCG_SVE_SIGNED_ABS(f64, double, svfloat64_t, 4)
+
+HCG_SVE_FLOAT(f32, float, svfloat32_t, 8, __builtin_sqrtf)
+HCG_SVE_FLOAT(f64, double, svfloat64_t, 4, __builtin_sqrt)
+
+/* Conversions: truncate toward zero, matching both ACLE and C casts. */
+static inline svint32_t svcvt_s32_f32_x(svbool_t g, svfloat32_t a) {
+  svint32_t r;
+  (void)g;
+  for (int i = 0; i < 8; ++i) r[i] = (int32_t)a[i];
+  return r;
+}
+static inline svfloat32_t svcvt_f32_s32_x(svbool_t g, svint32_t a) {
+  svfloat32_t r;
+  (void)g;
+  for (int i = 0; i < 8; ++i) r[i] = (float)a[i];
+  return r;
+}
+static inline svuint32_t svcvt_u32_f32_x(svbool_t g, svfloat32_t a) {
+  svuint32_t r;
+  (void)g;
+  for (int i = 0; i < 8; ++i) r[i] = (uint32_t)a[i];
+  return r;
+}
+static inline svfloat32_t svcvt_f32_u32_x(svbool_t g, svuint32_t a) {
+  svfloat32_t r;
+  (void)g;
+  for (int i = 0; i < 8; ++i) r[i] = (float)a[i];
+  return r;
+}
+
+#undef HCG_SVE_COMMON
+#undef HCG_SVE_INT
+#undef HCG_SVE_SIGNED_ABS
+#undef HCG_SVE_FLOAT
+
+#endif /* HCG_SVE_SIM_H */

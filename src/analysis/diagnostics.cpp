@@ -35,6 +35,13 @@ const std::vector<DiagnosticRule>& diagnostic_rules() {
       {"HCG106", "no-outport",
        "model has no Outport; generated step() computes nothing observable",
        Severity::kWarning},
+      {"HCG110", "isa-width-mismatch",
+       "a vtype's lanes x element size disagrees with the table's declared "
+       "register width",
+       Severity::kError},
+      {"HCG111", "isa-duplicate-entry",
+       "an .isa table declares the same vtype/load/store/op entry twice",
+       Severity::kError},
 
       // ---- HCG2xx: graph / type resolution -----------------------------
       {"HCG201", "width-mismatch",
@@ -70,6 +77,10 @@ const std::vector<DiagnosticRule>& diagnostic_rules() {
       {"HCG309", "strip-coverage",
        "strip-mined lane loop does not cover exactly one stride of its "
        "outer loop",
+       Severity::kError},
+      {"HCG310", "predicated-coverage",
+       "predicated loop does not cover exactly [0, n) by itself, or sits "
+       "next to a scalar remainder it makes redundant",
        Severity::kError},
 
       // ---- HCG4xx: vectorization remarks --------------------------------

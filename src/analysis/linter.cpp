@@ -258,19 +258,33 @@ void lint_vectorization(const Model& model, const isa::VectorIsa& isa,
     const Dataflow& graph = region.graph;
     const std::string loc = "region {" + join_names(model, region.actors) + "}";
     const RegionVectorPlan plan = plan_region_vectorization(
-        region, isa.width_bits, lanes_of, min_nodes_for_simd);
+        region, isa.capability(), min_nodes_for_simd);
     if (plan.viable) {
-      diags.note("HCG400", loc,
-                 "vectorized with " + isa.name + ": " +
-                     std::to_string(plan.lanes) + " lanes, " +
-                     std::to_string(plan.batch_count) + " vector iteration(s)" +
-                     (plan.offset > 0
-                          ? ", scalar remainder of " +
-                                std::to_string(plan.offset) + " element(s)"
-                          : ""));
+      if (plan.predicated) {
+        // Scalable ISA: one predicated loop covers everything — there is no
+        // remainder to warn about, so no blocker phrasing here.
+        diags.note("HCG400", loc,
+                   "vectorized with " + isa.name +
+                       ": one predicated vector-length-agnostic loop over " +
+                       std::to_string(graph.length()) +
+                       " element(s), no scalar remainder");
+      } else {
+        diags.note("HCG400", loc,
+                   "vectorized with " + isa.name + ": " +
+                       std::to_string(plan.lanes) + " lanes, " +
+                       std::to_string(plan.batch_count) +
+                       " vector iteration(s)" +
+                       (plan.offset > 0
+                            ? ", scalar remainder of " +
+                                  std::to_string(plan.offset) + " element(s)"
+                            : ""));
+      }
       continue;
     }
-    if (plan.lanes <= 0 || plan.batch_count < 1) {
+    // Predicated plans never fail on length (any n >= 1 is coverable), so
+    // the too-short remark below — remainder-based phrasing — only applies
+    // to fixed-width tables.
+    if (!plan.predicated && (plan.lanes <= 0 || plan.batch_count < 1)) {
       diags.remark(
           "HCG401", loc,
           "array length " + std::to_string(graph.length()) +

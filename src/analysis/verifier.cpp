@@ -17,12 +17,25 @@ std::string loop_desc(const cgir::Stmt& loop) {
                     std::to_string(loop.end) + ")";
   if (loop.step != 1) out += " step " + std::to_string(loop.step);
   if (loop.vector_loop) out += " vector";
+  if (loop.predicated) out += " predicated";
   return out;
 }
 
 std::string stmt_desc(const cgir::Stmt& stmt) {
   if (stmt.kind == cgir::Stmt::Kind::kLoop) return loop_desc(stmt);
   return "'" + stmt.text + "'";
+}
+
+/// Buffers a statement subtree writes elementwise (`buf[i] = ...` under the
+/// loop induction variable) — the footprint HCG310 compares across siblings.
+void collect_elementwise_writes(const cgir::Stmt& stmt,
+                                std::unordered_set<std::string>& out) {
+  for (const cgir::BufferAccess& access : stmt.accesses) {
+    if (access.write && access.elementwise) out.insert(access.buffer);
+  }
+  for (const cgir::Stmt& child : stmt.body) {
+    collect_elementwise_writes(child, out);
+  }
 }
 
 /// Walks one function body, tracking lexical scope.  A scope frame holds the
@@ -140,6 +153,45 @@ class FunctionChecker {
     const std::string where = loop_desc(loop);
     if (loop.step < 1 || loop.begin < 0 || loop.end < loop.begin) {
       error("HCG303", where, "malformed iteration domain");
+      return;
+    }
+    if (loop.predicated) {
+      // HCG310: a predicated VLA loop must cover [0, n) entirely by itself.
+      // Its predicate absorbs the tail, so a begin offset, a missing runtime
+      // stride, or any sibling loop writing the same output elementwise
+      // (the remainder it was supposed to replace) is a lowering bug.
+      if (loop.begin != 0) {
+        error("HCG310", where,
+              "predicated loop starts at " + std::to_string(loop.begin) +
+                  "; it must cover [0, n) by itself");
+      }
+      if (loop.step_expr.empty()) {
+        error("HCG310", where,
+              "predicated loop has no runtime stride expression");
+      }
+      if (loop.vector_loop || loop.single_iteration || loop.strip_mined) {
+        error("HCG310", where,
+              "predicated loop also carries a fixed-width loop form");
+      }
+      std::unordered_set<std::string> own;
+      collect_elementwise_writes(loop, own);
+      for (std::size_t j = 0; j < siblings.size(); ++j) {
+        if (j == index || siblings[j].kind != cgir::Stmt::Kind::kLoop) {
+          continue;
+        }
+        std::unordered_set<std::string> other;
+        collect_elementwise_writes(siblings[j], other);
+        for (const std::string& buffer : own) {
+          if (other.count(buffer)) {
+            error("HCG310", where,
+                  "sibling " + loop_desc(siblings[j]) +
+                      " also writes '" + buffer +
+                      "' elementwise; the predicated loop already covers the "
+                      "whole domain, so that remainder is redundant");
+            break;
+          }
+        }
+      }
       return;
     }
     if (loop.strip_mined) {

@@ -31,6 +31,10 @@ void print_stmt(const Stmt& stmt, int depth, std::string& out) {
     out += pad + "{\n";
     out += pad + "  const int " + iv + " = " + std::to_string(stmt.begin) +
            ";\n";
+  } else if (stmt.predicated) {
+    out += pad + "for (int " + iv + " = " + std::to_string(stmt.begin) +
+           "; " + iv + " < " + std::to_string(stmt.end) + "; " + iv + " += " +
+           stmt.step_expr + ") {\n";
   } else if (stmt.vector_loop) {
     out += pad + "for (int " + iv + " = " + std::to_string(stmt.begin) +
            "; " + iv + " < " + std::to_string(stmt.end) + "; " + iv + " += " +
@@ -128,6 +132,7 @@ void dump_stmt(const Stmt& stmt, int depth, std::string& out) {
   if (stmt.single_iteration) out += " single=1";
   if (stmt.fusible) out += " fusible=1";
   if (stmt.strip_mined) out += " strip=1";
+  if (stmt.predicated) out += " pred=1 stepx=" + quoted(stmt.step_expr);
   if (stmt.induction_var != "i") out += " ivar=" + stmt.induction_var;
   if (stmt.banner_actors > 0) {
     out += " actors=" + std::to_string(stmt.banner_actors) +
@@ -336,6 +341,8 @@ TranslationUnit parse_dump(const std::string& text) {
         stmt.single_iteration = field(fields, "single") == "1";
         stmt.fusible = field(fields, "fusible") == "1";
         stmt.strip_mined = field(fields, "strip") == "1";
+        stmt.predicated = field(fields, "pred") == "1";
+        stmt.step_expr = field(fields, "stepx");
         stmt.induction_var = field(fields, "ivar", "i");
         stmt.banner_actors =
             static_cast<int>(parse_int(field(fields, "actors", "0")));

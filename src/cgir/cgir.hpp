@@ -55,6 +55,14 @@ struct Stmt {
   bool vector_loop = false;      // `i += step` stride instead of `++i`
   bool single_iteration = false; // `{ const int i = begin; ... }` block
   bool fusible = false;          // region loop eligible for loop fusion
+  /// Predicated vector-length-agnostic loop (scalable ISAs): strides by the
+  /// runtime lane-count expression `step_expr` and covers [begin, end) by
+  /// itself — no scalar remainder exists.  `step` keeps the minimum-granule
+  /// lane count so trip estimates stay integer-valued; passes that reshape
+  /// iteration domains (fusion, tiling, strip-mining) must leave these
+  /// loops alone, since the true stride is unknown until runtime.
+  bool predicated = false;
+  std::string step_expr;         // runtime stride, e.g. "svcntw()"
   /// Inner lane loop produced by strip-mining: iterates `induction_var`
   /// over [0, outer step) while the enclosing loop strides by its step, so
   /// the pair together walks the outer loop's full [begin, end) domain.

@@ -610,9 +610,11 @@ void reuse_arena(TranslationUnit& tu, PassStats& stats) {
 /// True for a conventional scalar loop the -O2 passes may restructure:
 /// full-range ([0, n) step 1), body entirely single-assignment text lines
 /// (no locals, no nested loops), not itself produced by strip-mining.
+/// Predicated VLA loops are excluded outright: their runtime stride makes
+/// any static reshaping of the iteration domain unsound.
 bool plain_scalar_loop(const Stmt& stmt) {
   if (stmt.kind != Stmt::Kind::kLoop || stmt.vector_loop ||
-      stmt.single_iteration || stmt.strip_mined) {
+      stmt.single_iteration || stmt.strip_mined || stmt.predicated) {
     return false;
   }
   if (stmt.begin != 0 || stmt.step != 1) return false;
@@ -1051,6 +1053,7 @@ PassStats run_passes(TranslationUnit& tu, const PassOptions& options) {
     }
     for (Stmt& stmt : tu.step.body) {
       if (stmt.kind != Stmt::Kind::kLoop) continue;
+      if (stmt.predicated) continue;  // masked loads/stores are not copies
       if (stmt.vector_loop || stmt.single_iteration) {
         forward_vector(stmt, stats);
       } else {
@@ -1144,8 +1147,10 @@ std::vector<ProfileSite> instrument_profiling(TranslationUnit& tu,
     ProfileSite site;
     if (is_loop) {
       site.id = "L" + std::to_string(loop_count++);
-      site.kind = (stmt.vector_loop || stmt.single_iteration) ? "vector"
-                                                              : "scalar";
+      site.kind = (stmt.vector_loop || stmt.single_iteration ||
+                   stmt.predicated)
+                      ? "vector"
+                      : "scalar";
       site.label = loop_label(stmt);
       site.iters_per_call = loop_trips(stmt);
     } else {

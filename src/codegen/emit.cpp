@@ -152,8 +152,7 @@ class Emitter {
     // vector registers — get no memory buffer.
     for (const BatchRegion& region : regions_) {
       const RegionVectorPlan plan = plan_region_vectorization(
-          region, config_.isa->width_bits,
-          [this](DataType type) { return config_.isa->lanes(type); },
+          region, config_.isa->capability(),
           config_.batch_options.min_nodes_for_simd);
       if (!plan.viable) continue;
       for (const auto& [actor, node_index] : region.node_of) {
@@ -616,6 +615,7 @@ class Emitter {
     entry.batch_size = result.batch_size;
     entry.batch_count = result.batch_count;
     entry.scalar_remainder = result.offset;
+    entry.predicated = result.predicated;
     entry.instructions = result.instructions_used;
     out_.report.regions.push_back(std::move(entry));
 
@@ -645,15 +645,31 @@ class Emitter {
       }
       cgir::Stmt main;
       main.kind = cgir::Stmt::Kind::kLoop;
-      main.vector_loop = true;
-      main.fusible = true;
-      main.begin = result.offset;
-      main.step = result.batch_size;
-      if (result.batch_count >= 2) {
+      if (result.predicated) {
+        // One vector-length-agnostic loop over [0, n): the runtime-stride
+        // expression replaces the constant step, the predicate handles the
+        // tail, and no pass may reshape the iteration domain (not a
+        // vector_loop, not fusible).
+        main.predicated = true;
+        main.step_expr = result.step_expr;
+        main.begin = 0;
         main.end = region.graph.length();
+        main.step = result.batch_size;  // granule lanes, for trip estimates
+        static obs::Counter& predicated_metric =
+            obs::Registry::instance().counter("codegen.loops.predicated");
+        predicated_metric.add();
+        ++out_.report.loops_predicated;
       } else {
-        main.single_iteration = true;
-        main.end = result.offset + result.batch_size;
+        main.vector_loop = true;
+        main.fusible = true;
+        main.begin = result.offset;
+        main.step = result.batch_size;
+        if (result.batch_count >= 2) {
+          main.end = region.graph.length();
+        } else {
+          main.single_iteration = true;
+          main.end = result.offset + result.batch_size;
+        }
       }
       if (banner_pending) {
         main.banner_actors = static_cast<int>(region.actors.size());

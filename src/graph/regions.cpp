@@ -284,20 +284,43 @@ BatchRegion singleton_batch_region(const Model& model, ActorId id) {
   return region;
 }
 
-RegionVectorPlan plan_region_vectorization(
-    const BatchRegion& region, int width_bits,
-    const std::function<int(DataType)>& lanes_of, int min_nodes_for_simd) {
+RegionVectorPlan plan_region_vectorization(const BatchRegion& region,
+                                           const VectorCapability& capability,
+                                           int min_nodes_for_simd) {
   RegionVectorPlan plan;
   const Dataflow& graph = region.graph;
-  plan.lanes = width_bits / graph.data_bit_width();
+  plan.lanes = capability.width_bits / graph.data_bit_width();
   if (plan.lanes <= 0) return plan;
-  plan.batch_count = graph.length() / plan.lanes;
-  plan.offset = graph.length() % plan.lanes;
-  if (plan.batch_count < 1 || graph.node_count() < min_nodes_for_simd) {
-    return plan;
+
+  // A region is predicated when the table covers every node type with the
+  // scalable predicate kit; the loop then handles any length >= 1 with no
+  // remainder, so the fixed-width batch_count >= 1 early exit does not
+  // apply.  batch_count/offset become granule-width estimates for sizing
+  // and reporting only.
+  bool predicated = true;
+  for (const DfgNode& node : graph.nodes()) {
+    if (!capability.predicated_of || !capability.predicated_of(node.out_type)) {
+      predicated = false;
+      break;
+    }
+  }
+
+  plan.predicated = predicated;
+  if (predicated) {
+    plan.batch_count = (graph.length() + plan.lanes - 1) / plan.lanes;
+    plan.offset = 0;
+    if (graph.length() < 1 || graph.node_count() < min_nodes_for_simd) {
+      return plan;
+    }
+  } else {
+    plan.batch_count = graph.length() / plan.lanes;
+    plan.offset = graph.length() % plan.lanes;
+    if (plan.batch_count < 1 || graph.node_count() < min_nodes_for_simd) {
+      return plan;
+    }
   }
   for (const DfgNode& node : graph.nodes()) {
-    if (lanes_of(node.out_type) != plan.lanes) return plan;
+    if (capability.lanes_of(node.out_type) != plan.lanes) return plan;
   }
   plan.viable = true;
   return plan;

@@ -52,19 +52,40 @@ std::vector<BatchRegion> find_batch_regions(const Model& model,
 /// single vector load).
 BatchRegion singleton_batch_region(const Model& model, ActorId id);
 
+/// Lane-width capability of an instruction table, as region planning sees
+/// it: everything Algorithm 2's early exits need, without this layer
+/// depending on the ISA layer (which sits above it).  `isa::VectorIsa`
+/// fills one via its capability() accessor.
+struct VectorCapability {
+  /// Fixed register width, or — for scalable tables — the declared minimum
+  /// granule width.  Lane counts derived from it are exact for fixed
+  /// tables and a lower bound for scalable ones.
+  int width_bits = 0;
+  /// Granule lane count per element type; 0 when the type is unsupported.
+  std::function<int(DataType)> lanes_of;
+  /// True when the table vectorizes this type as a single predicated
+  /// vector-length-agnostic loop (no static remainder split).  Fixed-width
+  /// tables return false for every type.
+  std::function<bool(DataType)> predicated_of;
+};
+
 /// Mirror of Algorithm 2's early exits (batch count, the §4.3 node-count
 /// threshold, lane agreement across node types), shared by the batch
-/// synthesizer and the emitter's buffer planner so both always agree on
-/// which regions end up vectorized.
+/// synthesizer, the emitter's buffer planner and the linter so all three
+/// always agree on which regions end up vectorized — and *how*: fixed-width
+/// tables split a region into batch_count vector iterations plus a scalar
+/// remainder of `offset` elements, scalable tables cover the whole region
+/// with one predicated loop (`predicated`, offset always 0).
 struct RegionVectorPlan {
   bool viable = false;  // SIMD synthesis will succeed structurally
-  int lanes = 0;        // elements per vector register
-  int batch_count = 0;  // full vector iterations
-  int offset = 0;       // scalar remainder length
+  bool predicated = false;  // single predicated loop, no remainder split
+  int lanes = 0;        // elements per vector register (granule if scalable)
+  int batch_count = 0;  // full vector iterations (granule trips if scalable)
+  int offset = 0;       // scalar remainder length (always 0 if predicated)
 };
-RegionVectorPlan plan_region_vectorization(
-    const BatchRegion& region, int width_bits,
-    const std::function<int(DataType)>& lanes_of, int min_nodes_for_simd);
+RegionVectorPlan plan_region_vectorization(const BatchRegion& region,
+                                           const VectorCapability& capability,
+                                           int min_nodes_for_simd);
 
 /// One entry of the contracted emission order: either a single actor
 /// (region < 0) or a whole batch region (actor == kNoActor).

@@ -24,7 +24,7 @@ std::string neon_sim_text() {
 }  // namespace
 
 std::vector<std::string> builtin_names() {
-  return {"neon", "neon_sim", "sse", "avx2"};
+  return {"neon", "neon_sim", "sse", "avx2", "sve"};
 }
 
 std::string builtin_text(std::string_view name) {
@@ -32,6 +32,7 @@ std::string builtin_text(std::string_view name) {
   if (name == "neon_sim") return neon_sim_text();
   if (name == "sse") return tables::kSseTable;
   if (name == "avx2") return tables::kAvx2Table;
+  if (name == "sve") return tables::kSveTable;
   throw Error("unknown built-in isa table '" + std::string(name) + "'");
 }
 

@@ -61,9 +61,31 @@ const CvtCode* VectorIsa::find_cvt(DataType from, DataType to) const {
   return nullptr;
 }
 
+const PredCode* VectorIsa::find_pred(DataType type) const {
+  for (const PredCode& p : preds) {
+    if (p.type == type) return &p;
+  }
+  return nullptr;
+}
+
 int VectorIsa::lanes(DataType type) const {
   const VType* v = find_vtype(type);
   return v ? v->lanes : 0;
+}
+
+bool VectorIsa::predicated(DataType type) const {
+  if (!scalable) return false;
+  const PredCode* p = find_pred(type);
+  return p != nullptr && !p->c_name.empty() && !p->whilelt.empty() &&
+         !p->vl_expr.empty();
+}
+
+VectorCapability VectorIsa::capability() const {
+  VectorCapability cap;
+  cap.width_bits = width_bits;
+  cap.lanes_of = [this](DataType type) { return lanes(type); };
+  cap.predicated_of = [this](DataType type) { return predicated(type); };
+  return cap;
 }
 
 std::vector<const Instruction*> VectorIsa::candidates(BatchOp op,
@@ -118,6 +140,92 @@ void VectorIsa::validate() const {
                        " lacks a load or store");
     }
   };
+  // HCG110: every vtype must fill the declared register width exactly.  For
+  // scalable ISAs `width` is the minimum (simulator) granule, so the same
+  // arithmetic applies.
+  for (const VType& v : vtypes) {
+    if (v.lanes <= 0 || v.lanes * bit_width(v.type) != width_bits) {
+      throw ParseError("[HCG110] isa '" + name + "': vtype " +
+                       std::string(short_name(v.type)) + " declares " +
+                       std::to_string(v.lanes) + " lanes x " +
+                       std::to_string(bit_width(v.type)) + " bits != width " +
+                       std::to_string(width_bits));
+    }
+  }
+  // HCG111: duplicate table entries would make lookups order-dependent.
+  auto dup = [&](const std::string& what) {
+    throw ParseError("[HCG111] isa '" + name + "': duplicate " + what);
+  };
+  for (size_t i = 0; i < vtypes.size(); ++i) {
+    for (size_t j = i + 1; j < vtypes.size(); ++j) {
+      if (vtypes[i].type == vtypes[j].type) {
+        dup("vtype for " + std::string(short_name(vtypes[i].type)));
+      }
+    }
+  }
+  auto check_io = [&](const std::vector<IoCode>& codes, const char* kind) {
+    for (size_t i = 0; i < codes.size(); ++i) {
+      for (size_t j = i + 1; j < codes.size(); ++j) {
+        if (codes[i].type == codes[j].type) {
+          dup(std::string(kind) + " for " +
+              std::string(short_name(codes[i].type)));
+        }
+      }
+    }
+  };
+  check_io(loads, "load");
+  check_io(stores, "store");
+  check_io(dups, "dup");
+  for (size_t i = 0; i < cvts.size(); ++i) {
+    for (size_t j = i + 1; j < cvts.size(); ++j) {
+      if (cvts[i].from == cvts[j].from && cvts[i].to == cvts[j].to) {
+        dup("cvt " + std::string(short_name(cvts[i].from)) + " -> " +
+            std::string(short_name(cvts[i].to)));
+      }
+    }
+  }
+  for (size_t i = 0; i < preds.size(); ++i) {
+    for (size_t j = i + 1; j < preds.size(); ++j) {
+      if (preds[i].type == preds[j].type) {
+        dup("ptype for " + std::string(short_name(preds[i].type)));
+      }
+    }
+  }
+  for (size_t i = 0; i < instructions.size(); ++i) {
+    for (size_t j = i + 1; j < instructions.size(); ++j) {
+      if (instructions[i].name == instructions[j].name &&
+          instructions[i].type == instructions[j].type) {
+        dup("instruction " + instructions[i].name + " for " +
+            std::string(short_name(instructions[i].type)));
+      }
+    }
+  }
+  // Scalable tables: every vectorized element type needs the full predicate
+  // kit, and the governed memory templates must actually take the predicate.
+  if (scalable) {
+    auto mentions_g = [](std::string_view code) {
+      return substitute_tokens(code, {{"G", "\x01"}}).find('\x01') !=
+             std::string::npos;
+    };
+    for (const VType& v : vtypes) {
+      if (!predicated(v.type)) {
+        throw ParseError("isa '" + name + "': scalable table lacks complete "
+                         "ptype/whilelt/vl entries for element type " +
+                         std::string(short_name(v.type)));
+      }
+      const IoCode* load = find_load(v.type);
+      const IoCode* store = find_store(v.type);
+      if ((load && !mentions_g(load->code)) ||
+          (store && !mentions_g(store->code))) {
+        throw ParseError("isa '" + name + "': scalable load/store for " +
+                         std::string(short_name(v.type)) +
+                         " must take the governing predicate G");
+      }
+    }
+  } else if (!preds.empty()) {
+    throw ParseError("isa '" + name +
+                     "': ptype/whilelt/vl require the 'scalable' flag");
+  }
   for (const Instruction& ins : instructions) {
     need_vtype(ins.type, "instruction " + ins.name);
     if (ins.nodes.empty()) {

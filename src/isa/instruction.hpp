@@ -40,7 +40,8 @@ struct PatternNode {
 ///
 /// Code templates use bare placeholder tokens substituted at word
 /// boundaries: I1..I9 (vector operands), O (result), C (scalar constant),
-/// IMM (immediate).  Exactly the convention of the paper's example
+/// IMM (immediate), and — in scalable tables — G (the loop-governing
+/// predicate).  Exactly the convention of the paper's example
 ///   Graph: Add, i32, 4, I1, I2, O1 ; Code: O1 = vaddq_s32(I1, I2);
 struct Instruction {
   std::string name;
@@ -77,6 +78,23 @@ struct CvtCode {
   std::string code;  // uses I, O
 };
 
+/// Predicate machinery for one element type of a *scalable* ISA
+/// (docs/ISA_FORMAT.md).  A scalable table vectorizes a region as a single
+/// vector-length-agnostic predicated loop instead of a fixed-lane vector
+/// loop plus a scalar remainder; every element type it covers needs all
+/// three pieces, assembled from the `ptype`, `whilelt` and `vl` directives.
+struct PredCode {
+  DataType type = DataType::kInt32;
+  std::string c_name;   // predicate C type, e.g. "svbool_t"
+  /// Builds the loop-governing predicate.  Tokens: O (predicate result),
+  /// I (induction variable), N (trip count) — e.g.
+  ///   O = svwhilelt_b32(I, N);
+  std::string whilelt;
+  /// Runtime lane-count expression the induction variable steps by, e.g.
+  /// "svcntw()".  Must be loop-invariant.
+  std::string vl_expr;
+};
+
 /// A complete architecture description.
 class VectorIsa : public OpSupport {
  public:
@@ -85,11 +103,19 @@ class VectorIsa : public OpSupport {
   std::string header;         // C header the generated code includes
   std::string compile_flags;  // extra flags the toolchain passes (may be "")
   bool simulated = false;     // NEON-sim: include shim instead of arm_neon.h
+  /// Scalable (SVE-style) table: lane count is a runtime quantity, regions
+  /// lower to one predicated loop covering [0, n) with no scalar remainder,
+  /// and load/store/ins templates take a governing predicate token G.  The
+  /// declared `width` is the *minimum* (simulator) register width; `lanes`
+  /// per vtype describe that granule, which sizing heuristics may use but
+  /// codegen never bakes into the loop structure.
+  bool scalable = false;
   std::vector<VType> vtypes;
   std::vector<IoCode> loads;
   std::vector<IoCode> stores;
   std::vector<IoCode> dups;
   std::vector<CvtCode> cvts;
+  std::vector<PredCode> preds;  // scalable only: predicate per element type
   std::vector<Instruction> instructions;
 
   // ---- queries ------------------------------------------------------------
@@ -98,9 +124,22 @@ class VectorIsa : public OpSupport {
   const IoCode* find_store(DataType type) const;
   const IoCode* find_dup(DataType type) const;
   const CvtCode* find_cvt(DataType from, DataType to) const;
+  const PredCode* find_pred(DataType type) const;
 
-  /// Lane count for an element type; 0 if the type is unsupported.
+  /// Lane count for an element type; 0 if the type is unsupported.  For
+  /// scalable ISAs this is the minimum (granule) lane count — callers that
+  /// plan loop structure must go through predicated() instead of assuming
+  /// the count is exact.
   int lanes(DataType type) const;
+
+  /// Capability query: this table implements `type` as a single predicated
+  /// vector-length-agnostic loop (scalable + complete predicate machinery).
+  bool predicated(DataType type) const;
+
+  /// Region planning's view of this table (graph/regions.hpp): the width
+  /// plus per-type lane and predication queries.  The returned object
+  /// borrows `this` and must not outlive it.
+  VectorCapability capability() const;
 
   /// Instructions whose root computes `op` on `type`, largest pattern first.
   std::vector<const Instruction*> candidates(BatchOp op, DataType type) const;

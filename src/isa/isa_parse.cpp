@@ -230,6 +230,41 @@ VectorIsa parse_isa(std::string_view text) {
         isa.compile_flags = std::string(trim(line.substr(5)));
       } else if (key == "simulated") {
         isa.simulated = true;
+      } else if (key == "scalable") {
+        isa.scalable = true;
+      } else if (key == "ptype" || key == "whilelt" || key == "vl") {
+        // Predicate machinery for scalable tables: the three directives fill
+        // one PredCode entry per element type (instruction.hpp).
+        const DataType type = parse_datatype(words.at(1));
+        PredCode* pred = nullptr;
+        for (PredCode& p : isa.preds) {
+          if (p.type == type) pred = &p;
+        }
+        if (!pred) {
+          isa.preds.push_back(PredCode{type, "", "", ""});
+          pred = &isa.preds.back();
+        }
+        if (key == "ptype") {
+          if (!pred->c_name.empty()) {
+            throw ParseError("[HCG111] duplicate ptype for " +
+                             std::string(short_name(type)));
+          }
+          pred->c_name = words.at(2);
+        } else if (key == "whilelt") {
+          if (!pred->whilelt.empty()) {
+            throw ParseError("[HCG111] duplicate whilelt for " +
+                             std::string(short_name(type)));
+          }
+          pred->whilelt =
+              std::string(trim(line.substr(token_end_offset(line, 1))));
+        } else {
+          if (!pred->vl_expr.empty()) {
+            throw ParseError("[HCG111] duplicate vl for " +
+                             std::string(short_name(type)));
+          }
+          pred->vl_expr =
+              std::string(trim(line.substr(token_end_offset(line, 1))));
+        }
       } else if (key == "vtype") {
         VType v;
         v.type = parse_datatype(words.at(1));

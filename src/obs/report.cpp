@@ -65,6 +65,7 @@ std::string Report::to_json(bool include_metrics) const {
     w.key("batch_size").value(region.batch_size);
     w.key("batch_count").value(region.batch_count);
     w.key("scalar_remainder").value(region.scalar_remainder);
+    w.key("predicated").value(region.predicated);
     w.key("instructions").begin_array();
     for (const std::string& ins : region.instructions) w.value(ins);
     w.end_array();
@@ -78,6 +79,9 @@ std::string Report::to_json(bool include_metrics) const {
   w.key("fused_regions").value(fused_regions);
   w.key("simd_coverage").value(simd_coverage());
   w.key("opt_level").value(opt_level);
+  w.key("loops").begin_object();
+  w.key("predicated").value(loops_predicated);
+  w.end_object();
   w.key("fusion").begin_object();
   w.key("loops_fused").value(loops_fused);
   w.key("copies_elided").value(copies_elided);

@@ -41,9 +41,10 @@ struct ReportRegion {
   std::vector<std::string> actors;
   int nodes = 0;
   bool used_simd = false;
-  int batch_size = 0;        // vector lanes
-  int batch_count = 0;       // full vector iterations
+  int batch_size = 0;        // vector lanes (granule if predicated)
+  int batch_count = 0;       // full vector iterations (granule trips if pred.)
   int scalar_remainder = 0;  // elements handled by the scalar epilogue/prologue
+  bool predicated = false;   // one VLA predicated loop, no remainder split
   std::vector<std::string> instructions;  // SIMD instructions, emission order
 };
 
@@ -118,6 +119,7 @@ struct Report {
   // cgir optimization pipeline (PR 3): the -O level the run used and what
   // the passes did.  All zero at -O0.
   int opt_level = 0;
+  int loops_predicated = 0;            // codegen.loops.predicated
   int loops_fused = 0;                 // codegen.fusion.loops_fused
   int copies_elided = 0;               // codegen.fusion.copies_elided
   std::size_t arena_bytes_saved = 0;   // codegen.arena.bytes_saved

@@ -40,9 +40,7 @@ class BatchSynthesizer {
     // Algorithm 2 lines 1-4: batch size / batch count — the same early
     // exits the emitter's buffer planner mirrors via the shared helper.
     const RegionVectorPlan plan = plan_region_vectorization(
-        region_, isa_.width_bits,
-        [this](DataType type) { return isa_.lanes(type); },
-        options_.min_nodes_for_simd);
+        region_, isa_.capability(), options_.min_nodes_for_simd);
     result.batch_size = plan.lanes;
     result.batch_count = plan.batch_count;
     result.offset = plan.offset;
@@ -52,6 +50,16 @@ class BatchSynthesizer {
       result.used_simd = false;
       scalar_metric.add();
       return result;
+    }
+    if (plan.predicated) {
+      // Scalable table: one predicated loop covers [0, length).  The region
+      // shares one element bit-width, so any member type's predicate kit
+      // governs every lane of the loop.
+      predicated_ = true;
+      pred_ = isa_.find_pred(graph_.node(0).out_type);
+      require(pred_ != nullptr, "batch synth: missing predicate after filter");
+      result.predicated = true;
+      result.step_expr = pred_->vl_expr;
     }
 
     // Map the dataflow graph onto instructions (lines 10-22).
@@ -177,6 +185,7 @@ class BatchSynthesizer {
     const isa::Instruction& ins = *match.instruction;
     std::vector<std::pair<std::string, std::string>> repl;
     repl.emplace_back("O", vtype_of(ins.type).c_name + " " + node_var(sink));
+    if (predicated_) repl.emplace_back("G", std::string(kPredVar));
     for (const auto& [slot, value] : match.binding.inputs) {
       repl.emplace_back("I" + std::to_string(slot), value_expr(value));
     }
@@ -198,11 +207,12 @@ class BatchSynthesizer {
                               : graph_.externals()[static_cast<size_t>(src.index)].type;
     const isa::CvtCode* cvt = isa_.find_cvt(from, node.out_type);
     require(cvt != nullptr, "batch synth: missing cvt after region filter");
-    return isa::substitute_tokens(
-        cvt->code,
-        {{"O", vtype_of(node.out_type).c_name + " " + node_var(node_index)},
-         {"I1", value_expr(src)},
-         {"I", value_expr(src)}});
+    std::vector<std::pair<std::string, std::string>> repl = {
+        {"O", vtype_of(node.out_type).c_name + " " + node_var(node_index)},
+        {"I1", value_expr(src)},
+        {"I", value_expr(src)}};
+    if (predicated_) repl.emplace_back("G", std::string(kPredVar));
+    return isa::substitute_tokens(cvt->code, repl);
   }
 
   // ---- loop assembly ---------------------------------------------------------
@@ -211,17 +221,32 @@ class BatchSynthesizer {
   /// calculation lines, and stores for region outputs (line 23).
   std::vector<cgir::Stmt> vector_body(std::vector<cgir::Stmt> calc_lines) const {
     std::vector<cgir::Stmt> body;
+    if (predicated_) {
+      // The loop-governing predicate is recomputed every iteration; the
+      // final trip covers exactly the tail lanes, so no remainder exists.
+      cgir::Stmt stmt = cgir::Stmt::text_line(isa::substitute_tokens(
+          pred_->whilelt,
+          {{"O", pred_->c_name + " " + std::string(kPredVar)},
+           {"I", "i"},
+           {"N", std::to_string(graph_.length())}}));
+      stmt.defines = kPredVar;
+      body.push_back(std::move(stmt));
+    }
     for (size_t x = 0; x < graph_.externals().size(); ++x) {
       const DfgExternal& ext = graph_.externals()[x];
       const isa::IoCode* load = isa_.find_load(ext.type);
       require(load != nullptr, "batch synth: missing load");
-      cgir::Stmt stmt = cgir::Stmt::text_line(isa::substitute_tokens(
-          load->code,
-          {{"O", vtype_of(ext.type).c_name + " " +
-                     external_var(static_cast<int>(x))},
-           {"P", "&" + external_buffer(static_cast<int>(x)) + "[i]"}}));
+      std::vector<std::pair<std::string, std::string>> repl = {
+          {"O", vtype_of(ext.type).c_name + " " +
+                    external_var(static_cast<int>(x))},
+          {"P", "&" + external_buffer(static_cast<int>(x)) + "[i]"}};
+      if (predicated_) repl.emplace_back("G", std::string(kPredVar));
+      cgir::Stmt stmt =
+          cgir::Stmt::text_line(isa::substitute_tokens(load->code, repl));
       stmt.defines = external_var(static_cast<int>(x));
-      stmt.is_load = true;
+      // Predicated loads read through a mask; they are not the plain
+      // `v = vld(&buf[i])` shape copy forwarding may rewrite.
+      stmt.is_load = !predicated_;
       stmt.accesses.push_back(
           {external_buffer(static_cast<int>(x)), false, true});
       body.push_back(std::move(stmt));
@@ -233,11 +258,14 @@ class BatchSynthesizer {
       const DfgNode& node = graph_.node(out);
       const isa::IoCode* store = isa_.find_store(node.out_type);
       require(store != nullptr, "batch synth: missing store");
-      cgir::Stmt stmt = cgir::Stmt::text_line(isa::substitute_tokens(
-          store->code, {{"P", "&" + buffer_name_(node.actor, 0) + "[i]"},
-                        {"V", node_var(out)}}));
+      std::vector<std::pair<std::string, std::string>> repl = {
+          {"P", "&" + buffer_name_(node.actor, 0) + "[i]"},
+          {"V", node_var(out)}};
+      if (predicated_) repl.emplace_back("G", std::string(kPredVar));
+      cgir::Stmt stmt =
+          cgir::Stmt::text_line(isa::substitute_tokens(store->code, repl));
       stmt.stores_var = node_var(out);
-      stmt.is_store = true;
+      stmt.is_store = !predicated_;
       stmt.accesses.push_back({buffer_name_(node.actor, 0), true, true});
       body.push_back(std::move(stmt));
     }
@@ -278,7 +306,13 @@ class BatchSynthesizer {
                           const BatchSynthResult& result) const {
     const std::string body_pad = pad_ + "  ";
     std::string code;
-    if (result.batch_count >= 2) {  // lines 7-8: addBatchLoop
+    if (result.predicated) {
+      // One vector-length-agnostic loop over the whole domain; the final
+      // partial trip is handled by the predicate, never by a remainder.
+      code += pad_ + "for (int i = 0; i < " +
+              std::to_string(graph_.length()) +
+              "; i += " + result.step_expr + ") {\n";
+    } else if (result.batch_count >= 2) {  // lines 7-8: addBatchLoop
       code += pad_ + "for (int i = " + std::to_string(result.offset) +
               "; i < " + std::to_string(graph_.length()) +
               "; i += " + std::to_string(result.batch_size) + ") {\n";
@@ -332,6 +366,9 @@ class BatchSynthesizer {
     return scalar_c_expr(node.op, node.out_type, a, b, c);
   }
 
+  /// Name of the loop-governing predicate local in predicated loops.
+  static constexpr const char* kPredVar = "pg";
+
   const Model& model_;
   const BatchRegion& region_;
   const Dataflow& graph_;
@@ -339,6 +376,8 @@ class BatchSynthesizer {
   const BufferNameFn& buffer_name_;
   const BatchOptions& options_;
   std::string pad_;
+  bool predicated_ = false;
+  const isa::PredCode* pred_ = nullptr;
 };
 
 }  // namespace

@@ -41,6 +41,12 @@ struct BatchSynthResult {
   int batch_size = 0;
   int batch_count = 0;
   int offset = 0;
+  /// Scalable ISAs: the whole [0, length) domain is covered by one
+  /// predicated loop — offset is 0, remainder_body stays empty, and the
+  /// loop strides by the runtime lane-count expression `step_expr`.
+  /// batch_size/batch_count then describe the minimum-granule geometry.
+  bool predicated = false;
+  std::string step_expr;
   /// Structured body lines (annotated with defines/loads/stores/accesses)
   /// for the cgir lowering: the main vector loop and the scalar remainder.
   /// Empty when used_simd is false.

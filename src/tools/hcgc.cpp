@@ -707,13 +707,45 @@ int cmd_profile(Options opt) {
   return 0;
 }
 
+/// Per-dtype op-kind coverage of one table: how many of the batch op kinds
+/// defined for the element type have a single-instruction implementation.
+/// A dtype with few covered kinds is exactly where models fall back to
+/// scalar code (the linter's HCG407 remarks name the missing op).
+std::string isa_coverage_line(const isa::VectorIsa& table) {
+  static constexpr BatchOp kOps[] = {
+      BatchOp::kAdd,  BatchOp::kSub,  BatchOp::kMul,  BatchOp::kDiv,
+      BatchOp::kMin,  BatchOp::kMax,  BatchOp::kAbd,  BatchOp::kAnd,
+      BatchOp::kOr,   BatchOp::kXor,  BatchOp::kNot,  BatchOp::kAbs,
+      BatchOp::kRecp, BatchOp::kSqrt, BatchOp::kShl,  BatchOp::kShr,
+      BatchOp::kMulC, BatchOp::kAddC, BatchOp::kSel};
+  std::string out;
+  for (const isa::VType& v : table.vtypes) {
+    int defined = 0;
+    int covered = 0;
+    for (BatchOp op : kOps) {
+      if (!op_supports_type(op, v.type)) continue;
+      ++defined;
+      if (table.supports(op, v.type, v.type)) ++covered;
+    }
+    if (!out.empty()) out += "  ";
+    out += std::string(short_name(v.type)) + " " + std::to_string(covered) +
+           "/" + std::to_string(defined);
+  }
+  return out;
+}
+
 int cmd_isa(const Options& opt) {
   if (opt.model_path.empty()) {
     for (const std::string& name : isa::builtin_names()) {
       const isa::VectorIsa& table = isa::builtin(name);
+      std::string traits;
+      if (table.scalable) traits += "  (scalable)";
+      if (table.simulated) traits += "  (simulated)";
       std::printf("%-10s %4d-bit  %3zu instructions  header <%s>%s\n",
                   name.c_str(), table.width_bits, table.instructions.size(),
-                  table.header.c_str(), table.simulated ? "  (simulated)" : "");
+                  table.header.c_str(), traits.c_str());
+      std::printf("%-10s   op coverage: %s\n", "",
+                  isa_coverage_line(table).c_str());
     }
     return 0;
   }

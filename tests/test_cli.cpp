@@ -72,6 +72,12 @@ TEST_F(CliFixture, IsaListsBuiltins) {
   EXPECT_NE(r.output.find("neon"), std::string::npos);
   EXPECT_NE(r.output.find("avx2"), std::string::npos);
   EXPECT_NE(r.output.find("256-bit"), std::string::npos);
+  // The sve row carries its traits and every table gets a coverage line.
+  EXPECT_NE(r.output.find("sve"), std::string::npos);
+  EXPECT_NE(r.output.find("(scalable)"), std::string::npos);
+  EXPECT_NE(r.output.find("(simulated)"), std::string::npos);
+  EXPECT_NE(r.output.find("op coverage:"), std::string::npos);
+  EXPECT_NE(r.output.find("i32 16/16"), std::string::npos);
 }
 
 TEST_F(CliFixture, IsaDumpsTableText) {
