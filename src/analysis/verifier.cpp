@@ -38,6 +38,18 @@ void collect_elementwise_writes(const cgir::Stmt& stmt,
   }
 }
 
+/// Every buffer a statement subtree touches, read or write — used to tell a
+/// reused slot apart from a redundant remainder (HCG310).
+void collect_all_accesses(const cgir::Stmt& stmt,
+                          std::unordered_set<std::string>& out) {
+  for (const cgir::BufferAccess& access : stmt.accesses) {
+    out.insert(access.buffer);
+  }
+  for (const cgir::Stmt& child : stmt.body) {
+    collect_all_accesses(child, out);
+  }
+}
+
 /// Walks one function body, tracking lexical scope.  A scope frame holds the
 /// locals defined so far in that brace level; names from enclosing frames
 /// stay visible (the IR never shadows, and HCG302 flags same-frame dupes).
@@ -173,24 +185,32 @@ class FunctionChecker {
         error("HCG310", where,
               "predicated loop also carries a fixed-width loop form");
       }
+      // A redundant remainder is emitted right after its main loop, before
+      // anything else touches the output.  A later loop that writes the
+      // same buffer *after* an intervening access is a reused slot holding
+      // a different signal (legacy -O0 buffer reuse), not a remainder.
       std::unordered_set<std::string> own;
       collect_elementwise_writes(loop, own);
-      for (std::size_t j = 0; j < siblings.size(); ++j) {
-        if (j == index || siblings[j].kind != cgir::Stmt::Kind::kLoop) {
-          continue;
-        }
-        std::unordered_set<std::string> other;
-        collect_elementwise_writes(siblings[j], other);
-        for (const std::string& buffer : own) {
-          if (other.count(buffer)) {
-            error("HCG310", where,
-                  "sibling " + loop_desc(siblings[j]) +
-                      " also writes '" + buffer +
-                      "' elementwise; the predicated loop already covers the "
-                      "whole domain, so that remainder is redundant");
-            break;
+      std::unordered_set<std::string> touched_since;
+      for (std::size_t j = index + 1; j < siblings.size(); ++j) {
+        if (siblings[j].kind == cgir::Stmt::Kind::kLoop) {
+          std::unordered_set<std::string> other;
+          collect_elementwise_writes(siblings[j], other);
+          bool flagged = false;
+          for (const std::string& buffer : own) {
+            if (other.count(buffer) && !touched_since.count(buffer)) {
+              error("HCG310", where,
+                    "sibling " + loop_desc(siblings[j]) +
+                        " also writes '" + buffer +
+                        "' elementwise; the predicated loop already covers "
+                        "the whole domain, so that remainder is redundant");
+              flagged = true;
+              break;
+            }
           }
+          if (flagged) break;
         }
+        collect_all_accesses(siblings[j], touched_since);
       }
       return;
     }

@@ -372,7 +372,21 @@ class Emitter {
                                 actor.type() != "UnitDelay";
           int last_use = position.at(id);
           for (const Connection& c : model_.outgoing(id, port)) {
-            last_use = std::max(last_use, position.at(c.dst));
+            // A folded consumer evaluates inside the statement of the actor
+            // it was inlined into, so the read happens at that actor's
+            // position — follow the chain to the real emission site.
+            ActorId reader = c.dst;
+            while (is_folded(reader)) {
+              reader = model_.outgoing(reader, 0).front().dst;
+            }
+            // A UnitDelay consumer reads its input in the end-of-step latch
+            // (flush_delay_updates), not at its schedule position, so the
+            // feeding buffer stays live for the whole step.
+            if (model_.actor(reader).type() == "UnitDelay") {
+              last_use = static_cast<int>(order_.size());
+            } else {
+              last_use = std::max(last_use, position.at(reader));
+            }
           }
 
           std::string name;
@@ -470,7 +484,12 @@ class Emitter {
       return "(" + std::string(c_name(actor.output(0).type)) + ")" +
              component_literal(value, 0);
     }
-    return "(" + elementwise_expr(actor, "0") + ")";
+    // The cast re-narrows the intermediate to the signal's declared type.
+    // C integer promotion would otherwise leak un-wrapped sub-int values
+    // (e.g. u16 Shl) into the consumer, where a store into a typed buffer
+    // no longer truncates them.
+    return "((" + std::string(c_name(actor.output(0).type)) + ")(" +
+           elementwise_expr(actor, "0") + "))";
   }
 
   /// The scalar expression computing one element of an elementwise actor.
@@ -593,11 +612,64 @@ class Emitter {
       }
     }
 
-    if (!delay_updates_.empty()) {
-      push(cgir::Stmt::text_line("/* delay state updates */"));
-      for (cgir::Stmt& update : delay_updates_) push(std::move(update));
-      delay_updates_.clear();
+    flush_delay_updates();
+  }
+
+  /// Emits the end-of-step delay register copies.  A delay's register is
+  /// also its output buffer, so when one delay feeds another the reader's
+  /// copy must land before the producer's register is overwritten — i.e.
+  /// updates run in reverse dependency order (a chain d0 -> d1 updates d1
+  /// first).  A direct delay-to-delay cycle has no valid order; it is
+  /// broken by snapshotting one register into a step-local temporary.
+  void flush_delay_updates() {
+    if (delay_updates_.empty()) return;
+    push(cgir::Stmt::text_line("/* delay state updates */"));
+    std::vector<DelayUpdate> pending = std::move(delay_updates_);
+    delay_updates_.clear();
+    int snapshots = 0;
+    while (!pending.empty()) {
+      // Pick an update whose register no other pending update still reads.
+      size_t pick = pending.size();
+      for (size_t i = 0; i < pending.size() && pick == pending.size(); ++i) {
+        bool read_later = false;
+        for (size_t j = 0; j < pending.size(); ++j) {
+          if (j != i && pending[j].src == pending[i].state) read_later = true;
+        }
+        if (!read_later) pick = i;
+      }
+      if (pick == pending.size()) {
+        // Every register is still read by some other update: a cycle.
+        // Snapshot the first register and retarget its readers.
+        const DelayUpdate& blocked = pending.front();
+        const std::string snap =
+            "dly_snap" + std::to_string(snapshots++);
+        cgir::Stmt decl = cgir::Stmt::text_line(
+            blocked.c_type + " " + snap + "[" +
+            std::to_string(blocked.components) + "];");
+        decl.defines = snap;
+        push(std::move(decl));
+        push(delay_copy_stmt(snap, blocked.state, blocked.components,
+                             blocked.c_type));
+        for (DelayUpdate& u : pending) {
+          if (u.src == blocked.state) u.src = snap;
+        }
+        continue;
+      }
+      const DelayUpdate& u = pending[pick];
+      push(delay_copy_stmt(u.state, u.src, u.components, u.c_type));
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
     }
+  }
+
+  static cgir::Stmt delay_copy_stmt(const std::string& dst,
+                                    const std::string& src, int components,
+                                    const std::string& c_type) {
+    cgir::Stmt stmt = cgir::Stmt::text_line(
+        "memcpy(" + dst + ", " + src + ", " + std::to_string(components) +
+        " * sizeof(" + c_type + "));");
+    stmt.accesses.push_back({dst, true, false});
+    stmt.accesses.push_back({src, false, false});
+    return stmt;
   }
 
   void emit_region(size_t region_index) {
@@ -719,19 +791,16 @@ class Emitter {
     }
 
     if (type == "UnitDelay") {
-      // Output buffer *is* the state; schedule the update for end-of-step.
+      // Output buffer *is* the state; schedule the update for end-of-step
+      // (flush_delay_updates orders the copies so chained delays keep their
+      // full latency).
       const SignalId src = source_of(actor.id(), 0);
       const PortSpec& spec = actor.output(0);
       const int components = is_complex(spec.type) ? spec.shape.elements() * 2
                                                    : spec.shape.elements();
-      const std::string& state = buffer_name_.at({actor.id(), 0});
-      cgir::Stmt stmt = cgir::Stmt::text_line(
-          "memcpy(" + state + ", " + buffer_name_.at(src) + ", " +
-          std::to_string(components) + " * sizeof(" +
-          std::string(c_name(spec.type)) + "));");
-      stmt.accesses.push_back({state, true, false});
-      stmt.accesses.push_back({buffer_name_.at(src), false, false});
-      delay_updates_.push_back(std::move(stmt));
+      delay_updates_.push_back({buffer_name_.at({actor.id(), 0}),
+                                buffer_name_.at(src), components,
+                                std::string(c_name(spec.type))});
       return;
     }
 
@@ -1023,7 +1092,14 @@ class Emitter {
   std::set<ActorId> register_only_;
   std::set<ActorId> direct_outports_;
   std::map<SignalId, std::string> buffer_name_;
-  std::vector<cgir::Stmt> delay_updates_;
+  /// One pending end-of-step register copy (see flush_delay_updates()).
+  struct DelayUpdate {
+    std::string state;   // the delay's register/output buffer (written)
+    std::string src;     // the buffer feeding the delay's input (read)
+    int components = 0;  // scalar components to copy
+    std::string c_type;  // element C type for sizeof
+  };
+  std::vector<DelayUpdate> delay_updates_;
   bool simd_emitted_ = false;
   double resolve_ms_ = 0.0;
 };

@@ -1,0 +1,143 @@
+#include "fuzz/campaign.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "model/loader.hpp"
+#include "obs/json.hpp"
+#include "support/fileio.hpp"
+#include "support/strings.hpp"
+
+namespace hcg::fuzz {
+
+namespace {
+
+void report_progress(const CampaignConfig& config, const std::string& line) {
+  if (config.progress) config.progress(line);
+}
+
+std::string reproducer_filename(const CampaignFinding& finding) {
+  return sanitize_identifier(finding.first.signature) + "_s" +
+         std::to_string(finding.first.seed) + ".xml";
+}
+
+std::string render_report(const CampaignConfig& config,
+                          const CampaignResult& result) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("hcg-fuzz-v1");
+  w.key("seed_start").value(config.seed_start);
+  w.key("seeds").value(result.seeds_run);
+  w.key("variants_run").value(result.variants_run);
+  w.key("config").begin_object();
+  w.key("isas").begin_array();
+  for (const std::string& isa : config.harness.isas) w.value(isa);
+  w.end_array();
+  w.key("opt_levels").begin_array();
+  for (int level : config.harness.opt_levels) w.value(level);
+  w.end_array();
+  w.key("baselines").value(config.harness.baselines);
+  w.key("steps").value(config.harness.steps);
+  w.key("sweep_faults").value(config.harness.sweep_faults);
+  w.key("max_actors").value(config.harness.generator.max_actors);
+  w.end_object();
+  w.key("ok").value(result.ok());
+  w.key("findings").begin_array();
+  for (const CampaignFinding& f : result.findings) {
+    w.begin_object();
+    w.key("signature").value(f.first.signature);
+    w.key("count").value(f.count);
+    w.key("seed").value(f.first.seed);
+    w.key("tool").value(f.first.variant.tool);
+    w.key("isa").value(f.first.variant.isa);
+    w.key("opt_level").value(f.first.variant.opt_level);
+    w.key("outcome").value(outcome_name(f.first.outcome));
+    w.key("detail").value(f.first.detail);
+    w.key("fault_spec").value(f.first.fault_spec);
+    if (f.reproducer.empty()) {
+      w.key("reproducer").null();
+    } else {
+      w.key("reproducer").value(f.reproducer);
+    }
+    if (f.minimized_actors >= 0) {
+      w.key("minimized_actors").value(f.minimized_actors);
+    } else {
+      w.key("minimized_actors").null();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  CampaignResult result;
+  std::map<std::string, std::size_t> by_signature;  // signature -> index
+
+  for (int i = 0; i < config.seeds; ++i) {
+    const std::uint64_t seed =
+        config.seed_start + static_cast<std::uint64_t>(i);
+    SeedResult sr = run_seed(seed, config.harness);
+    ++result.seeds_run;
+    result.variants_run += sr.variants_run;
+    for (Finding& f : sr.findings) {
+      auto [it, fresh] =
+          by_signature.emplace(f.signature, result.findings.size());
+      if (fresh) {
+        report_progress(config, "seed " + std::to_string(seed) +
+                                    ": NEW " + f.signature);
+        CampaignFinding cf;
+        cf.first = std::move(f);
+        cf.count = 1;
+        result.findings.push_back(std::move(cf));
+      } else {
+        ++result.findings[it->second].count;
+      }
+    }
+    if ((i + 1) % 25 == 0) {
+      report_progress(config,
+                      std::to_string(i + 1) + "/" +
+                          std::to_string(config.seeds) + " seeds, " +
+                          std::to_string(result.findings.size()) +
+                          " distinct findings");
+    }
+  }
+
+  // Shrink and persist the first exemplar of each signature.  Sweep
+  // findings (fault_spec set) are persisted unshrunk: reproducing them
+  // requires re-arming the fault, which the signature already names.
+  int minimized = 0;
+  for (CampaignFinding& f : result.findings) {
+    Model model = generate_model(f.first.seed, config.harness.generator);
+    if (config.minimize && f.first.fault_spec.empty() &&
+        minimized < config.max_minimized) {
+      ++minimized;
+      report_progress(config, "minimizing " + f.first.signature);
+      MinimizeStats stats;
+      model = minimize_model(
+          model, signature_reproducer(config.harness, f.first), &stats);
+      f.minimized_actors = model.actor_count();
+      report_progress(config,
+                      "  " + std::to_string(stats.candidates_tried) +
+                          " candidates -> " +
+                          std::to_string(f.minimized_actors) + " actors");
+    }
+    if (!config.corpus_dir.empty()) {
+      const std::filesystem::path path =
+          std::filesystem::path(config.corpus_dir) / reproducer_filename(f);
+      write_file_atomic(path, model_to_xml(model));
+      f.reproducer = path.string();
+    }
+  }
+
+  result.report_json = render_report(config, result);
+  if (!config.report_path.empty()) {
+    write_file_atomic(config.report_path, result.report_json);
+  }
+  return result;
+}
+
+}  // namespace hcg::fuzz

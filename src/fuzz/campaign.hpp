@@ -1,0 +1,58 @@
+// Campaign driver for the fuzzing subsystem (docs/FUZZING.md).
+//
+// A campaign runs a contiguous seed range through the differential harness,
+// deduplicates findings by their stable signature, minimizes the first
+// exemplar of each signature, writes the shrunk reproducers atomically into
+// a corpus directory, and emits an `hcg-fuzz-v1` JSON report.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.hpp"
+#include "fuzz/minimize.hpp"
+
+namespace hcg::fuzz {
+
+struct CampaignConfig {
+  std::uint64_t seed_start = 1;
+  int seeds = 100;
+  HarnessConfig harness;
+  /// Shrink the first exemplar of each distinct signature.
+  bool minimize = true;
+  /// Cap on signatures minimized per campaign (minimization compiles per
+  /// candidate; a systematic miscompile would otherwise drown the run).
+  int max_minimized = 4;
+  /// Directory for reproducer XML files; empty = do not write any.
+  std::string corpus_dir;
+  /// Path for the hcg-fuzz-v1 JSON report; empty = do not write it.
+  std::string report_path;
+  /// Optional progress sink (one human-readable line per call).
+  std::function<void(const std::string&)> progress;
+};
+
+/// One deduplicated failure class observed during a campaign.
+struct CampaignFinding {
+  Finding first;              // the first exemplar seen
+  int count = 0;              // seeds that produced this signature
+  std::string reproducer;     // corpus file path ("" if not written)
+  int minimized_actors = -1;  // actor count after shrinking (-1 = not run)
+};
+
+struct CampaignResult {
+  int seeds_run = 0;
+  int variants_run = 0;
+  std::vector<CampaignFinding> findings;  // deduped, discovery order
+  std::string report_json;                // always populated
+
+  bool ok() const { return findings.empty(); }
+};
+
+/// Runs the campaign; throws only on infrastructure failure (e.g. the
+/// corpus directory is unwritable) — findings are data, not exceptions.
+CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace hcg::fuzz

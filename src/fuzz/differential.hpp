@@ -1,0 +1,114 @@
+// Differential cross-check harness for the fuzzing subsystem
+// (docs/FUZZING.md).
+//
+// One seed buys one generated model, executed for several synchronous steps
+// through every cell of a (tool x isa x opt level) matrix and compared
+// against the VM interpreter oracle.  The contract being checked:
+//
+//   * clean run (no faults armed): every variant must compile, run, and
+//     agree with the oracle — any exception or mismatch is a finding;
+//   * HCG_FAULTS armed by the environment (the armed-miscompile drill):
+//     the harness must *detect* the sabotage — verifier rejections,
+//     crashes, and divergences all become findings to minimize;
+//   * fault sweep armed BY the harness (sweep_faults): degraded-mode
+//     probes fire one site at a time, and each variant must either fail
+//     cleanly through the hcg::Error hierarchy or still produce correct
+//     output.  Silent wrong output under an injected fault is a finding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "model/model.hpp"
+#include "model/tensor.hpp"
+
+namespace hcg::fuzz {
+
+/// What one matrix cell did for one seed.
+enum class Outcome : std::uint8_t {
+  kAgreed,          // outputs matched the oracle on every step
+  kDivergence,      // compiled output differs from the oracle
+  kVerifierReject,  // CodegenError (the cgir verifier refused the unit)
+  kError,           // any other exception out of generate/compile/run
+  kGeneratorBug,    // the generated model failed to resolve
+};
+
+std::string_view outcome_name(Outcome outcome);
+
+/// One cell of the cross-check matrix.
+struct Variant {
+  std::string tool;  // "hcg", "simulink", "simulink-sc", "dfsynth"
+  std::string isa;   // builtin isa name; empty for scalar-only tools
+  int opt_level = 0;
+
+  std::string label() const;
+};
+
+/// A confirmed misbehavior: which seed, which cell, what happened.  The
+/// signature is deliberately *stable under minimization* — it names the
+/// outcome, the variant, and (for verifier rejections) the pass, but never
+/// actor or buffer names, so a shrunk model that fails the same way keeps
+/// the same signature.
+struct Finding {
+  std::uint64_t seed = 0;
+  Variant variant;
+  Outcome outcome = Outcome::kError;
+  std::string detail;      // human-readable: error text / first mismatch
+  std::string signature;   // stable dedup/minimization key
+  std::string fault_spec;  // the harness-armed HCG_FAULTS entry, if any
+};
+
+struct HarnessConfig {
+  /// Builtin ISA names for the hcg (and scattered-simulink) variants.  The
+  /// defaults are the two tables that compile and run on any host.
+  std::vector<std::string> isas = {"neon_sim", "sve"};
+  /// hcg optimization levels to cross-check.
+  std::vector<int> opt_levels = {0, 1, 2};
+  /// Include the scalar baselines (simulink -O0, dfsynth -O0) as
+  /// additional differential partners.
+  bool baselines = true;
+  /// Synchronous steps per variant — > 1 so delay state paths and feedback
+  /// accumulation are exercised, not just the first step.
+  int steps = 3;
+  /// After the clean pass, re-run a reduced matrix once per fault-injection
+  /// site with that site armed, checking the degraded-mode contract.
+  bool sweep_faults = false;
+  GeneratorConfig generator;
+};
+
+struct SeedResult {
+  std::uint64_t seed = 0;
+  int variants_run = 0;
+  std::vector<Finding> findings;
+};
+
+/// The matrix the config describes, in deterministic order.
+std::vector<Variant> variant_matrix(const HarnessConfig& config);
+
+/// Stable signature for dedup and minimization (see Finding::signature).
+std::string failure_signature(Outcome outcome, const Variant& variant,
+                              std::string_view detail,
+                              std::string_view fault_spec);
+
+/// Tolerant comparison: integers and complex/float data compare against an
+/// absolute floor plus a relative band scaled by the largest expected
+/// magnitude (float reassociation and contraction in generated code are not
+/// miscompiles).  On failure, `*why` describes the first offending element.
+bool tensors_close(const Tensor& expected, const Tensor& got,
+                   std::string* why);
+
+/// Cross-checks one already-generated model (the minimizer re-enters here
+/// with shrunk candidates).  `seed` only labels findings and salts the
+/// workload.  Appends the number of executed matrix cells to
+/// `*variants_run` when non-null.
+std::vector<Finding> check_model(const Model& model, std::uint64_t seed,
+                                 const HarnessConfig& config,
+                                 int* variants_run = nullptr);
+
+/// generate_model + check_model for one seed.
+SeedResult run_seed(std::uint64_t seed, const HarnessConfig& config);
+
+}  // namespace hcg::fuzz

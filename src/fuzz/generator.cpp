@@ -1,0 +1,535 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "actors/batch_op.hpp"
+#include "model/builder.hpp"
+#include "support/rng.hpp"
+
+namespace hcg::fuzz {
+
+namespace {
+
+/// One wire the grammar can consume: where it comes from, its resolved
+/// spec, and a conservative log2 bound on |value| used to keep signed
+/// integer chains away from undefined overflow (see header).
+struct Value {
+  PortRef ref;
+  DataType type;
+  Shape shape;
+  int mag = 0;
+  bool consumed = false;
+};
+
+const DataType kScalarTypes[] = {
+    DataType::kFloat32, DataType::kFloat64, DataType::kInt8,
+    DataType::kInt16,   DataType::kInt32,   DataType::kInt64,
+    DataType::kUInt8,   DataType::kUInt16,  DataType::kUInt32,
+    DataType::kUInt64,
+};
+
+/// Vector widths: sub-threshold (1..3), sub-lane (5, 7), lane-exact (4, 8,
+/// 16, 32, 64) and off-by-one remainder widths (17, 31, 33).
+const int kWidths[] = {1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 33, 48, 64};
+
+class Generation {
+ public:
+  Generation(std::uint64_t seed, const GeneratorConfig& config)
+      : builder_("fuzz_" + std::to_string(seed)),
+        rng_(seed ^ 0x68636766757a7aull),  // "hcgfuzz" — decouple from
+                                           // workload seeds
+        config_(config) {}
+
+  Model run() {
+    const int budget =
+        4 + static_cast<int>(rng_.bounded(
+                static_cast<std::uint64_t>(std::max(1, config_.max_actors - 3))));
+    // Seed the pool so every rule has material to work with.
+    add_inport(random_scalar_type(), random_shape());
+    if (chance(2, 3)) add_inport(random_scalar_type(), random_shape());
+
+    int guard = 0;
+    while (actors_added_ < budget && ++guard < budget * 8) {
+      switch (rng_.bounded(12)) {
+        case 0: add_source(); break;
+        case 1: case 2: case 3: rule_binary(); break;
+        case 4: rule_unary(); break;
+        case 5: rule_shift(); break;
+        case 6: rule_gain_bias(); break;
+        case 7:
+          if (config_.scale_chains) rule_cast();
+          break;
+        case 8: rule_switch(); break;
+        case 9:
+          if (config_.delays) rule_delay();
+          break;
+        case 10:
+          if (config_.delays) rule_feedback();
+          break;
+        case 11:
+          if (config_.intensive) rule_intensive();
+          break;
+      }
+    }
+
+    // Every unconsumed wire becomes an external output: the model has no
+    // dead actors (lint --Werror clean) and every chain is observable.
+    bool have_out = false;
+    for (Value& v : pool_) {
+      if (v.consumed) continue;
+      builder_.outport(name("out", n_out_), v.ref);
+      have_out = true;
+    }
+    if (!have_out && !pool_.empty()) {
+      builder_.outport(name("out", n_out_), pool_.back().ref);
+    }
+    return builder_.take();
+  }
+
+ private:
+  // ---- naming / dice ------------------------------------------------------
+  static std::string name(const char* stem, int& counter) {
+    return std::string(stem) + std::to_string(counter++);
+  }
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    return rng_.bounded(den) < num;
+  }
+  DataType random_scalar_type() {
+    return kScalarTypes[rng_.bounded(std::size(kScalarTypes))];
+  }
+  Shape random_shape() {
+    if (chance(1, 8)) return Shape{};  // scalar — the kBasic path
+    return Shape{kWidths[rng_.bounded(std::size(kWidths))]};
+  }
+  static int source_mag(DataType type) {
+    // benchmodels::workload fills integers from ±2^20, wrapped into the
+    // element width; floats sit in [-1, 1).
+    if (is_signed_int(type)) return std::min(20, bit_width(type) - 1);
+    return 0;
+  }
+
+  // ---- pool helpers -------------------------------------------------------
+  Value& push(PortRef ref, DataType type, Shape shape, int mag) {
+    pool_.push_back(Value{ref, type, std::move(shape), mag, false});
+    return pool_.back();
+  }
+  Value* pick(const std::function<bool(const Value&)>& want) {
+    std::vector<std::size_t> matches;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (want(pool_[i])) matches.push_back(i);
+    }
+    if (matches.empty()) return nullptr;
+    return &pool_[matches[rng_.bounded(matches.size())]];
+  }
+  PortRef use(Value& v) {
+    v.consumed = true;
+    return v.ref;
+  }
+
+  // ---- sources ------------------------------------------------------------
+  Value& add_inport(DataType type, Shape shape) {
+    ++actors_added_;
+    PortRef ref = builder_.inport(name("in", n_in_), type, shape);
+    return push(ref, type, std::move(shape), source_mag(type));
+  }
+
+  std::string literal(DataType type, double lo, double hi) {
+    if (is_float(type)) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", rng_.uniform_real(lo, hi));
+      return buf;
+    }
+    const auto ilo = static_cast<std::int64_t>(lo);
+    const auto ihi = static_cast<std::int64_t>(hi);
+    std::int64_t v = rng_.uniform_int(std::max<std::int64_t>(
+                                          is_unsigned_int(type) ? 0 : ilo, ilo),
+                                      ihi);
+    if (is_unsigned_int(type) && v < 0) v = -v;
+    return std::to_string(v);
+  }
+
+  /// A constant whose per-element values sit in [lo, hi] — `hi` small keeps
+  /// integer products bounded, `lo` > 0 keeps divisors away from zero.
+  Value& add_constant(DataType type, const Shape& shape, double lo, double hi,
+                      int mag) {
+    ++actors_added_;
+    std::string value;
+    if (chance(1, 3)) {
+      value = literal(type, lo, hi);  // single literal, replicated
+    } else {
+      const int n = shape.elements();
+      for (int i = 0; i < n; ++i) {
+        if (i > 0) value += ",";
+        value += literal(type, lo, hi);
+      }
+    }
+    PortRef ref = builder_.constant(name("c", n_const_), type, shape, value);
+    return push(ref, type, shape, mag);
+  }
+
+  /// Same-spec partner for a binary rule: an existing wire when available
+  /// (longer chains), else a fresh small constant.  `max_mag` bounds the
+  /// partner's magnitude ledger so the caller's result bound holds.
+  Value& partner(DataType type, const Shape& shape, int max_mag) {
+    Value* found = pick([&](const Value& v) {
+      return v.type == type && v.shape == shape && v.mag <= max_mag;
+    });
+    if (found != nullptr && chance(2, 3)) return *found;
+    if (is_float(type)) return add_constant(type, shape, -1.25, 1.25, 1);
+    return add_constant(type, shape, -3, 3, 2);
+  }
+
+  PortRef op(const std::string& type, std::initializer_list<PortRef> inputs,
+             std::initializer_list<std::pair<std::string_view,
+                                             std::string_view>> params = {}) {
+    ++actors_added_;
+    return builder_.actor(name("a", n_op_), type, inputs, params);
+  }
+
+  /// Signed-integer overflow guard: true when a result bounded by 2^mag
+  /// stays strictly inside the element type.
+  static bool fits(DataType type, int mag) {
+    if (!is_signed_int(type)) return true;
+    return mag <= bit_width(type) - 2;
+  }
+
+  // ---- grammar rules ------------------------------------------------------
+  void add_source() {
+    if (chance(1, 2)) {
+      add_inport(random_scalar_type(), random_shape());
+    } else {
+      const DataType type = random_scalar_type();
+      add_constant(type, random_shape(), is_float(type) ? -1.25 : -3,
+                   is_float(type) ? 1.25 : 3, 2);
+    }
+  }
+
+  void rule_binary() {
+    struct Entry {
+      const char* actor;
+      int grow;  // mag growth of the result
+    };
+    static const Entry kOps[] = {{"Add", 1},    {"Sub", 1},    {"Mul", 2},
+                                 {"Min", 0},    {"Max", 0},    {"Abd", 1},
+                                 {"BitAnd", 1}, {"BitOr", 1},  {"BitXor", 1},
+                                 {"Div", 1}};
+    const Entry& entry = kOps[rng_.bounded(std::size(kOps))];
+    const BatchOp kind = batch_op_for_actor_type(entry.actor);
+    Value* a = pick([&](const Value& v) {
+      // Abd stays off unsigned wrapped chains: an x86 lowering via abs of
+      // the wrapped difference legitimately differs from the scalar
+      // conditional there (see test_property_e2e.cpp).
+      if (kind == BatchOp::kAbd && is_unsigned_int(v.type)) return false;
+      return op_supports_type(kind, v.type) &&
+             fits(v.type, v.mag + entry.grow);
+    });
+    if (a == nullptr) return;
+    const DataType type = a->type;
+    const Shape shape = a->shape;
+    const int mag_a = a->mag;
+    PortRef lhs = use(*a);  // `a` may dangle once partner() grows the pool
+
+    PortRef rhs;
+    int mag;
+    if (kind == BatchOp::kDiv) {
+      // Divisor bounded away from zero: quotients stay finite and exact
+      // comparison against the oracle stays meaningful.
+      rhs = use(add_constant(type, shape, 0.5, 2.0, 1));
+      mag = mag_a + 1;
+    } else if (kind == BatchOp::kMul && is_integer(type)) {
+      // Integer products only by small constants — the magnitude ledger
+      // stays linear instead of doubling.
+      rhs = use(add_constant(type, shape, -3, 3, 2));
+      mag = mag_a + 2;
+    } else if (kind == BatchOp::kMul) {
+      // Products multiply the bounds, so the ledger is additive; the cap
+      // keeps float chains eligible for later float->int casts.
+      Value& b = partner(type, shape, std::max(1, 20 - mag_a));
+      mag = mag_a + b.mag;
+      rhs = use(b);
+    } else {
+      Value& b = partner(type, shape, 18);
+      mag = std::max(mag_a, b.mag) + entry.grow;
+      if (!fits(type, mag)) return;  // partner too hot; drop the rule
+      rhs = use(b);
+    }
+    push(op(entry.actor, {lhs, rhs}), type, shape, mag);
+  }
+
+  void rule_unary() {
+    switch (rng_.bounded(4)) {
+      case 0: {  // Abs (signed int or float)
+        Value* v = pick([](const Value& v) {
+          return op_supports_type(BatchOp::kAbs, v.type);
+        });
+        if (v == nullptr) return;
+        push(op("Abs", {use(*v)}), v->type, v->shape, v->mag);
+        return;
+      }
+      case 1: {  // BitNot (integer)
+        Value* v = pick([](const Value& v) { return is_integer(v.type); });
+        if (v == nullptr) return;
+        const int mag = std::min(bit_width(v->type) - 1, v->mag + 1);
+        if (!fits(v->type, mag)) return;
+        push(op("BitNot", {use(*v)}), v->type, v->shape, mag);
+        return;
+      }
+      case 2: {  // Sqrt(Abs(x)) — operand forced non-negative
+        Value* v = pick([](const Value& v) { return is_float(v.type); });
+        if (v == nullptr) return;
+        const DataType type = v->type;
+        const Shape shape = v->shape;
+        const int mag = v->mag;
+        PortRef absolute = op("Abs", {use(*v)});
+        push(op("Sqrt", {absolute}), type, shape, (mag + 1) / 2);
+        return;
+      }
+      case 3: {  // Recp(Bias(Abs(x), 1)) — operand bounded into [1, inf)
+        Value* v = pick([](const Value& v) { return is_float(v.type); });
+        if (v == nullptr) return;
+        const DataType type = v->type;
+        const Shape shape = v->shape;
+        PortRef absolute = op("Abs", {use(*v)});
+        PortRef biased = op("Bias", {absolute}, {{"bias", "1.0"}});
+        push(op("Recp", {biased}), type, shape, 0);
+        return;
+      }
+    }
+  }
+
+  void rule_shift() {
+    // Shifts stay on unsigned types: unsigned wrap is defined, so both
+    // sides must agree bit-for-bit; signed shifts would drag in
+    // implementation-defined corners that are not miscompiles.
+    Value* v = pick([](const Value& v) { return is_unsigned_int(v.type); });
+    if (v == nullptr) return;
+    const bool left = chance(1, 2);
+    // Amounts 2..7: a shift of exactly 1 after an Add fuses into a halving
+    // add whose widened intermediate legitimately diverges once the wrapped
+    // unsigned sum has overflowed (see test_property_e2e.cpp).
+    const int amount =
+        2 + static_cast<int>(rng_.bounded(static_cast<std::uint64_t>(
+                std::min(6, bit_width(v->type) - 2))));
+    push(op(left ? "Shl" : "Shr", {use(*v)},
+            {{"amount", amounts_[amount]}}),
+         v->type, v->shape, 0);
+  }
+
+  void rule_gain_bias() {
+    Value* v = pick([](const Value& v) {
+      return !is_complex(v.type) && fits(v.type, v.mag + 2);
+    });
+    if (v == nullptr) return;
+    const bool gain = chance(1, 2);
+    const std::string param = literal(v->type, gain ? -1.5 : -3,
+                                      gain ? 1.5 : 3);
+    push(op(gain ? "Gain" : "Bias", {use(*v)},
+            {{gain ? "gain" : "bias", param}}),
+         v->type, v->shape, v->mag + 2);
+  }
+
+  void rule_cast() {
+    Value* v = pick([](const Value& v) { return !is_complex(v.type); });
+    if (v == nullptr) return;
+    // Candidate targets that cannot lose a value: float<->float always,
+    // anything -> float, integers only widen within their signedness, and
+    // float -> i32/i64 only when the magnitude ledger proves it fits.
+    std::vector<DataType> targets;
+    for (DataType to : kScalarTypes) {
+      if (to == v->type) continue;
+      if (is_float(to)) {
+        targets.push_back(to);
+      } else if (is_float(v->type)) {
+        if (bit_width(to) >= 32 && is_signed_int(to) && v->mag <= 20) {
+          targets.push_back(to);
+        }
+      } else if (is_signed_int(v->type) == is_signed_int(to) &&
+                 bit_width(to) > bit_width(v->type)) {
+        targets.push_back(to);
+      }
+    }
+    if (targets.empty()) return;
+    const DataType to = targets[rng_.bounded(targets.size())];
+    const int mag = is_float(to) && is_unsigned_int(v->type)
+                        ? bit_width(v->type)
+                        : v->mag;
+    push(op("Cast", {use(*v)}, {{"to", short_name(to)}}), to, v->shape, mag);
+  }
+
+  void rule_switch() {
+    Value* a = pick([](const Value& v) {
+      return op_supports_type(BatchOp::kSel, v.type);
+    });
+    if (a == nullptr) return;
+    const DataType type = a->type;
+    const Shape shape = a->shape;
+    const int mag_a = a->mag;
+    PortRef first = use(*a);
+    Value& b = partner(type, shape, 18);
+    const int mag_b = b.mag;
+    PortRef second = use(b);
+    Value& ctrl = partner(type, shape, 18);
+    push(op("Switch", {first, second, use(ctrl)}), type, shape,
+         std::max(mag_a, mag_b));
+  }
+
+  void rule_delay() {
+    Value* v = pick([](const Value& v) { return !is_complex(v.type); });
+    if (v == nullptr) return;
+    ++actors_added_;
+    const DataType type = v->type;
+    const Shape shape = v->shape;
+    const int mag = v->mag;
+    PortRef d = builder_.actor(name("d", n_delay_), "UnitDelay", {use(*v)},
+                               {{"dtype", short_name(type)},
+                                {"shape", shape.to_string()}});
+    push(d, type, shape, mag);
+  }
+
+  /// A delay-broken feedback cycle: s = Add(v, d); d.in = s.  Algorithm 2
+  /// and the linter treat the cycle specially, and the harness runs several
+  /// steps so the state path is actually exercised.
+  void rule_feedback() {
+    Value* v = pick([](const Value& v) {
+      // Headroom for a few accumulation steps (the harness runs 3).
+      return !is_complex(v.type) && fits(v.type, v.mag + 5);
+    });
+    if (v == nullptr) return;
+    const DataType type = v->type;
+    const Shape shape = v->shape;
+    const int mag = v->mag;
+    ++actors_added_;
+    const std::string delay_name = name("d", n_delay_);
+    Model& model = builder_.model();
+    const ActorId delay_id = model.add_actor(delay_name, "UnitDelay");
+    model.actor(delay_id).set_param("dtype", std::string(short_name(type)));
+    model.actor(delay_id).set_param("shape", shape.to_string());
+    PortRef sum = op("Add", {use(*v), PortRef{delay_id, 0}});
+    model.connect(sum.actor, 0, delay_id, 0);
+    push(PortRef{delay_id, 0}, type, shape, mag + 5);
+    push(sum, type, shape, mag + 5);
+  }
+
+  void rule_intensive() {
+    switch (rng_.bounded(7)) {
+      case 0: {  // FFT / IFFT on a c64 vector (chainable)
+        const char* type = chance(1, 2) ? "FFT" : "IFFT";
+        Value* prior = pick([](const Value& v) {
+          return v.type == DataType::kComplex64 && v.shape.rank() == 1;
+        });
+        Shape shape;
+        PortRef in;
+        if (prior != nullptr && chance(1, 2)) {
+          shape = prior->shape;
+          in = use(*prior);
+        } else {
+          shape = Shape{pow2_len()};
+          in = use(add_inport(DataType::kComplex64, shape));
+        }
+        push(op(type, {in}), DataType::kComplex64, shape, 5);
+        return;
+      }
+      case 1: {  // FFT2D / IFFT2D on a c64 matrix
+        const int n = pow2_len();
+        Value& in = add_inport(DataType::kComplex64, Shape{n, n});
+        push(op(chance(1, 2) ? "FFT2D" : "IFFT2D", {use(in)}),
+             DataType::kComplex64, Shape{n, n}, 6);
+        return;
+      }
+      case 2: {  // DCT / IDCT on a bounded fresh float vector
+        const DataType type = float_type();
+        Value& in = add_inport(type, Shape{pow2_len()});
+        push(op(chance(1, 2) ? "DCT" : "IDCT", {use(in)}), type, in.shape, 5);
+        return;
+      }
+      case 3: {  // DCT2D
+        const DataType type = float_type();
+        const int n = pow2_len();
+        Value& in = add_inport(type, Shape{n, n});
+        push(op("DCT2D", {use(in)}), type, Shape{n, n}, 6);
+        return;
+      }
+      case 4: {  // Conv / Conv2D — output width n + m - 1 (odd widths)
+        const DataType type = float_type();
+        if (chance(2, 3)) {
+          const int n = 4 + static_cast<int>(rng_.bounded(13));
+          const int m = 3 + static_cast<int>(rng_.bounded(3));
+          // add_constant can reallocate the pool, so take the signal's ref
+          // before creating the taps.
+          PortRef sig = use(add_inport(type, Shape{n}));
+          PortRef taps = use(add_constant(type, Shape{m}, -1.25, 1.25, 1));
+          push(op("Conv", {sig, taps}), type, Shape{n + m - 1}, 5);
+        } else {
+          const int n = 3 + static_cast<int>(rng_.bounded(4));
+          PortRef sig = use(add_inport(type, Shape{n, n}));
+          PortRef kernel =
+              use(add_constant(type, Shape{2, 2}, -1.25, 1.25, 1));
+          push(op("Conv2D", {sig, kernel}), type, Shape{n + 1, n + 1}, 4);
+        }
+        return;
+      }
+      case 5: {  // MatMul of a fresh square matrix with a bounded constant
+        const DataType type = float_type();
+        const int n = chance(1, 2) ? 2 : 4;
+        PortRef a = use(add_inport(type, Shape{n, n}));
+        PortRef b = use(add_constant(type, Shape{n, n}, -1.25, 1.25, 1));
+        push(op("MatMul", {a, b}), type, Shape{n, n}, 4);
+        return;
+      }
+      case 6: {  // MatInv / MatDet of a diagonally dominant constant
+        const DataType type = float_type();
+        const int n = chance(1, 2) ? 2 : 3;
+        std::string value;
+        for (int r = 0; r < n; ++r) {
+          for (int c = 0; c < n; ++c) {
+            if (!value.empty()) value += ",";
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.2f",
+                          r == c ? n + 1.0 + rng_.uniform_real(0.0, 1.0)
+                                 : rng_.uniform_real(-0.4, 0.4));
+            value += buf;
+          }
+        }
+        ++actors_added_;
+        PortRef m = builder_.constant(name("c", n_const_), type, Shape{n, n},
+                                      value);
+        if (chance(1, 2)) {
+          push(op("MatInv", {m}), type, Shape{n, n}, 2);
+        } else {
+          push(op("MatDet", {m}), type, Shape{}, 8);
+        }
+        return;
+      }
+    }
+  }
+
+  int pow2_len() {
+    static const int kLens[] = {4, 8, 16};
+    return kLens[rng_.bounded(std::size(kLens))];
+  }
+  DataType float_type() {
+    return chance(3, 4) ? DataType::kFloat32 : DataType::kFloat64;
+  }
+
+  ModelBuilder builder_;
+  Rng rng_;
+  GeneratorConfig config_;
+  std::vector<Value> pool_;
+  int actors_added_ = 0;
+  int n_in_ = 0, n_const_ = 0, n_op_ = 0, n_delay_ = 0, n_out_ = 0;
+  const char* amounts_[8] = {"0", "1", "2", "3", "4", "5", "6", "7"};
+};
+
+}  // namespace
+
+Model generate_model(std::uint64_t seed, const GeneratorConfig& config) {
+  return Generation(seed, config).run();
+}
+
+}  // namespace hcg::fuzz

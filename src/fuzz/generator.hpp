@@ -1,0 +1,54 @@
+// Seeded random model generation for the differential fuzzing subsystem
+// (docs/FUZZING.md).
+//
+// generate_model(seed) grows a random — but always *valid* — model by
+// construction: every production rule only wires actors whose type/shape
+// constraints are satisfiable from the current value pool, so the resolver
+// accepts every generated model.  The grammar deliberately covers the
+// corners the pipeline treats specially:
+//
+//   * every actor class (source, sink, basic, batch, intensive, delay),
+//   * every non-complex element type plus c64 FFT chains,
+//   * sub-threshold widths (1..3), non-multiple-of-lane widths (5, 7, 17,
+//     31, 33), and full vector widths,
+//   * scale-boundary chains via Cast (mixed element widths in one region),
+//   * UnitDelay chains and delay-broken feedback cycles.
+//
+// Numeric guardrails keep the comparison against the VM oracle meaningful:
+// divisors/sqrt/recp operands are bounded away from zero, signed-integer
+// chains track a magnitude bound so they can never overflow into undefined
+// behavior, casts never narrow out of range, and intensive actors read
+// bounded fresh sources (implementation-dependent rounding stays tiny).
+// Unsigned chains are left free to wrap — wrapping is defined and both
+// sides must agree exactly.
+//
+// Determinism contract: the same (seed, config) produces byte-for-byte
+// identical model_to_xml() output on every platform (see support/rng.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "model/model.hpp"
+
+namespace hcg::fuzz {
+
+struct GeneratorConfig {
+  /// Upper bound on computational actors added by grammar rules (sources,
+  /// sinks and rule-internal helpers come on top).  The actual budget is
+  /// drawn from [4, max_actors] per seed.
+  int max_actors = 20;
+  /// Include Algorithm 1 actor classes (FFT/DCT/Conv/Mat*).
+  bool intensive = true;
+  /// Include UnitDelay chains and delay-broken feedback cycles.
+  bool delays = true;
+  /// Include Cast rules (scale-boundary chains across element widths).
+  bool scale_chains = true;
+};
+
+/// Deterministically generates the model for `seed`.  The result is
+/// unresolved (call hcg::resolved() or resolve_model()); resolution is
+/// guaranteed to succeed — a resolve failure on a generated model is a
+/// generator bug, and the fuzz harness reports it as such.
+Model generate_model(std::uint64_t seed, const GeneratorConfig& config = {});
+
+}  // namespace hcg::fuzz

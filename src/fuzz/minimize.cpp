@@ -1,0 +1,289 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "actors/resolve.hpp"
+#include "model/tensor.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hcg::fuzz {
+
+namespace {
+
+/// Rebuilds the model keeping only flagged actors (ids are renumbered, and
+/// connections with a dropped endpoint vanish).
+Model rebuild(const Model& m, const std::vector<bool>& keep) {
+  Model out(m.name());
+  std::vector<ActorId> remap(m.actors().size(), kNoActor);
+  for (const Actor& actor : m.actors()) {
+    if (!keep[static_cast<std::size_t>(actor.id())]) continue;
+    const ActorId id = out.add_actor(actor.name(), actor.type());
+    for (const auto& [key, value] : actor.params()) {
+      out.actor(id).set_param(key, value);
+    }
+    remap[static_cast<std::size_t>(actor.id())] = id;
+  }
+  for (const Connection& c : m.connections()) {
+    const ActorId src = remap[static_cast<std::size_t>(c.src)];
+    const ActorId dst = remap[static_cast<std::size_t>(c.dst)];
+    if (src == kNoActor || dst == kNoActor) continue;
+    out.connect(src, c.src_port, dst, c.dst_port);
+  }
+  return out;
+}
+
+/// Drops every actor that does not (transitively) feed an Outport — the
+/// shrink transforms use this so candidates never contain dead actors
+/// (which would also trip the HCG104 lint gate on committed reproducers).
+Model garbage_collect(const Model& m) {
+  std::vector<bool> live(m.actors().size(), false);
+  std::vector<ActorId> frontier = m.outports();
+  for (ActorId id : frontier) live[static_cast<std::size_t>(id)] = true;
+  while (!frontier.empty()) {
+    const ActorId id = frontier.back();
+    frontier.pop_back();
+    for (const Connection& c : m.connections()) {
+      if (c.dst != id) continue;
+      if (live[static_cast<std::size_t>(c.src)]) continue;
+      live[static_cast<std::size_t>(c.src)] = true;
+      frontier.push_back(c.src);
+    }
+  }
+  return rebuild(m, live);
+}
+
+bool resolves(const Model& m) {
+  try {
+    (void)resolved(m);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+/// True for the actor types that declare their own spec via dtype/shape
+/// parameters — the places width/dtype shrinks apply.
+bool declares_spec(const Actor& actor) {
+  return actor.type() == "Inport" || actor.type() == "Constant" ||
+         actor.type() == "UnitDelay";
+}
+
+/// Truncates a comma-separated Constant value list to `elements` entries
+/// (single literals replicate, so they need no change).
+void truncate_value(Actor& actor, int elements) {
+  if (!actor.has_param("value")) return;
+  std::vector<std::string> pieces = split(actor.param("value"), ',');
+  if (static_cast<int>(pieces.size()) <= elements) return;
+  pieces.resize(static_cast<std::size_t>(elements));
+  actor.set_param("value", join(pieces, ","));
+}
+
+/// Applies `shape_from` -> `shape_to` to every spec-declaring actor.
+Model with_shrunk_shape(const Model& m, const std::string& shape_from,
+                        const std::string& shape_to) {
+  Model out = m;
+  const int elements = Shape::parse(shape_to).elements();
+  for (Actor& actor : out.actors()) {
+    if (!declares_spec(actor) || actor.param_or("shape", "") != shape_from) {
+      continue;
+    }
+    actor.set_param("shape", shape_to);
+    truncate_value(actor, elements);
+  }
+  return out;
+}
+
+Model with_simplified_dtype(const Model& m, const std::string& from,
+                            const std::string& to) {
+  Model out = m;
+  for (Actor& actor : out.actors()) {
+    if (declares_spec(actor) && actor.param_or("dtype", "") == from) {
+      actor.set_param("dtype", to);
+    }
+  }
+  return out;
+}
+
+/// The canonical dtype a source dtype shrinks toward ("" = already there).
+std::string canonical_dtype(const std::string& name) {
+  if (name == "i8" || name == "i16" || name == "i64") return "i32";
+  if (name == "u8" || name == "u16" || name == "u64") return "u32";
+  if (name == "f64") return "f32";
+  return "";
+}
+
+/// Shrink rungs for a 1-D or square-matrix shape string ("" = none left).
+std::vector<std::string> shape_targets(const std::string& text) {
+  Shape shape;
+  try {
+    shape = Shape::parse(text);
+  } catch (const Error&) {
+    return {};
+  }
+  std::vector<std::string> targets;
+  if (shape.rank() == 1) {
+    if (shape.dims[0] > 4) targets.push_back("4");
+    if (shape.dims[0] > 1) targets.push_back("1");
+  } else if (shape.rank() == 2 && shape.dims[0] > 2 &&
+             shape.dims[0] == shape.dims[1]) {
+    targets.push_back("2x2");
+  }
+  return targets;
+}
+
+/// One round of candidate enumeration, deterministic order.  Returns the
+/// first accepted candidate, or nullopt at fixpoint.
+std::vector<Model> candidates(const Model& best) {
+  std::vector<Model> out;
+
+  // 1. Drop one Outport (keep at least one so the model stays observable).
+  const std::vector<ActorId> outports = best.outports();
+  if (outports.size() > 1) {
+    for (ActorId id : outports) {
+      std::vector<bool> keep(best.actors().size(), true);
+      keep[static_cast<std::size_t>(id)] = false;
+      out.push_back(garbage_collect(rebuild(best, keep)));
+    }
+  }
+
+  // 2. Bypass an actor whose output spec equals one of its input specs:
+  // consumers rewire to that input's source.  Needs resolved specs.
+  Model specs("specs");
+  bool have_specs = true;
+  try {
+    specs = resolved(best);
+  } catch (const Error&) {
+    have_specs = false;  // generator-bug findings: structure shrinks only
+  }
+  if (have_specs) {
+    for (const Actor& actor : specs.actors()) {
+      if (actor.type() == "Inport" || actor.type() == "Outport" ||
+          actor.type() == "Constant" || !actor.is_resolved() ||
+          actor.output_count() != 1) {
+        continue;
+      }
+      for (int port = 0; port < actor.input_count(); ++port) {
+        if (!(actor.input(port) == actor.output(0))) continue;
+        const auto feed = specs.incoming(actor.id(), port);
+        if (!feed.has_value()) continue;
+        Model cand(best.name());
+        // Rebuild without the actor, rerouting its consumers to the feed.
+        std::vector<bool> keep(best.actors().size(), true);
+        keep[static_cast<std::size_t>(actor.id())] = false;
+        cand = rebuild(best, keep);
+        // rebuild() dropped every edge touching the actor; re-add the
+        // consumer edges, now fed by the bypassed input's source.
+        const ActorId src = cand.find_actor(
+            specs.actor(feed->src).name());
+        if (src == kNoActor) continue;
+        bool ok = true;
+        for (const Connection& c : best.connections()) {
+          if (c.src != actor.id()) continue;
+          const ActorId dst =
+              cand.find_actor(best.actor(c.dst).name());
+          if (dst == kNoActor) { ok = false; break; }
+          cand.connect(src, feed->src_port, dst, c.dst_port);
+        }
+        if (!ok) continue;
+        out.push_back(garbage_collect(cand));
+        break;  // one bypass candidate per actor
+      }
+    }
+  }
+
+  // 3. Shrink one distinct source shape at a time (all users together, so
+  // elementwise partners stay consistent).
+  std::set<std::string> shapes;
+  for (const Actor& actor : best.actors()) {
+    if (declares_spec(actor) && actor.has_param("shape")) {
+      shapes.insert(actor.param("shape"));
+    }
+  }
+  for (const std::string& shape : shapes) {
+    for (const std::string& target : shape_targets(shape)) {
+      out.push_back(with_shrunk_shape(best, shape, target));
+    }
+  }
+
+  // 4. Simplify one distinct source dtype at a time.
+  std::set<std::string> dtypes;
+  for (const Actor& actor : best.actors()) {
+    if (declares_spec(actor) && actor.has_param("dtype")) {
+      dtypes.insert(actor.param("dtype"));
+    }
+  }
+  for (const std::string& dtype : dtypes) {
+    const std::string target = canonical_dtype(dtype);
+    if (!target.empty()) {
+      out.push_back(with_simplified_dtype(best, dtype, target));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace
+
+Model minimize_model(const Model& original, const ReproduceFn& reproduces,
+                     MinimizeStats* stats) {
+  Model best = original;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (stats != nullptr) ++stats->rounds;
+    for (Model& cand : candidates(best)) {
+      // Cheap structural pre-check; generator-bug reproducers skip it
+      // (their whole point is a model that does NOT resolve).
+      if (resolves(best) && !resolves(cand)) continue;
+      if (stats != nullptr) ++stats->candidates_tried;
+      if (!reproduces(cand)) continue;
+      if (stats != nullptr) ++stats->accepted;
+      best = std::move(cand);
+      changed = true;
+      break;  // restart enumeration from the smaller model
+    }
+  }
+  return best;
+}
+
+HarnessConfig single_variant_config(const HarnessConfig& base,
+                                    const Variant& variant) {
+  HarnessConfig out = base;
+  out.sweep_faults = false;
+  if (variant.tool == "hcg") {
+    out.isas = {variant.isa};
+    out.opt_levels = {variant.opt_level};
+    out.baselines = false;
+  } else if (variant.tool == "resolve") {
+    out.isas.clear();
+    out.opt_levels.clear();
+    out.baselines = false;
+  } else {
+    out.isas.clear();
+    if (!variant.isa.empty()) out.isas.push_back(variant.isa);
+    out.opt_levels.clear();
+    out.baselines = true;
+  }
+  return out;
+}
+
+ReproduceFn signature_reproducer(const HarnessConfig& base,
+                                 const Finding& finding) {
+  const HarnessConfig config = single_variant_config(base, finding.variant);
+  const std::string signature = finding.signature;
+  const std::uint64_t seed = finding.seed;
+  return [config, signature, seed](const Model& candidate) {
+    for (const Finding& f : check_model(candidate, seed, config)) {
+      if (f.signature == signature) return true;
+    }
+    return false;
+  };
+}
+
+}  // namespace hcg::fuzz

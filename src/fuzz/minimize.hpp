@@ -1,0 +1,51 @@
+// Counterexample minimization for the fuzzing subsystem (docs/FUZZING.md).
+//
+// Given a model that misbehaves (diverges, crashes, or is rejected by the
+// verifier) and a predicate that re-checks the *same* failure signature,
+// minimize_model() greedily applies shrinking transforms and keeps every
+// candidate the predicate confirms:
+//
+//   * drop an Outport (plus everything newly unreachable),
+//   * bypass an actor whose output spec matches one of its inputs,
+//   * shrink source widths (vectors toward 4, matrices toward 2x2),
+//   * simplify source dtypes toward the canonical i32/u32/f32.
+//
+// Soundness is by construction: a candidate is accepted only if it still
+// resolves AND still reproduces the signature, so the result is always a
+// genuine reproducer.  The enumeration is deterministic and every accepted
+// step strictly shrinks a bounded measure, so minimization terminates and
+// is idempotent: minimize(minimize(m)) == minimize(m).
+#pragma once
+
+#include <functional>
+
+#include "fuzz/differential.hpp"
+#include "model/model.hpp"
+
+namespace hcg::fuzz {
+
+/// Returns true when the candidate still fails with the target signature.
+using ReproduceFn = std::function<bool(const Model&)>;
+
+struct MinimizeStats {
+  int rounds = 0;
+  int candidates_tried = 0;
+  int accepted = 0;
+};
+
+/// Greedy fixpoint shrink of `original` under `reproduces`.  The original
+/// itself must reproduce (callers obtained it from a finding).
+Model minimize_model(const Model& original, const ReproduceFn& reproduces,
+                     MinimizeStats* stats = nullptr);
+
+/// A config that re-runs only the matrix cell a finding came from — one
+/// compile per candidate instead of the whole matrix.
+HarnessConfig single_variant_config(const HarnessConfig& base,
+                                    const Variant& variant);
+
+/// Builds the predicate minimize_model() needs from a finding: re-runs the
+/// finding's variant on the candidate and checks for the same signature.
+ReproduceFn signature_reproducer(const HarnessConfig& base,
+                                 const Finding& finding);
+
+}  // namespace hcg::fuzz

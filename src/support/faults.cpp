@@ -1,5 +1,6 @@
 #include "support/faults.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "support/strings.hpp"
@@ -28,6 +29,51 @@ bool glob_match(std::string_view pattern, std::string_view text) {
   }
   while (p < pattern.size() && pattern[p] == '*') ++p;
   return p == pattern.size();
+}
+
+const std::vector<SiteInfo>& site_catalog() {
+  // Single source of truth for the probe sites planted across the tree;
+  // keep in sync with the per-site table in docs/ROBUSTNESS.md.  A test
+  // scans the sources for probe literals, so adding a probe without a
+  // catalog row (or the reverse) fails the suite.
+  static const std::vector<SiteInfo> kSites = {
+      {"bench.measure", "bench/bench_util",
+       "metric name", "any action inflates the timed reading 16x"},
+      {"cgir.pass", "cgir/passes",
+       "pass name", "any action corrupts the IR after the pass runs"},
+      {"fileio.write", "support/fileio",
+       "destination path", "fail/throw error out; torn stops half-way"},
+      {"pool.task", "support/thread_pool",
+       "(none)", "any action throws FaultInjected at task start"},
+      {"precalc.measure", "synth/intensive",
+       "implementation id", "candidate dropped (fail=compile, throw=crash, "
+       "timeout=timeout)"},
+      {"subprocess.spawn", "support/subprocess",
+       "argv[0]", "any action simulates a transient spawn failure"},
+      {"toolchain.compile", "toolchain/compiled_model",
+       "model/tool", "fail/throw/torn fail the compile; timeout hangs it"},
+  };
+  return kSites;
+}
+
+std::string render_site_catalog() {
+  std::string out = "fault probe sites (HCG_FAULTS=\"site[:keyglob]=fail|"
+                    "throw|torn|timeout[@N|@N+]\"):\n";
+  for (const SiteInfo& info : site_catalog()) {
+    out += "  ";
+    out += info.site;
+    out.append(info.site.size() < 18 ? 18 - info.site.size() : 1, ' ');
+    out += info.module;
+    out.append(info.module.size() < 24 ? 24 - info.module.size() : 1, ' ');
+    out += "key=";
+    out += info.key;
+    out += "\n";
+    out += "                    ";
+    out.append(24, ' ');
+    out += info.actions;
+    out += "\n";
+  }
+  return out;
 }
 
 Registry& Registry::instance() {
@@ -101,7 +147,16 @@ void Registry::configure(std::string_view spec) {
 
 void Registry::configure_from_env() {
   const char* env = std::getenv("HCG_FAULTS");
-  configure(env == nullptr ? std::string_view{} : std::string_view{env});
+  std::string_view spec = env == nullptr ? std::string_view{}
+                                         : std::string_view{env};
+  if (spec == "list") {
+    // Discoverability escape hatch: HCG_FAULTS=list prints the registered
+    // probe sites on stderr (any hcg binary) and arms nothing, so sweeps
+    // and docs can be checked against the live registry.
+    std::fputs(render_site_catalog().c_str(), stderr);
+    spec = {};
+  }
+  configure(spec);
 }
 
 void Registry::clear() { configure({}); }

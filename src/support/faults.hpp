@@ -57,6 +57,24 @@ class FaultInjected : public Error {
 /// Glob match with '*' and '?' (no character classes).
 bool glob_match(std::string_view pattern, std::string_view text);
 
+/// Static description of one probe site.  The catalog below is the single
+/// source of truth for which sites exist: `hcgc faults` and HCG_FAULTS=list
+/// render it, the fuzz harness sweeps it (docs/FUZZING.md), and a test
+/// scans the sources for probe()/raise_if_armed() literals to prove the
+/// catalog cannot drift from the call sites.
+struct SiteInfo {
+  std::string_view site;     // probe name, e.g. "toolchain.compile"
+  std::string_view module;   // source module that plants the probe
+  std::string_view key;      // what the rule's key glob matches against
+  std::string_view actions;  // actions the site honors and their meaning
+};
+
+/// Every registered probe site, sorted by site name.
+const std::vector<SiteInfo>& site_catalog();
+
+/// Human-readable catalog table (the `hcgc faults` / HCG_FAULTS=list text).
+std::string render_site_catalog();
+
 class Registry {
  public:
   /// The process-wide registry; the first call arms it from HCG_FAULTS.

@@ -90,7 +90,7 @@
 //
 // Exit codes: 0 ok, 1 verify mismatch/other error, 2 usage, 3 parse error,
 // 4 invalid model, 5 synthesis failure, 6 codegen failure, 7 toolchain
-// failure, 8 lint errors, 70 internal error.
+// failure, 8 lint errors, 10 fuzz counterexample found, 70 internal error.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -107,6 +107,7 @@
 #include "analysis/sarif.hpp"
 #include "benchmodels/benchmodels.hpp"
 #include "codegen/generator.hpp"
+#include "fuzz/campaign.hpp"
 #include "graph/regions.hpp"
 #include "isa/builtin.hpp"
 #include "isa/isa_parse.hpp"
@@ -115,7 +116,9 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
+#include "support/faults.hpp"
 #include "support/fileio.hpp"
+#include "support/strings.hpp"
 #include "support/logging.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
@@ -147,6 +150,11 @@ int usage() {
                "                [--err-threshold PCT] [--report FILE]\n"
                "                [--history FILE] [--cc-timeout SEC]\n"
                "                [--cc-retries N]\n"
+               "  hcgc fuzz     [--seeds N] [--seed FIRST] [--isa A,B]\n"
+               "                [-O0|-O1|-O2] [--corpus DIR] [--report FILE]\n"
+               "                [--sweep-faults] [--max-actors N]\n"
+               "                [--no-minimize] [--no-baselines]\n"
+               "  hcgc faults\n"
                "  hcgc isa      [NAME]\n"
                "(the generate subcommand may be omitted)\n"
                "env: HCG_LOG=debug|info|warn|error|off   HCG_TRACE=FILE|summary\n"
@@ -154,7 +162,8 @@ int usage() {
                "     HCG_VERIFY=1 cgir verifier on (--verify-cgir equivalent)\n"
                "exit codes: 0 ok, 1 error/mismatch, 2 usage, 3 parse,\n"
                "            4 model, 5 synthesis, 6 codegen, 7 toolchain,\n"
-               "            8 lint errors, 70 internal\n");
+               "            8 lint errors, 10 fuzz counterexample,\n"
+               "            70 internal\n");
   return 2;
 }
 
@@ -185,12 +194,19 @@ struct Options {
   bool profile_gen = false;     // generate: instrument with HCG_PROF counters
   int reps = 200;               // profile: harness step() repetitions
   double err_threshold = 50.0;  // profile: HCG501 remark above this error %
+  bool isa_set = false;         // --isa given explicitly (fuzz default keys off this)
+  int seeds = 200;              // fuzz: campaign seed count
+  int max_actors = 20;          // fuzz: generator actor budget
+  std::string corpus_dir;       // fuzz: reproducer output directory
+  bool sweep_faults = false;    // fuzz: degraded-mode sweep per seed
+  bool no_minimize = false;     // fuzz: skip counterexample shrinking
+  bool no_baselines = false;    // fuzz: drop simulink/dfsynth partners
 };
 
 bool known_command(const std::string& name) {
   return name == "generate" || name == "inspect" || name == "lint" ||
          name == "verify" || name == "bench" || name == "profile" ||
-         name == "isa";
+         name == "isa" || name == "fuzz" || name == "faults";
 }
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -220,6 +236,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.tool = value();
     } else if (arg == "--isa") {
       opt.isa_name = value();
+      opt.isa_set = true;
     } else if (arg == "--out") {
       opt.out_path = value();
     } else if (arg == "--history") {
@@ -276,6 +293,20 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (opt.err_threshold < 0) {
         throw Error("--err-threshold needs a percentage >= 0");
       }
+    } else if (arg == "--seeds") {
+      opt.seeds = std::atoi(value());
+      if (opt.seeds < 1) throw Error("--seeds needs a positive count");
+    } else if (arg == "--max-actors") {
+      opt.max_actors = std::atoi(value());
+      if (opt.max_actors < 1) throw Error("--max-actors needs a count >= 1");
+    } else if (arg == "--corpus") {
+      opt.corpus_dir = value();
+    } else if (arg == "--sweep-faults") {
+      opt.sweep_faults = true;
+    } else if (arg == "--no-minimize") {
+      opt.no_minimize = true;
+    } else if (arg == "--no-baselines") {
+      opt.no_baselines = true;
     } else if (arg == "--verify-cgir") {
       opt.verify_cgir = true;
     } else if (arg == "--Werror") {
@@ -753,6 +784,55 @@ int cmd_isa(const Options& opt) {
   return 0;
 }
 
+/// Prints the fault-injection site catalog (same text as HCG_FAULTS=list).
+int cmd_faults() {
+  std::fputs(faults::render_site_catalog().c_str(), stdout);
+  return 0;
+}
+
+int cmd_fuzz(const Options& opt) {
+  // The campaign wants the cgir verifier as an extra oracle; an explicit
+  // HCG_VERIFY=0 in the environment still turns it off.
+  setenv("HCG_VERIFY", "1", /*overwrite=*/0);
+  fuzz::CampaignConfig config;
+  config.seed_start = opt.seed;
+  config.seeds = opt.seeds;
+  config.minimize = !opt.no_minimize;
+  config.corpus_dir = opt.corpus_dir;
+  config.report_path = opt.report_path;
+  config.harness.sweep_faults = opt.sweep_faults;
+  config.harness.baselines = !opt.no_baselines;
+  config.harness.generator.max_actors = opt.max_actors;
+  if (opt.opt_level >= 0) config.harness.opt_levels = {opt.opt_level};
+  if (opt.isa_set) {
+    config.harness.isas = split(opt.isa_name, ',');
+    for (const std::string& name : config.harness.isas) {
+      bool builtin = false;
+      for (const std::string& b : isa::builtin_names()) builtin |= b == name;
+      if (!builtin) {
+        throw Error("fuzz needs built-in isa names, got '" + name + "'");
+      }
+    }
+  }
+  config.progress = [](const std::string& line) {
+    std::fprintf(stderr, "fuzz: %s\n", line.c_str());
+  };
+  const fuzz::CampaignResult result = fuzz::run_campaign(config);
+  std::fprintf(stderr, "fuzz: %d seed(s), %d variant run(s), %zu distinct finding(s)\n",
+               result.seeds_run, result.variants_run, result.findings.size());
+  for (const fuzz::CampaignFinding& f : result.findings) {
+    std::fprintf(stderr, "fuzz: %s  x%d  (seed %llu)%s%s\n",
+                 f.first.signature.c_str(), f.count,
+                 static_cast<unsigned long long>(f.first.seed),
+                 f.reproducer.empty() ? "" : "  -> ", f.reproducer.c_str());
+  }
+  if (opt.report_path.empty()) {
+    std::fputs(result.report_json.c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  return result.ok() ? 0 : 10;
+}
+
 /// Applies HCG_TRACE when --trace was not given.  Returns true if tracing
 /// (to a file or as a stderr summary) is active.
 bool setup_tracing(Options& opt) {
@@ -800,6 +880,10 @@ int main(int argc, char** argv) {
     int rc = 2;
     if (opt.command == "isa") {
       rc = cmd_isa(opt);
+    } else if (opt.command == "faults") {
+      rc = cmd_faults();
+    } else if (opt.command == "fuzz") {
+      rc = cmd_fuzz(opt);
     } else if (opt.model_path.empty()) {
       return usage();
     } else if (opt.command == "generate") {

@@ -204,6 +204,43 @@ TEST(Rng, UniformIntStaysInRange) {
   }
 }
 
+// The bounded draws are a cross-platform contract (fuzz seeds minimized on
+// one stdlib must reproduce byte-for-byte on another), so the exact values
+// are pinned.  A failure here means the mapping from the mt19937_64 stream
+// to draws changed — which invalidates every committed fuzz reproducer.
+TEST(Rng, PinnedValuesAreStdlibIndependent) {
+  Rng ints(7);
+  EXPECT_EQ(ints.uniform_int(0, 1000000), 754386);
+  EXPECT_EQ(ints.uniform_int(0, 1000000), 949302);
+  EXPECT_EQ(ints.uniform_int(0, 1000000), 117414);
+  EXPECT_EQ(ints.uniform_int(0, 1000000), 891914);
+  EXPECT_EQ(ints.uniform_int(0, 1000000), 141271);
+
+  Rng small(7);
+  EXPECT_EQ(small.uniform_int(-5, 5), 3);
+  EXPECT_EQ(small.uniform_int(-5, 5), 5);
+  EXPECT_EQ(small.uniform_int(-5, 5), -4);
+
+  Rng reals(7);
+  EXPECT_DOUBLE_EQ(reals.uniform_real(0.0, 1.0), 0.75438530415285798);
+  EXPECT_DOUBLE_EQ(reals.uniform_real(0.0, 1.0), 0.94930120289264419);
+  EXPECT_DOUBLE_EQ(reals.uniform_real(0.0, 1.0), 0.11741428103451801);
+
+  Rng floats(42);
+  const auto f = floats.signal_f32(2);
+  EXPECT_FLOAT_EQ(f[0], 0.510311067f);
+  EXPECT_FLOAT_EQ(f[1], 0.278062791f);
+
+  Rng i32s(42);
+  const auto i = i32s.signal_i32(2);
+  EXPECT_EQ(i[0], 511);
+  EXPECT_EQ(i[1], 278);
+
+  // The full 64-bit span routes straight to the engine word.
+  Rng full(9);
+  EXPECT_EQ(full.uniform_int(INT64_MIN, INT64_MAX), 341617132996341335ll);
+}
+
 TEST(Rng, SignalsHaveRequestedSizeAndRange) {
   Rng rng(4);
   const auto f = rng.signal_f32(257);
