@@ -74,7 +74,9 @@ void run_matinv(benchmark::State& state, MatUnFn fn) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(10);
   std::vector<float> a = rng.signal_f32(static_cast<size_t>(n) * n);
-  for (int i = 0; i < n; ++i) a[static_cast<size_t>(i * n + i)] += n + 2.0f;
+  for (int i = 0; i < n; ++i) {
+    a[static_cast<size_t>(i * n + i)] += static_cast<float>(n) + 2.0f;
+  }
   std::vector<float> out(static_cast<size_t>(n) * n);
   for (auto _ : state) {
     fn(a.data(), out.data(), n);

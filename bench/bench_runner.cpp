@@ -292,6 +292,56 @@ std::vector<bench::BenchMetric> suite_sve() {
   return metrics;
 }
 
+/// Range-driven lane narrowing: the rangepipe workload's declared Inport
+/// ranges prove every intermediate fits i16, so at -O1 its region re-plans
+/// at 8 NEON lanes instead of 4 (deterministic count facts), while the
+/// identical graph without range facts must stay at i32.  The timing leg
+/// runs both compiled pipelines on the same range-respecting inputs — the
+/// measured narrowing win, gated against the committed baseline.
+std::vector<bench::BenchMetric> suite_range() {
+  std::vector<bench::BenchMetric> metrics;
+  Model narrow = resolved(benchmodels::rangepipe_model(4096, true));
+  Model wide = resolved(benchmodels::rangepipe_model(4096, false));
+  synth::SelectionHistory history;
+  codegen::GeneratedCode narrow_code = emit_hcg(narrow, &history);
+  codegen::GeneratedCode wide_code = emit_hcg(wide, &history);
+  metrics.push_back(bench::count_metric("rangepipe.o1.regions_narrowed",
+                                        narrow_code.report.regions_narrowed));
+  metrics.push_back(bench::count_metric("rangepipe.o1.narrowing_blocked",
+                                        narrow_code.report.narrowing_blocked));
+  metrics.push_back(bench::count_metric("rangepipe_wide.o1.regions_narrowed",
+                                        wide_code.report.regions_narrowed));
+  metrics.push_back(bench::count_metric(
+      "rangepipe.o1.simd_instructions",
+      static_cast<double>(narrow_code.simd_instructions.size())));
+
+  try {
+    bench::IoBinding io = bench::bind_io(narrow);  // honors declared ranges
+
+    toolchain::CompiledModel narrow_bin = bench::compile(narrow_code);
+    bench::verify_against_oracle(narrow_bin, narrow, io, 2e-2);
+    const double narrow_s =
+        bench::time_steps(narrow_bin, io.in_ptrs, io.out_ptrs)
+            .seconds_per_step;
+
+    // Same port layout, so the wide binary binds the same inputs.
+    toolchain::CompiledModel wide_bin = bench::compile(wide_code);
+    bench::verify_against_oracle(wide_bin, wide, io, 2e-2);
+    const double wide_s =
+        bench::time_steps(wide_bin, io.in_ptrs, io.out_ptrs).seconds_per_step;
+
+    const double step =
+        bench::measured("rangepipe.step_seconds", narrow_s);
+    metrics.push_back(bench::time_metric("rangepipe.step_seconds", step));
+    metrics.push_back(bench::ratio_metric("rangepipe.narrow_speedup_vs_wide",
+                                          wide_s / std::max(step, 1e-12)));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: range suite skipped timing leg: %s\n",
+                 e.what());
+  }
+  return metrics;
+}
+
 /// Parallel synthesis engine: jobs sweep speedup (noisy) plus the
 /// single-flight dedup counters (deterministic).
 std::vector<bench::BenchMetric> suite_parallel() {
@@ -356,6 +406,7 @@ const Suite kSuites[] = {
     {"codegen", "neon_sim", suite_codegen},
     {"exec", "neon_sim", suite_exec},
     {"sve", "sve", suite_sve},
+    {"range", "neon_sim", suite_range},
     {"parallel", "neon_sim", suite_parallel},
 };
 
@@ -504,7 +555,7 @@ void usage(FILE* out) {
                "BENCH_<suite>.json files\n"
                "  --out DIR           where to write results (default .)\n"
                "  --suite NAME        run one suite (repeatable; default "
-               "all: codegen exec sve parallel)\n"
+               "all: codegen exec sve range parallel)\n"
                "  --threshold PCT     relative tolerance for time/ratio "
                "metrics (default 40)\n"
                "  --strict            gate noisy metrics even when the cpu "

@@ -116,6 +116,14 @@ const std::vector<DiagnosticRule>& diagnostic_rules() {
       {"HCG410", "layout-changed",
        "-O2 re-ordered buffer declarations for coalesced stride-1 access",
        Severity::kRemark},
+      {"HCG411", "region-narrowed",
+       "proven value ranges let a batch region run at a narrower element "
+       "type with more SIMD lanes",
+       Severity::kRemark},
+      {"HCG412", "narrowing-blocked",
+       "a batch region would narrow but the value range could not be proven "
+       "to fit the narrower type",
+       Severity::kRemark},
 
       // ---- HCG5xx: runtime profiling (docs/PROFILING.md) ----------------
       {"HCG501", "costmodel-mispredict",
@@ -126,6 +134,24 @@ const std::vector<DiagnosticRule>& diagnostic_rules() {
        "runtime profiling could not run; the report has no runtime_profile "
        "section",
        Severity::kWarning},
+
+      // ---- HCG6xx: value-range analysis (src/analysis/range.hpp) --------
+      {"HCG601", "possible-signed-overflow",
+       "a signed integer result range provably exceeds its element type; "
+       "values wrap at runtime",
+       Severity::kWarning},
+      {"HCG602", "possible-division-by-zero",
+       "a divisor's value range contains zero", Severity::kWarning},
+      {"HCG603", "lossy-narrowing-cast",
+       "a cast input's value range does not fit the target type",
+       Severity::kWarning},
+      {"HCG604", "dead-switch-branch",
+       "a Switch control range proves one data input is never selected",
+       Severity::kRemark},
+      {"HCG605", "constant-foldable",
+       "an actor's output is provably a single constant; the subgraph "
+       "feeding it can be folded at generation time",
+       Severity::kRemark},
   };
   return rules;
 }

@@ -10,6 +10,8 @@
 //   HCG3xx  cgir verifier     (invariant violations inside the codegen IR)
 //   HCG4xx  optimization remarks (why Algorithm 2 did / did not vectorize)
 //   HCG5xx  runtime profiling   (cost-model feedback from `hcgc profile`)
+//   HCG6xx  value-range analysis (numeric safety: overflow, div-by-zero,
+//           lossy casts, dead branches — src/analysis/range.hpp)
 //
 // The code table is the contract: docs/ANALYSIS.md documents every code, the
 // SARIF exporter publishes them as rules, and tests pin one triggering input
@@ -36,6 +38,10 @@ struct Diagnostic {
   /// Where: "actor 'm'" for model findings, "step: loop [0,1024)" for cgir
   /// findings, empty for whole-model findings.
   std::string location;
+  /// Optional second location the finding references (the producer of an
+  /// overflowing operand, the control feeding a dead Switch branch, ...).
+  /// Exported as SARIF relatedLocations.
+  std::string related;
 };
 
 /// One entry of the stable code table.

@@ -243,6 +243,10 @@ bool lint_resolve(Model& model, DiagnosticEngine& diags) {
   }
 }
 
+RangeAnalysis lint_ranges(const Model& model, DiagnosticEngine& diags) {
+  return analyze_ranges(model, &diags);
+}
+
 void lint_vectorization(const Model& model, const isa::VectorIsa& isa,
                         int min_nodes_for_simd, DiagnosticEngine& diags) {
   const std::vector<BatchRegion> regions = find_batch_regions(model, isa);
@@ -352,14 +356,19 @@ void lint_vectorization(const Model& model, const isa::VectorIsa& isa,
   }
 }
 
-void lint_model(Model& model, const LintOptions& options,
-                DiagnosticEngine& diags) {
+RangeAnalysis lint_model(Model& model, const LintOptions& options,
+                         DiagnosticEngine& diags) {
   HCG_TRACE_SCOPE("analysis.lint");
   lint_structure(model, diags);
   const bool resolved = lint_resolve(model, diags);
+  RangeAnalysis ranges;
+  if (resolved) {
+    ranges = lint_ranges(model, diags);
+  }
   if (resolved && options.isa != nullptr && options.remarks) {
     lint_vectorization(model, *options.isa, options.min_nodes_for_simd, diags);
   }
+  return ranges;
 }
 
 }  // namespace hcg::analysis

@@ -10,9 +10,13 @@
 //   HCG4xx  remarks    (lint_vectorization: per-region SIMD outcome, and a
 //                       per-actor explanation for every batch actor the
 //                       region builder had to leave out)
+//   HCG6xx  numeric safety (lint_ranges: interval value-range analysis —
+//                       overflow, division by zero, lossy casts, dead
+//                       Switch branches, constant-foldable subgraphs)
 #pragma once
 
 #include "analysis/diagnostics.hpp"
+#include "analysis/range.hpp"
 #include "isa/instruction.hpp"
 #include "model/model.hpp"
 
@@ -37,6 +41,12 @@ void lint_structure(const Model& model, DiagnosticEngine& diags);
 /// Returns true when every actor resolved (the model is usable downstream).
 bool lint_resolve(Model& model, DiagnosticEngine& diags);
 
+/// HCG6xx: interval value-range analysis over a *resolved* model
+/// (src/analysis/range.hpp).  Emits the numeric-safety findings into
+/// `diags` and returns the per-signal intervals plus summary statistics
+/// (surfaced as the hcg-report-v1 `range_analysis` section).
+RangeAnalysis lint_ranges(const Model& model, DiagnosticEngine& diags);
+
 /// HCG4xx: explains Algorithm 2's region matching over a *resolved* model —
 /// one note per viable region, one remark per region that fails the plan
 /// (too short, below threshold, lane disagreement) and per batch actor that
@@ -45,10 +55,12 @@ bool lint_resolve(Model& model, DiagnosticEngine& diags);
 void lint_vectorization(const Model& model, const isa::VectorIsa& isa,
                         int min_nodes_for_simd, DiagnosticEngine& diags);
 
-/// Runs the full sequence: structure, then tolerant resolution, then (when
-/// options.isa is set, remarks are on, and resolution succeeded)
-/// vectorization remarks.  `model` is resolved in place on success.
-void lint_model(Model& model, const LintOptions& options,
-                DiagnosticEngine& diags);
+/// Runs the full sequence: structure, then tolerant resolution, then (once
+/// resolution succeeded) the value-range analysis, then (when options.isa
+/// is set and remarks are on) vectorization remarks.  `model` is resolved
+/// in place on success.  Returns the range analysis (empty when the model
+/// did not resolve) so callers can report its summary.
+RangeAnalysis lint_model(Model& model, const LintOptions& options,
+                         DiagnosticEngine& diags);
 
 }  // namespace hcg::analysis

@@ -1,10 +1,32 @@
 #include "analysis/sarif.hpp"
 
 #include <cstdint>
+#include <filesystem>
+#include <system_error>
 
 #include "obs/json.hpp"
 
 namespace hcg::analysis {
+
+std::string sarif_artifact_uri(std::string_view model_path) {
+  std::string path(model_path);
+  while (path.rfind("./", 0) == 0) path = path.substr(2);
+  std::error_code ec;
+  const std::filesystem::path abs =
+      std::filesystem::absolute(std::filesystem::path(path), ec);
+  if (!ec) {
+    const std::filesystem::path cwd = std::filesystem::current_path(ec);
+    if (!ec) {
+      const std::filesystem::path rel = abs.lexically_relative(cwd);
+      // Only adopt the relative form when the file actually sits under the
+      // working directory — "../../elsewhere" is worse than the original.
+      if (!rel.empty() && rel.begin()->string() != "..") {
+        path = rel.generic_string();
+      }
+    }
+  }
+  return path;
+}
 
 std::string_view sarif_level(Severity severity) {
   switch (severity) {
@@ -90,6 +112,24 @@ std::string to_sarif(const std::vector<Diagnostic>& diags,
       }
       w.end_object();
       w.end_array();  // locations
+    }
+    if (!diag.related.empty()) {
+      w.key("relatedLocations").begin_array();
+      w.begin_object();
+      if (!artifact_uri.empty()) {
+        w.key("physicalLocation").begin_object();
+        w.key("artifactLocation").begin_object();
+        w.key("uri").value(artifact_uri);
+        w.end_object();
+        w.end_object();
+      }
+      w.key("logicalLocations").begin_array();
+      w.begin_object();
+      w.key("fullyQualifiedName").value(diag.related);
+      w.end_object();
+      w.end_array();
+      w.end_object();
+      w.end_array();  // relatedLocations
     }
     w.end_object();
   }

@@ -4,7 +4,11 @@
 // diagnostic_rules() under tool.driver.rules, and one result per Diagnostic
 // with ruleId/ruleIndex, the SARIF level, the message, and a location
 // combining the physical artifact (the model file) with the logical
-// location (the actor / region / cgir node the finding is about).
+// location (the actor / region / cgir node the finding is about).  A
+// diagnostic referencing a second actor (Diagnostic::related — e.g. the
+// producer of an overflowing operand) additionally gets a relatedLocations
+// entry.  Artifact URIs are normalized repo-relative (leading "./" and the
+// current directory prefix stripped) so code-scanning upload resolves them.
 //
 // The output is plain JSON (obs::JsonWriter), valid against the SARIF
 // 2.1.0 schema, and consumed by CI code-scanning upload as-is.
@@ -22,8 +26,15 @@ namespace hcg::analysis {
 /// "warning", or "error".
 std::string_view sarif_level(Severity severity);
 
+/// Normalizes a model path into a repo-relative SARIF artifact URI:
+/// strips a leading "./", makes an absolute path under the current working
+/// directory relative to it, and uses forward slashes.  Paths outside the
+/// working directory pass through unchanged.
+std::string sarif_artifact_uri(std::string_view model_path);
+
 /// Serializes `diags` as a complete SARIF 2.1.0 document.  `artifact_uri`
-/// is the analyzed model file (empty = no physical location attached).
+/// is the analyzed model file (empty = no physical location attached);
+/// callers normally pass it through sarif_artifact_uri() first.
 std::string to_sarif(const std::vector<Diagnostic>& diags,
                      std::string_view artifact_uri);
 

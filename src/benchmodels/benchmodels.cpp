@@ -182,6 +182,51 @@ Model mixed_pipeline_model(int n) {
   return b.take();
 }
 
+Model rangepipe_model(int n, bool declared_ranges) {
+  ModelBuilder b(declared_ranges ? "rangepipe" : "rangepipe_wide");
+  PortRef a = b.inport("a", DataType::kInt32, Shape{n});
+  PortRef bb = b.inport("b", DataType::kInt32, Shape{n});
+  if (declared_ranges) {
+    b.model().actor(a.actor).set_param("range_min", "-100");
+    b.model().actor(a.actor).set_param("range_max", "100");
+    b.model().actor(bb.actor).set_param("range_min", "-50");
+    b.model().actor(bb.actor).set_param("range_max", "50");
+  }
+  // Interval bounds with declared ranges, stage by stage.  The Shr stages
+  // halve the interval whenever the Add/Sub/Gain growth approaches the i16
+  // ceiling, so a 20-actor region stays provably inside i16 while the two
+  // boundary cast passes (in and out) stay amortized over the whole chain:
+  //   d [-150,150]    g [-450,450]    s [-500,500]    t [-650,650]
+  //   u [-1100,1100]  v [-2200,2200]  w [-2700,2700]  x [-3350,3350]
+  //   h [-1675,1675]  p [-2775,2775]  q [-4450,4450]  r [-8900,8900]
+  //   e [-2225,2225]  f [-5000,5000]  m [-7225,7225]  o [-8900,8900]
+  //   z [-4450,4450]  z2 [-6675,6675] z3 [-11125,11125] clip [-11125,400]
+  // — every one inside i16, none inside i8 (d already exceeds ±127).
+  PortRef cap = b.constant("cap", DataType::kInt32, Shape{n}, "400");
+  PortRef d = b.actor("d", "Sub", {a, bb});
+  PortRef g = b.actor("g", "Gain", {d}, {{"gain", "3"}});
+  PortRef s = b.actor("s", "Add", {g, bb});
+  PortRef t = b.actor("t", "Sub", {s, d});
+  PortRef u = b.actor("u", "Add", {t, g});
+  PortRef v = b.actor("v", "Gain", {u}, {{"gain", "2"}});
+  PortRef w = b.actor("w", "Sub", {v, s});
+  PortRef x = b.actor("x", "Add", {w, t});
+  PortRef h = b.actor("h", "Shr", {x}, {{"amount", "1"}});
+  PortRef p = b.actor("p", "Add", {h, u});
+  PortRef q = b.actor("q", "Sub", {p, h});
+  PortRef r = b.actor("r", "Gain", {q}, {{"gain", "2"}});
+  PortRef e = b.actor("e", "Shr", {r}, {{"amount", "2"}});
+  PortRef f = b.actor("f", "Add", {e, p});
+  PortRef m = b.actor("m", "Sub", {f, e});
+  PortRef o = b.actor("o", "Add", {m, h});
+  PortRef z = b.actor("z", "Shr", {o}, {{"amount", "1"}});
+  PortRef z2 = b.actor("z2", "Sub", {z, e});
+  PortRef z3 = b.actor("z3", "Add", {z2, z});
+  PortRef clip = b.actor("clip", "Min", {z3, cap});
+  b.outport("y", clip);
+  return b.take();
+}
+
 Model matmul_pipeline_model(int n) {
   ModelBuilder b("matmul_pipeline");
   PortRef a = b.inport("a", DataType::kFloat32, Shape{n, n});
@@ -213,13 +258,25 @@ std::vector<Tensor> workload(const Model& resolved_model, std::uint64_t seed) {
     const DataType comp = component_type(spec.type);
     const int components =
         is_complex(spec.type) ? t.elements() * 2 : t.elements();
+    // Inports may declare a value-range contract (range_min/range_max, the
+    // interval analysis' input facts); generated workloads must respect it,
+    // or else inputs would violate what range-driven codegen relied on.
+    const double lo = port.double_param_or("range_min", -(1 << 20));
+    const double hi = port.double_param_or("range_max", 1 << 20);
     for (int i = 0; i < components; ++i) {
       if (comp == DataType::kFloat32) {
-        t.as<float>()[i] = static_cast<float>(rng.uniform_real(-1.0, 1.0));
+        const double flo = port.double_param_or("range_min", -1.0);
+        const double fhi = port.double_param_or("range_max", 1.0);
+        t.as<float>()[i] = static_cast<float>(rng.uniform_real(flo, fhi));
       } else if (comp == DataType::kFloat64) {
-        t.as<double>()[i] = rng.uniform_real(-1.0, 1.0);
+        const double flo = port.double_param_or("range_min", -1.0);
+        const double fhi = port.double_param_or("range_max", 1.0);
+        t.as<double>()[i] = rng.uniform_real(flo, fhi);
       } else {
-        t.set_double(i, static_cast<double>(rng.uniform_int(-(1 << 20), 1 << 20)));
+        const auto ilo = static_cast<std::int64_t>(std::ceil(lo));
+        const auto ihi = static_cast<std::int64_t>(std::floor(hi));
+        t.set_double(i, static_cast<double>(
+                            rng.uniform_int(ilo, std::max(ilo, ihi))));
       }
     }
     inputs.push_back(std::move(t));

@@ -70,6 +70,16 @@ Model mixed_pipeline_model(int n = 1024);
 /// data from the target.
 Model matmul_pipeline_model(int n = 96);
 
+/// The range-driven lane-narrowing workload: a twenty-actor i32 pipeline
+/// whose declared Inport ranges (a in ±100, b in ±50) prove every
+/// intermediate fits i16 (interleaved Shr stages cap the growth; the
+/// widest, z3, stays within ±11125), so at -O1 the whole region re-plans
+/// at i16 — 8 NEON lanes instead of 4, with the two boundary cast passes
+/// amortized over the full chain.  With `declared_ranges` false the same
+/// graph carries no range facts and must stay at i32, which is the bench
+/// comparator for the narrowing win.
+Model rangepipe_model(int n = 1024, bool declared_ranges = true);
+
 /// The six evaluation models at paper sizes, in Table 2 order.
 std::vector<Model> paper_models();
 

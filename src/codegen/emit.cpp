@@ -4,12 +4,14 @@
 // the result.  At -O0 the printed output is byte-identical to the historical
 // string-concatenation emitter.
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <future>
 #include <set>
 
 #include "actors/catalog.hpp"
 #include "actors/exec.hpp"
+#include "analysis/range.hpp"
 #include "analysis/verifier.hpp"
 #include "cgir/cgir.hpp"
 #include "cgir/passes.hpp"
@@ -61,6 +63,7 @@ class Emitter {
     Stopwatch phase;
     {
       HCG_TRACE_SCOPE("emit.regions");
+      narrow_regions_by_range();
       build_regions();
       order_ = emission_order(model_, regions_);
     }
@@ -125,6 +128,261 @@ class Emitter {
   // ------------------------------------------------------------------
   // Planning
   // ------------------------------------------------------------------
+
+  // ------------------------------------------------------------------
+  // Range-driven lane narrowing (docs/ANALYSIS.md)
+  // ------------------------------------------------------------------
+
+  /// Narrower same-signedness integer candidates, narrowest first.
+  static std::vector<DataType> narrowing_candidates(DataType cur) {
+    std::vector<DataType> out;
+    const std::vector<DataType> pool =
+        is_signed_int(cur)
+            ? std::vector<DataType>{DataType::kInt8, DataType::kInt16,
+                                    DataType::kInt32}
+            : std::vector<DataType>{DataType::kUInt8, DataType::kUInt16,
+                                    DataType::kUInt32};
+    if (!is_integer(cur)) return out;
+    for (DataType t : pool) {
+      if (bit_width(t) < bit_width(cur)) out.push_back(t);
+    }
+    return out;
+  }
+
+  /// A model actor name no existing actor uses.
+  std::string fresh_actor_name(int* counter) {
+    for (;; ++*counter) {
+      std::string name = "hcg_nw_" + std::to_string(*counter);
+      if (model_.find_actor(name) == kNoActor) {
+        ++*counter;
+        return name;
+      }
+    }
+  }
+
+  /// Everything except the value-range proof that narrowing one region to
+  /// `nar` needs: more lanes than the current type, a viable plan at the
+  /// narrow width, a single-instruction implementation for every node, and
+  /// representable scalar constants / in-range shift immediates.
+  bool narrowing_isa_ok(const BatchRegion& region, DataType cur,
+                        DataType nar) const {
+    const isa::VectorIsa& isa = *config_.isa;
+    const int lanes_nar = isa.lanes(nar);
+    if (lanes_nar <= 0 || lanes_nar <= isa.lanes(cur)) return false;
+    if (!isa.predicated(nar) && region.graph.length() < lanes_nar) {
+      return false;
+    }
+    if (region.graph.node_count() <
+        config_.batch_options.min_nodes_for_simd) {
+      return false;
+    }
+    for (const DfgNode& node : region.graph.nodes()) {
+      if (!isa.supports(node.op, nar, nar)) return false;
+      for (const ValueRef& operand : node.operands) {
+        if (operand.kind == ValueRef::Kind::kScalarConst) {
+          const double t = std::trunc(operand.scalar);
+          if (!analysis::interval_fits({t, t}, nar)) return false;
+        }
+        if (operand.kind == ValueRef::Kind::kImmediate &&
+            operand.imm >= bit_width(nar)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// The value-range proof: every node result and every array entering the
+  /// region provably fits `nar`.  (A node interval that would wrap at the
+  /// *current* width is top, which never fits, so a region that passes here
+  /// computes identical values at either width.)
+  bool narrowing_range_ok(const BatchRegion& region,
+                          const analysis::RangeAnalysis& ranges,
+                          DataType nar) const {
+    for (const DfgNode& node : region.graph.nodes()) {
+      const analysis::Interval* iv = ranges.find(node.actor, 0);
+      if (iv == nullptr || !analysis::interval_fits(*iv, nar)) return false;
+    }
+    for (const DfgExternal& ext : region.graph.externals()) {
+      const analysis::Interval* iv = ranges.find(ext.src, ext.src_port);
+      if (iv == nullptr || !analysis::interval_fits(*iv, nar)) return false;
+    }
+    return true;
+  }
+
+  /// Splices Cast actors around one region so it re-resolves at `nar`:
+  /// a Cast-down on every external input signal, a Cast-up back to `cur`
+  /// on every signal leaving the region.  A Constant feeding only this
+  /// region is instead retyped in place — its value provably fits `nar`,
+  /// and folding the conversion into the initializer avoids a per-step
+  /// cast pass over the whole array.  The region's own actors keep their
+  /// types param-free (elementwise actors inherit operand types), so
+  /// re-resolution retypes the whole chain.
+  void rewrite_region_narrow(const BatchRegion& region, DataType cur,
+                             DataType nar, int* name_counter) {
+    const std::set<ActorId> members(region.actors.begin(),
+                                    region.actors.end());
+    for (const DfgExternal& ext : region.graph.externals()) {
+      const std::vector<Connection> consumers =
+          model_.outgoing(ext.src, ext.src_port);
+      Actor& producer = model_.actor(ext.src);
+      if (producer.type() == "Constant") {
+        bool all_in_region = true;
+        for (const Connection& c : model_.outgoing_all(ext.src)) {
+          all_in_region &= members.count(c.dst) > 0;
+        }
+        if (all_in_region) {
+          producer.set_param("dtype", short_name(nar));
+          continue;
+        }
+      }
+      const ActorId down =
+          model_.add_actor(fresh_actor_name(name_counter), "Cast");
+      model_.actor(down).set_param("to", short_name(nar));
+      model_.connect(ext.src, ext.src_port, down, 0);
+      for (const Connection& c : consumers) {
+        if (members.count(c.dst)) {
+          model_.rewire_input(c.dst, c.dst_port, down, 0);
+        }
+      }
+    }
+    for (int node_index : region.graph.outputs()) {
+      const ActorId src = region.graph.node(node_index).actor;
+      const std::vector<Connection> consumers = model_.outgoing(src, 0);
+      ActorId up = kNoActor;
+      for (const Connection& c : consumers) {
+        if (members.count(c.dst)) continue;
+        if (up == kNoActor) {
+          up = model_.add_actor(fresh_actor_name(name_counter), "Cast");
+          model_.actor(up).set_param("to", short_name(cur));
+          model_.connect(src, 0, up, 0);
+        }
+        model_.rewire_input(c.dst, c.dst_port, up, 0);
+      }
+    }
+  }
+
+  /// The range-driven lane-narrowing pass: re-plans an integer batch region
+  /// at a narrower element type when the interval analysis proves every
+  /// value fits, doubling (or quadrupling) the SIMD lanes Algorithm 2 gets
+  /// to use.  Runs before build_regions() so the rebuilt regions are the
+  /// narrow chains (the inserted mixed-width Casts fall out of regions by
+  /// the HCG404 rule).  Off at -O0; regions-mode only.
+  void narrow_regions_by_range() {
+    const bool enabled = config_.opt_level >= 1 &&
+                         config_.batch_mode == BatchMode::kRegions &&
+                         config_.isa != nullptr;
+    if (!enabled) return;
+
+    int narrowed = 0;
+    int blocked = 0;
+    int name_counter = 0;
+    std::set<ActorId> narrowed_members;
+    auto remark = [this](std::string code, std::string message) {
+      obs::ReportDiagnostic diag;
+      diag.code = std::move(code);
+      diag.severity = "remark";
+      diag.location = model_.name() + ": regions";
+      diag.message = std::move(message);
+      out_.report.diagnostics.push_back(std::move(diag));
+    };
+    auto region_names = [this](const BatchRegion& region) {
+      std::string out;
+      for (ActorId id : region.actors) {
+        if (!out.empty()) out += ", ";
+        out += model_.actor(id).name();
+      }
+      return out;
+    };
+    // Uniform-type integer chains only: a same-width Cast (e.g. i32 to
+    // f32) inside a region gives it two element types, and narrowing a
+    // mixed chain is not expressible as one retype.
+    auto narrowable_type = [](const BatchRegion& region) {
+      const DataType cur = region.graph.nodes().front().out_type;
+      if (!is_integer(cur) || bit_width(cur) < 16) return std::optional<DataType>();
+      for (const DfgNode& node : region.graph.nodes()) {
+        if (node.out_type != cur) return std::optional<DataType>();
+      }
+      for (const DfgExternal& ext : region.graph.externals()) {
+        if (ext.type != cur) return std::optional<DataType>();
+      }
+      return std::optional<DataType>(cur);
+    };
+
+    // One region is rewritten per round, then regions and intervals are
+    // recomputed from the rewritten model — a rewrite moves wires other
+    // regions' snapshots may reference, so stale snapshots must never be
+    // rewritten.  Rewritten chains are remembered and skipped, which bounds
+    // the loop by the region count.
+    analysis::RangeAnalysis ranges;
+    for (bool progress = true; progress;) {
+      progress = false;
+      ranges = analysis::analyze_ranges(model_, nullptr);
+      for (const BatchRegion& region :
+           find_batch_regions(model_, *config_.isa)) {
+        const std::optional<DataType> cur = narrowable_type(region);
+        if (!cur) continue;
+        bool member_done = false;
+        for (ActorId id : region.actors) {
+          if (narrowed_members.count(id)) member_done = true;
+        }
+        if (member_done) continue;
+        for (DataType nar : narrowing_candidates(*cur)) {
+          if (!narrowing_isa_ok(region, *cur, nar)) continue;
+          if (!narrowing_range_ok(region, ranges, nar)) continue;
+          rewrite_region_narrow(region, *cur, nar, &name_counter);
+          resolve_model(model_);
+          narrowed_members.insert(region.actors.begin(),
+                                  region.actors.end());
+          ++narrowed;
+          remark("HCG411",
+                 "region {" + region_names(region) + "} re-planned at " +
+                     std::string(short_name(nar)) + " (" +
+                     std::to_string(config_.isa->lanes(nar)) +
+                     " lanes, was " + std::string(short_name(*cur)) +
+                     " at " + std::to_string(config_.isa->lanes(*cur)) +
+                     "): proven value ranges fit the narrower type");
+          progress = true;
+          break;
+        }
+        if (progress) break;
+      }
+    }
+
+    // Final scan: regions that would narrow but for an unprovable range.
+    for (const BatchRegion& region :
+         find_batch_regions(model_, *config_.isa)) {
+      const std::optional<DataType> cur = narrowable_type(region);
+      if (!cur) continue;
+      bool member_done = false;
+      for (ActorId id : region.actors) {
+        if (narrowed_members.count(id)) member_done = true;
+      }
+      if (member_done) continue;
+      for (DataType nar : narrowing_candidates(*cur)) {
+        if (!narrowing_isa_ok(region, *cur, nar)) continue;
+        if (narrowing_range_ok(region, ranges, nar)) continue;
+        ++blocked;
+        remark("HCG412",
+               "region {" + region_names(region) +
+                   "} could use more SIMD lanes at " +
+                   std::string(short_name(nar)) +
+                   ", but the value range could not be proven to fit; "
+                   "declare Inport range_min/range_max to enable narrowing");
+        break;
+      }
+    }
+
+    out_.report.range_ran = true;
+    out_.report.range_actors_analyzed = ranges.actors_analyzed;
+    out_.report.range_bounded_outputs = ranges.bounded_outputs;
+    out_.report.range_widened_delays = ranges.widened_delays;
+    out_.report.regions_narrowed = narrowed;
+    out_.report.narrowing_blocked = blocked;
+    static obs::Counter& narrowed_metric =
+        obs::Registry::instance().counter("codegen.range.regions_narrowed");
+    narrowed_metric.add(static_cast<std::uint64_t>(narrowed));
+  }
 
   void build_regions() {
     if (config_.batch_mode == BatchMode::kRegions) {

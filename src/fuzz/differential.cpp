@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "actors/resolve.hpp"
+#include "analysis/range.hpp"
 #include "benchmodels/benchmodels.hpp"
 #include "codegen/generator.hpp"
 #include "isa/builtin.hpp"
@@ -90,6 +91,45 @@ std::optional<Finding> run_variant(
   }
 }
 
+/// Interval-soundness cross-check (docs/ANALYSIS.md): every component the
+/// oracle just produced must lie inside the interval analyze_ranges
+/// predicted for that wire.  `corrupt` — set when the analysis.range fault
+/// probe is armed — collapses every predicted interval to an empty one, so
+/// the sweep can prove this check actually fires.
+std::optional<std::string> range_escape(const Model& m,
+                                        const analysis::RangeAnalysis& ranges,
+                                        const Interpreter& oracle, int step,
+                                        bool corrupt) {
+  for (const Actor& actor : m.actors()) {
+    for (int port = 0; port < actor.output_count(); ++port) {
+      const analysis::Interval* predicted = ranges.find(actor.id(), port);
+      if (predicted == nullptr) continue;
+      analysis::Interval bound = *predicted;
+      if (corrupt) bound = analysis::Interval{1.0, -1.0};  // empty
+      const Tensor& t = oracle.value(actor.id(), port);
+      const bool f32 = component_type(t.type()) == DataType::kFloat32;
+      const int components =
+          is_complex(t.type()) ? t.elements() * 2 : t.elements();
+      for (int i = 0; i < components; ++i) {
+        double v;
+        if (is_complex(t.type()) || is_float(t.type())) {
+          v = f32 ? t.as<float>()[i] : t.as<double>()[i];
+        } else {
+          v = t.get_double(i);
+        }
+        if (std::isnan(v)) continue;  // NaN has no order; intervals bound
+                                      // only the ordered values
+        if (bound.contains(v)) continue;
+        return "actor '" + actor.name() + "' port " + std::to_string(port) +
+               " step " + std::to_string(step) + " element " +
+               std::to_string(i) + ": oracle value " + std::to_string(v) +
+               " escaped predicted " + bound.to_string();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::string_view outcome_name(Outcome outcome) {
@@ -99,6 +139,7 @@ std::string_view outcome_name(Outcome outcome) {
     case Outcome::kVerifierReject: return "verifier-reject";
     case Outcome::kError: return "error";
     case Outcome::kGeneratorBug: return "generator-bug";
+    case Outcome::kRangeUnsound: return "range-unsound";
   }
   return "unknown";
 }
@@ -228,14 +269,49 @@ std::vector<Finding> check_model(const Model& model, std::uint64_t seed,
     return findings;
   }
 
+  // The range analysis runs once per model; its predictions are then
+  // cross-checked against every value the oracle produces below.  A model it
+  // refuses to analyze is itself a finding — lint and narrowing both depend
+  // on it accepting anything that resolves.
+  analysis::RangeAnalysis ranges;
+  bool ranges_ok = false;
+  try {
+    ranges = analysis::analyze_ranges(m, nullptr);
+    ranges_ok = true;
+  } catch (const Error& e) {
+    Finding f;
+    f.seed = seed;
+    f.outcome = Outcome::kError;
+    f.detail = e.what();
+    f.variant = Variant{"range", "", 0};
+    f.signature =
+        failure_signature(f.outcome, f.variant, f.detail, f.fault_spec);
+    findings.push_back(std::move(f));
+  }
+  const bool corrupt_ranges =
+      faults::probe("analysis.range", m.name()) != faults::Action::kNone;
+
   const int steps = std::max(1, config.steps);
   std::vector<std::vector<Tensor>> inputs, expected;
   Interpreter oracle(m);
   oracle.init();
+  bool range_reported = false;
   for (int k = 0; k < steps; ++k) {
     inputs.push_back(
         benchmodels::workload(m, seed * 131 + static_cast<std::uint64_t>(k)));
     expected.push_back(oracle.step(inputs.back()));
+    if (!ranges_ok || range_reported) continue;
+    if (auto why = range_escape(m, ranges, oracle, k, corrupt_ranges)) {
+      Finding f;
+      f.seed = seed;
+      f.variant = Variant{"range", "", 0};
+      f.outcome = Outcome::kRangeUnsound;
+      f.detail = std::move(*why);
+      f.signature =
+          failure_signature(f.outcome, f.variant, f.detail, f.fault_spec);
+      findings.push_back(std::move(f));
+      range_reported = true;  // one per seed; later steps repeat the story
+    }
   }
 
   int cells = 0;

@@ -14,6 +14,12 @@
 //     probes fire one site at a time, and each variant must either fail
 //     cleanly through the hcg::Error hierarchy or still produce correct
 //     output.  Silent wrong output under an injected fault is a finding.
+//
+// Independently of the matrix, every value the VM oracle produces is checked
+// against the interval the value-range analysis predicted for that wire
+// (src/analysis/range.hpp): an escape means an unsound transfer function —
+// exactly the class of bug that would let range-driven lane narrowing
+// miscompile — and becomes a kRangeUnsound finding.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +40,7 @@ enum class Outcome : std::uint8_t {
   kVerifierReject,  // CodegenError (the cgir verifier refused the unit)
   kError,           // any other exception out of generate/compile/run
   kGeneratorBug,    // the generated model failed to resolve
+  kRangeUnsound,    // an oracle value escaped its predicted interval
 };
 
 std::string_view outcome_name(Outcome outcome);

@@ -136,7 +136,27 @@ class Generation {
   Value& add_inport(DataType type, Shape shape) {
     ++actors_added_;
     PortRef ref = builder_.inport(name("in", n_in_), type, shape);
-    return push(ref, type, std::move(shape), source_mag(type));
+    int mag = source_mag(type);
+    // Sometimes declare a value-range contract on the port (range_min /
+    // range_max — the facts the interval analysis starts from, which
+    // benchmodels::workload honors).  Bounded inputs are what make the
+    // range-soundness cross-check, the HCG6xx paths, and range-driven lane
+    // narrowing actually bite in a campaign.
+    if (!is_complex(type) && chance(1, 3)) {
+      Actor& port = builder_.model().actor(ref.actor);
+      if (is_float(type)) {
+        port.set_param("range_min", "-0.5");
+        port.set_param("range_max", "0.5");
+      } else {
+        const int k = 4 + static_cast<int>(rng_.bounded(9));  // 2^4 .. 2^12
+        const long long hi = 1LL << k;
+        port.set_param("range_min",
+                       std::to_string(is_unsigned_int(type) ? 0 : -hi));
+        port.set_param("range_max", std::to_string(hi));
+        if (is_signed_int(type)) mag = std::min(mag, k);
+      }
+    }
+    return push(ref, type, std::move(shape), mag);
   }
 
   std::string literal(DataType type, double lo, double hi) {

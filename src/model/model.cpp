@@ -96,6 +96,23 @@ void Model::connect(ActorId src, int src_port, ActorId dst, int dst_port) {
   connections_.push_back(Connection{src, src_port, dst, dst_port});
 }
 
+void Model::rewire_input(ActorId dst, int dst_port, ActorId new_src,
+                         int new_src_port) {
+  if (new_src < 0 || new_src >= actor_count()) {
+    throw ModelError("rewire_input: actor id out of range");
+  }
+  for (Connection& c : connections_) {
+    if (c.dst == dst && c.dst_port == dst_port) {
+      c.src = new_src;
+      c.src_port = new_src_port;
+      return;
+    }
+  }
+  throw ModelError("rewire_input: input port " + std::to_string(dst_port) +
+                   " of actor '" + actor(dst).name() +
+                   "' has no incoming connection");
+}
+
 Actor& Model::actor(ActorId id) {
   if (id < 0 || id >= actor_count()) {
     throw ModelError("actor id out of range: " + std::to_string(id));

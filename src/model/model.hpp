@@ -100,6 +100,13 @@ class Model {
   /// accepts exactly one incoming connection (checked here); outputs fan out.
   void connect(ActorId src, int src_port, ActorId dst, int dst_port);
 
+  /// Re-points the existing connection feeding (dst, dst_port) at a new
+  /// source.  Used by graph-rewriting passes (lane narrowing) to splice an
+  /// actor into a wire; throws hcg::ModelError when the port has no
+  /// incoming connection.
+  void rewire_input(ActorId dst, int dst_port, ActorId new_src,
+                    int new_src_port);
+
   int actor_count() const { return static_cast<int>(actors_.size()); }
   Actor& actor(ActorId id);
   const Actor& actor(ActorId id) const;

@@ -116,6 +116,16 @@ std::string Report::to_json(bool include_metrics) const {
     w.end_array();
   }
 
+  if (range_ran) {
+    w.key("range_analysis").begin_object();
+    w.key("actors_analyzed").value(range_actors_analyzed);
+    w.key("bounded_outputs").value(range_bounded_outputs);
+    w.key("widened_delays").value(range_widened_delays);
+    w.key("regions_narrowed").value(regions_narrowed);
+    w.key("narrowing_blocked").value(narrowing_blocked);
+    w.end_object();
+  }
+
   w.key("degraded").begin_array();
   for (const ReportFallback& fallback : degraded) {
     w.begin_object();

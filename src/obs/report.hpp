@@ -138,6 +138,17 @@ struct Report {
   /// Static-analysis findings attached to this run (hcgc lint).
   std::vector<ReportDiagnostic> diagnostics;
 
+  // Interval value-range analysis summary (src/analysis/range.hpp; filled
+  // by `hcgc lint` and by the codegen narrowing pass).  range_ran false
+  // means the analysis never ran and the serialized report has no
+  // "range_analysis" section.
+  bool range_ran = false;
+  int range_actors_analyzed = 0;   // actors the propagation visited
+  int range_bounded_outputs = 0;   // signals proven narrower than their type
+  int range_widened_delays = 0;    // UnitDelay states widened to top
+  int regions_narrowed = 0;        // batch regions re-planned narrower (HCG411)
+  int narrowing_blocked = 0;       // blocked only by unprovable range (HCG412)
+
   // Selection-history statistics (filled by the driver when a history is in
   // play; hits+misses == 0 means no history was consulted).
   std::uint64_t history_hits = 0;

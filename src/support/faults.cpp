@@ -37,6 +37,9 @@ const std::vector<SiteInfo>& site_catalog() {
   // scans the sources for probe literals, so adding a probe without a
   // catalog row (or the reverse) fails the suite.
   static const std::vector<SiteInfo> kSites = {
+      {"analysis.range", "fuzz/differential",
+       "model name", "any action corrupts the predicted intervals; the "
+       "range-soundness cross-check must catch it"},
       {"bench.measure", "bench/bench_util",
        "metric name", "any action inflates the timed reading 16x"},
       {"cgir.pass", "cgir/passes",

@@ -31,7 +31,7 @@ void fill_random(Tensor& t, Rng& rng, bool diagonally_dominant) {
     } else if (comp == DataType::kFloat64) {
       t.as<double>()[i] = v;
     } else {
-      t.set_double(i, rng.uniform_int(-100, 100));
+      t.set_double(i, static_cast<double>(rng.uniform_int(-100, 100)));
     }
   }
   if (diagonally_dominant && t.shape().rank() == 2) {

@@ -497,12 +497,15 @@ int cmd_lint(const Options& opt) {
   lint.min_nodes_for_simd = opt.threshold;
   lint.remarks = !opt.no_remarks;
   analysis::DiagnosticEngine diags(opt.werror);
-  analysis::lint_model(model, lint, diags);
+  const analysis::RangeAnalysis ranges =
+      analysis::lint_model(model, lint, diags);
 
   std::fputs(diags.render(opt.model_path).c_str(), stdout);
   if (!opt.sarif_path.empty()) {
     write_file(opt.sarif_path,
-               analysis::to_sarif(diags.diagnostics(), opt.model_path));
+               analysis::to_sarif(diags.diagnostics(),
+                                  analysis::sarif_artifact_uri(
+                                      opt.model_path)));
     std::fprintf(stderr, "wrote sarif %s\n", opt.sarif_path.c_str());
   }
   if (!opt.report_path.empty()) {
@@ -515,6 +518,12 @@ int cmd_lint(const Options& opt) {
       report.diagnostics.push_back(
           {diag.code, std::string(analysis::severity_name(diag.severity)),
            diag.location, diag.message});
+    }
+    if (ranges.actors_analyzed > 0) {
+      report.range_ran = true;
+      report.range_actors_analyzed = ranges.actors_analyzed;
+      report.range_bounded_outputs = ranges.bounded_outputs;
+      report.range_widened_delays = ranges.widened_delays;
     }
     write_file(opt.report_path, report.to_json());
     std::fprintf(stderr, "wrote report %s\n", opt.report_path.c_str());

@@ -200,6 +200,27 @@ TEST(FuzzDifferential, ArmedMiscompileIsDetected) {
                       << " — " << findings.front().detail;
 }
 
+TEST(FuzzDifferential, UnsoundRangeAnalysisIsDetected) {
+#ifdef HCG_DISABLE_FAULTS
+  GTEST_SKIP() << "fault probes compiled to no-ops";
+#endif
+  // The range-soundness drill: corrupting the predicted intervals (the
+  // analysis.range probe collapses them to empty) must surface as a
+  // kRangeUnsound finding — proof the cross-check can actually fire.
+  ArmedFaults armed("analysis.range=fail");
+  HarnessConfig config = quick_config();
+  config.baselines = false;
+  const std::uint64_t seed = 1;
+  const Model model = generate_model(seed, config.generator);
+  const std::vector<Finding> findings = check_model(model, seed, config);
+  bool caught = false;
+  for (const Finding& f : findings) {
+    caught |= f.outcome == Outcome::kRangeUnsound &&
+              f.signature == "range-unsound:range/O0";
+  }
+  EXPECT_TRUE(caught) << "corrupted intervals went unnoticed";
+}
+
 // ---------------------------------------------------------------------------
 // Minimizer
 // ---------------------------------------------------------------------------
